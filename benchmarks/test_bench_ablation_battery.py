@@ -1,0 +1,55 @@
+"""ABL-BAT — ablation: does the "more functions help" trend continue?
+
+Table II shows I4 < I7 < I10 and C4 < C7 < C10.  This bench extends the
+sweep past the paper with the F11–F14 battery (C14) and also reports the
+statistical significance of the central C10 > I10 comparison — a gap in
+the paper's own evaluation.
+"""
+
+from repro.core.config import ResolverConfig, table2_config
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentContext, run_config
+from repro.experiments.significance import compare_strategies
+from repro.similarity.extended import SUBSET_I14, full_battery
+
+
+def test_ablation_extended_battery(benchmark, www_context, bench_seeds):
+    def run_all():
+        # The shared context only carries F1–F10 graphs; the extended
+        # battery needs its own preparation (the F11–F14 graphs).
+        extended_context = ExperimentContext.prepare(
+            www_context.collection, functions=full_battery())
+        results = {}
+        for column in ("C4", "C7", "C10"):
+            results[column] = run_config(
+                extended_context, table2_config(column), bench_seeds,
+                label=column)
+        results["C14"] = run_config(
+            extended_context,
+            ResolverConfig(function_names=SUBSET_I14),
+            bench_seeds, label="C14")
+        comparison = compare_strategies(
+            results["C10"],
+            run_config(extended_context, table2_config("I10"), bench_seeds,
+                       label="I10"))
+        return results, comparison
+
+    results, comparison = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    rows = [[label, result.mean().fp, result.mean().f1, result.mean().rand]
+            for label, result in results.items()]
+    print(format_table(["battery", "Fp", "F", "Rand"], rows,
+                       title="Ablation — function battery size (WWW'05-like)"))
+    print(f"\nC10 vs I10: mean ΔFp = {comparison.mean_difference:+.4f}, "
+          f"p = {comparison.p_value:.4f}, "
+          f"95% CI [{comparison.ci_low:+.4f}, {comparison.ci_high:+.4f}] "
+          f"over {comparison.n_names} names")
+
+    fp = {label: result.mean().fp for label, result in results.items()}
+    # The growth trend continues or saturates — C14 must not fall off.
+    assert fp["C14"] >= fp["C10"] - 0.02, fp
+    assert fp["C10"] >= fp["C4"] - 0.02, fp
+    # The paper's central improvement is statistically significant.
+    assert comparison.mean_difference > 0.0
+    assert comparison.p_value < 0.1, comparison

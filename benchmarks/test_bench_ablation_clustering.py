@@ -1,0 +1,45 @@
+"""ABL-CLU — ablation: clustering step (§IV-C design choice).
+
+The paper deploys transitive closure and mentions correlation clustering
+as the alternative; an average-link agglomerative baseline rounds out the
+comparison.  Expected: all three are in the same band, with closure and
+correlation clustering close (the combined graph is already near a union
+of cliques).
+"""
+
+from repro.baselines import AgglomerativeBaseline
+from repro.core.config import ResolverConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_baseline, run_config
+
+
+def test_ablation_clustering(benchmark, www_context, bench_seeds):
+    def run_all():
+        results = {}
+        results["transitive-closure"] = run_config(
+            www_context, ResolverConfig(clusterer="transitive"),
+            bench_seeds).mean()
+        results["correlation"] = run_config(
+            www_context, ResolverConfig(clusterer="correlation"),
+            bench_seeds).mean()
+        results["star"] = run_config(
+            www_context, ResolverConfig(clusterer="star"),
+            bench_seeds).mean()
+        results["agglomerative-F8"] = run_baseline(
+            www_context, AgglomerativeBaseline("F8"), bench_seeds).mean()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    rows = [[label, report.fp, report.f1, report.rand]
+            for label, report in results.items()]
+    print(format_table(["clusterer", "Fp", "F", "Rand"], rows,
+                       title="Ablation — clustering step (WWW'05-like)"))
+
+    # All clusterers operate in a sane band.
+    for label, report in results.items():
+        assert report.fp > 0.5, (label, report.fp)
+    # Closure and correlation clustering stay close on combined graphs.
+    gap = abs(results["transitive-closure"].fp - results["correlation"].fp)
+    assert gap < 0.12, results

@@ -1,0 +1,96 @@
+"""ABL-EXT — ablation: the repo's extensions beyond the paper.
+
+* star clustering (WePS-style clusterer; bounds closure chaining),
+* the entropy-weighted combiner (the paper's §VII future-work direction:
+  weight evidence by information gain instead of accuracy),
+* the R-Swoosh match-merge baseline from the related work.
+
+Expected: all extensions land in the working band; star clustering is
+competitive with transitive closure; the entropy combiner behaves like W.
+"""
+
+from repro.baselines.swoosh import SwooshBaseline
+from repro.core.config import ResolverConfig, table2_config
+from repro.core.entropy import EntropyWeightedCombiner
+from repro.core.labels import TrainingSample
+from repro.core.resolver import EntityResolver
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_config
+from repro.graph.transitive import transitive_closure_clusters
+from repro.metrics.clusterings import Clustering, clustering_from_assignments
+from repro.metrics.report import evaluate_clustering, mean_report
+from repro.ml.sampling import sample_training_pairs
+
+
+def _run_entropy_combiner(context, seeds):
+    """W-style combination but with information-gain weights."""
+    resolver = EntityResolver(ResolverConfig())
+    per_run = []
+    for seed in seeds:
+        reports = []
+        for block in context.collection:
+            graphs = context.graphs_by_name[block.query_name]
+            training = TrainingSample.from_pairs(
+                sample_training_pairs(block, fraction=0.1, seed=seed))
+            layers = resolver.build_layers(graphs, training)
+            combination = EntropyWeightedCombiner(graphs).combine(
+                layers, training)
+            predicted = Clustering(
+                transitive_closure_clusters(combination.graph))
+            truth = clustering_from_assignments(block.ground_truth())
+            reports.append(evaluate_clustering(predicted, truth))
+        per_run.append(mean_report(reports))
+    return mean_report(per_run)
+
+
+def _run_swoosh(context, seeds):
+    per_run = []
+    for seed in seeds:
+        reports = []
+        for block in context.collection:
+            baseline = SwooshBaseline(
+                context.features_by_name[block.query_name])
+            training = TrainingSample.from_pairs(
+                sample_training_pairs(block, fraction=0.1, seed=seed))
+            predicted = baseline.resolve_block(
+                block, context.graphs_by_name[block.query_name], training)
+            truth = clustering_from_assignments(block.ground_truth())
+            reports.append(evaluate_clustering(predicted, truth))
+        per_run.append(mean_report(reports))
+    return mean_report(per_run)
+
+
+def test_ablation_extensions(benchmark, www_context, bench_seeds):
+    def run_all():
+        results = {}
+        results["C10 / transitive (paper)"] = run_config(
+            www_context, table2_config("C10"), bench_seeds).mean()
+        results["C10 / star"] = run_config(
+            www_context, ResolverConfig(clusterer="star"),
+            bench_seeds).mean()
+        results["W (accuracy weights)"] = run_config(
+            www_context, table2_config("W"), bench_seeds).mean()
+        results["W (entropy weights)"] = _run_entropy_combiner(
+            www_context, bench_seeds)
+        results["R-Swoosh (F8)"] = _run_swoosh(www_context, bench_seeds)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    rows = [[label, report.fp, report.f1, report.rand]
+            for label, report in results.items()]
+    print(format_table(["strategy", "Fp", "F", "Rand"], rows,
+                       title="Ablation — extensions (WWW'05-like)"))
+
+    # Every extension lands in the working band.
+    for label, report in results.items():
+        assert report.fp > 0.55, (label, report.fp)
+    # Star clustering stays competitive with closure.
+    gap = (results["C10 / transitive (paper)"].fp
+           - results["C10 / star"].fp)
+    assert gap < 0.12, results
+    # The entropy combiner is a W variant and must stay near W.
+    entropy_gap = abs(results["W (accuracy weights)"].fp
+                      - results["W (entropy weights)"].fp)
+    assert entropy_gap < 0.12, results

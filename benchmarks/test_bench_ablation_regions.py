@@ -1,0 +1,78 @@
+"""ABL-REG — ablation: decision-criteria families (§IV-A design choice).
+
+Runs the full ten-function best-graph resolver with each criteria family
+alone and with the full battery, isolating where the paper's gain comes
+from.  Expected: the mixed battery is at least as good as any single
+family, and region-based criteria contribute over thresholds alone.
+"""
+
+from repro.core.config import ResolverConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_config
+
+VARIANTS = {
+    "threshold-only": ("threshold",),
+    "equal-width-only": ("equal_width",),
+    "kmeans-only": ("kmeans",),
+    "full-battery": ("threshold", "equal_width", "kmeans"),
+}
+
+
+def test_ablation_region_criteria(benchmark, www_context, bench_seeds):
+    def run_all():
+        results = {}
+        for label, criteria in VARIANTS.items():
+            config = ResolverConfig(criteria=criteria)
+            results[label] = run_config(www_context, config, bench_seeds,
+                                        label=label).mean()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    rows = [[label, report.fp, report.f1, report.rand]
+            for label, report in results.items()]
+    print(format_table(["criteria", "Fp", "F", "Rand"], rows,
+                       title="Ablation — decision criteria families (WWW'05-like, C10 setting)"))
+
+    full = results["full-battery"].fp
+    # The full battery must not lose to any single family by more than
+    # selection noise...
+    for label, report in results.items():
+        assert full >= report.fp - 0.02, (label, report.fp, full)
+    # ...and at least one region family must add something over thresholds
+    # (the paper's central claim).
+    best_region = max(results["equal-width-only"].fp,
+                      results["kmeans-only"].fp,
+                      full)
+    assert best_region > results["threshold-only"].fp - 0.005
+
+
+def test_ablation_region_granularity(benchmark, www_context, bench_seeds):
+    """Sweep the region count k (the paper's Fig. 1 uses ~10).
+
+    Too few regions cannot express non-monotone accuracy structure; too
+    many over-fit the small training sample.  The paper's k=10 should sit
+    in the flat middle of the curve.
+    """
+    from repro.core.config import ResolverConfig
+
+    def run_all():
+        results = {}
+        for k in (2, 5, 10, 20, 40):
+            config = ResolverConfig(region_k=k)
+            results[k] = run_config(www_context, config, bench_seeds,
+                                    label=f"k={k}").mean()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    rows = [[f"k={k}", report.fp, report.f1, report.rand]
+            for k, report in results.items()]
+    print(format_table(["regions", "Fp", "F", "Rand"], rows,
+                       title="Ablation — region count k (WWW'05-like)"))
+
+    scores = {k: report.fp for k, report in results.items()}
+    # k=10 performs within noise of the best k in the sweep.
+    assert scores[10] >= max(scores.values()) - 0.03, scores

@@ -1,0 +1,59 @@
+"""ABL-TRN — ablation: training-set size (§V-A2 protocol choice).
+
+The paper fixes the training fraction at 10 %; this sweep shows how the
+technique degrades with less supervision and saturates with more.
+Expected: performance is monotone-ish in the fraction with diminishing
+returns, and 10 % sits near the saturated regime (the paper's implicit
+claim that a *small* training set suffices).
+"""
+
+from repro.core.config import ResolverConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_config
+
+FRACTIONS = (0.02, 0.05, 0.1, 0.2, 0.3)
+
+
+def test_ablation_training_fraction(benchmark, www_context, bench_seeds):
+    def run_all():
+        results = {}
+        for fraction in FRACTIONS:
+            config = ResolverConfig(training_fraction=fraction)
+            results[fraction] = run_config(
+                www_context, config, bench_seeds,
+                label=f"frac={fraction}").mean()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    rows = [[f"{fraction:.0%}", report.fp, report.f1, report.rand]
+            for fraction, report in results.items()]
+    print(format_table(["training fraction", "Fp", "F", "Rand"], rows,
+                       title="Ablation — training fraction (WWW'05-like, C10 setting)"))
+
+    # More supervision never hurts much end-to-end...
+    assert results[0.3].fp >= results[0.02].fp - 0.02
+    # ...and the paper's 10 % already recovers most of the 30 % quality.
+    assert results[0.1].fp >= results[0.3].fp - 0.05
+
+
+def test_ablation_sampling_mode(benchmark, www_context, bench_seeds):
+    """Pair-sampling vs the stricter document-sampling reading of §V-A2."""
+    def run_all():
+        results = {}
+        for mode in ("pairs", "documents"):
+            config = ResolverConfig(sampling_mode=mode)
+            results[mode] = run_config(www_context, config, bench_seeds,
+                                       label=mode).mean()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    rows = [[mode, report.fp, report.f1, report.rand]
+            for mode, report in results.items()]
+    print(format_table(["sampling mode", "Fp", "F", "Rand"], rows,
+                       title="Ablation — training sampling mode"))
+    # Document sampling yields far fewer labeled pairs; it may lose some
+    # quality but must stay in a working band.
+    assert results["documents"].fp > 0.5

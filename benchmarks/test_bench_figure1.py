@@ -1,0 +1,48 @@
+"""FIG1 — Figure 1: per-region accuracy of a similarity function.
+
+The paper plots the k-means region accuracies of F3 for the "Cohen" block
+of WWW'05.  The reproduced series must show the paper's S1 claim: the
+accuracy of link existence varies strongly across the value space, which
+is exactly why region-based decisions beat a single threshold.
+"""
+
+from repro.experiments.figures import figure1_series
+from repro.experiments.reporting import format_region_series
+
+
+def test_figure1_region_accuracy(benchmark, www_context):
+    points = benchmark.pedantic(
+        lambda: figure1_series(www_context, function_name="F3",
+                               method="kmeans", k=10, seed=0),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_region_series(
+        points,
+        title="Figure 1 — accuracy of link existence per k-means region "
+              "(F3, Cohen, WWW'05-like)"))
+
+    # Regions tile [0, 1].
+    assert points[0].low == 0.0
+    assert points[-1].high == 1.0
+    # S1: accuracy varies substantially across regions.
+    accuracies = [point.accuracy for point in points]
+    assert max(accuracies) - min(accuracies) > 0.15
+    # All accuracies are probabilities.
+    assert all(0.0 <= accuracy <= 1.0 for accuracy in accuracies)
+
+
+def test_figure1_equal_width_variant(benchmark, www_context):
+    """The §IV-A option 1 variant (equal-width regions) for comparison."""
+    points = benchmark.pedantic(
+        lambda: figure1_series(www_context, function_name="F3",
+                               method="equal_width", k=10, seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(format_region_series(
+        points,
+        title="Figure 1 variant — equal-width regions (F3, Cohen)"))
+    assert len(points) == 10
+    # Equal-width regions are often empty where similarity values never
+    # fall — the paper's argument for k-means regions.
+    assert any(point.n_training_pairs == 0 for point in points)

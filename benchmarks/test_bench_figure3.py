@@ -1,0 +1,34 @@
+"""FIG3 — Figure 3: WePS per-function metrics and the combined result.
+
+Same layout as Figure 2 on the harder WePS-like dataset.  Shape claims:
+S2 (combined beats singles) and S6 (WePS scores lower than WWW'05 —
+asserted cross-figure in the Table II bench, sanity-banded here).
+"""
+
+from repro.experiments.figures import figure3_series
+from repro.experiments.reporting import format_bar_chart
+from repro.metrics.report import PAPER_METRICS
+
+
+def test_figure3_weps(benchmark, weps_context, bench_seeds):
+    series = benchmark.pedantic(
+        lambda: figure3_series(weps_context, bench_seeds),
+        rounds=1, iterations=1)
+
+    print()
+    for metric in PAPER_METRICS:
+        chart = {label: report.get(metric) for label, report in series.items()}
+        print(format_bar_chart(
+            chart, title=f"Figure 3 — WePS-like, {metric}"))
+        print()
+
+    combined = series["combined"]
+    singles = {label: report for label, report in series.items()
+               if label != "combined"}
+
+    # S2 on WePS as well.
+    best_single_fp = max(report.fp for report in singles.values())
+    assert combined.fp >= best_single_fp - 0.01
+
+    # Plausible absolute band (paper: 0.788).
+    assert 0.6 <= combined.fp <= 1.0

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Build a custom synthetic corpus and study feature informativeness.
+
+Shows the generator's knobs: fixed per-name traits let you construct
+controlled conditions (e.g. "URLs are perfectly informative" vs "half the
+pages lack organizations") and watch how individual similarity functions
+respond — the heterogeneity at the heart of the paper's argument.
+
+Run:
+    python examples/custom_corpus.py
+"""
+
+from repro.core.config import ResolverConfig
+from repro.corpus.datasets import custom_dataset
+from repro.corpus.generator import GeneratorConfig, NameTraits
+from repro.experiments.runner import ExperimentContext, run_config
+from repro.similarity.functions import ALL_FUNCTION_NAMES
+
+SCENARIOS = {
+    "reliable-domains": NameTraits(
+        p_home_domain=0.95, p_missing_orgs=0.5, p_missing_concepts=0.4,
+        name_confusion=0.15, boilerplate_rate=0.05),
+    "missing-entities": NameTraits(
+        p_home_domain=0.3, p_missing_orgs=0.9, p_missing_concepts=0.8,
+        name_confusion=0.15, boilerplate_rate=0.1),
+    "boilerplate-heavy": NameTraits(
+        p_home_domain=0.5, p_missing_orgs=0.3, p_missing_concepts=0.2,
+        name_confusion=0.15, boilerplate_rate=0.45, noise_word_rate=0.3),
+}
+
+PROBE_FUNCTIONS = ("F2", "F5", "F8")
+
+
+def main() -> None:
+    print("Scenario sweep: one fixed trait profile per corpus; per-function")
+    print("Fp of three probe functions (F2=URL, F5=orgs, F8=TF-IDF):\n")
+
+    header = f"{'scenario':<20}" + "".join(f"{fn:>9}" for fn in PROBE_FUNCTIONS)
+    print(header)
+    print("-" * len(header))
+
+    for label, traits in SCENARIOS.items():
+        config = GeneratorConfig(pages_per_name=40, fixed_traits=traits)
+        dataset = custom_dataset(
+            ["Alex Murphy", "Ellen Ripley"], seed=7, config=config,
+            cluster_counts={"Alex Murphy": 6, "Ellen Ripley": 12},
+            dataset_name=label)
+        context = ExperimentContext.prepare(dataset)
+        seeds = context.seeds(n_runs=2)
+
+        row = f"{label:<20}"
+        for function_name in PROBE_FUNCTIONS:
+            resolver_config = ResolverConfig(
+                function_names=(function_name,), criteria=("threshold",))
+            score = run_config(context, resolver_config, seeds).mean().fp
+            row += f"{score:>9.4f}"
+        print(row)
+
+    print("\nEach scenario rewards a different function — this is why the")
+    print("paper estimates per-region accuracy and combines functions")
+    print("instead of betting on one.")
+
+    print("\nFull battery (C10 setting) on the hardest scenario:")
+    config = GeneratorConfig(pages_per_name=40,
+                             fixed_traits=SCENARIOS["missing-entities"])
+    dataset = custom_dataset(
+        ["Alex Murphy", "Ellen Ripley"], seed=7, config=config,
+        cluster_counts={"Alex Murphy": 6, "Ellen Ripley": 12})
+    context = ExperimentContext.prepare(dataset)
+    combined = run_config(context, ResolverConfig(),
+                          context.seeds(n_runs=2)).mean()
+    print(f"  combined Fp = {combined.fp:.4f} "
+          f"(vs probe functions above)")
+    print("\nAll ten available functions: " + ", ".join(ALL_FUNCTION_NAMES))
+
+
+if __name__ == "__main__":
+    main()

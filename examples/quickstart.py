@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: resolve an ambiguous person name end to end.
+
+Builds a small WWW'05-like dataset, runs the paper's Algorithm 1 with the
+default configuration (all ten similarity functions, the full decision-
+criteria battery, best-graph combination, transitive-closure clustering),
+and prints per-name quality plus which decision layer won each block.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import EntityResolver, ResolverConfig, www05_like
+from repro.corpus.datasets import surname
+
+
+def main() -> None:
+    print("Generating a WWW'05-like dataset (12 ambiguous names)...")
+    dataset = www05_like(seed=1, pages_per_name=50)
+    summary = dataset.summary()
+    print(f"  {summary['names']} names, {summary['pages']} pages, "
+          f"{summary['min_clusters']}-{summary['max_clusters']} "
+          "true persons per name\n")
+
+    resolver = EntityResolver(ResolverConfig())
+    result = resolver.resolve_collection(dataset, training_seed=0)
+
+    print(f"{'name':<12} {'Fp':>7} {'F':>7} {'Rand':>7} "
+          f"{'true':>5} {'found':>6}  winning layer")
+    print("-" * 62)
+    for block in result.blocks:
+        report = block.report
+        print(f"{surname(block.query_name):<12} "
+              f"{report.fp:>7.4f} {report.f1:>7.4f} {report.rand:>7.4f} "
+              f"{len(block.truth):>5} {len(block.predicted):>6}  "
+              f"{block.chosen_layer}")
+
+    mean = result.mean_report()
+    print("-" * 62)
+    print(f"{'MEAN':<12} {mean.fp:>7.4f} {mean.f1:>7.4f} {mean.rand:>7.4f}")
+    print("\nNote how the winning (function, criterion) layer differs per "
+          "name — the paper's key observation that no single similarity "
+          "function dominates.")
+
+
+if __name__ == "__main__":
+    main()

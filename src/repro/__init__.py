@@ -1,0 +1,28 @@
+"""repro — reproduction of "Towards better entity resolution techniques
+for Web document collections" (Yerva, Miklós, Aberer; ICDE 2010).
+
+Quickstart::
+
+    from repro import EntityResolver, ResolverConfig, www05_like
+
+    dataset = www05_like(seed=1, pages_per_name=60)
+    resolver = EntityResolver(ResolverConfig())
+    result = resolver.resolve_collection(dataset, training_seed=0)
+    print(result.mean_report().fp)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module mapping.
+"""
+
+from repro.corpus import weps2_like, www05_like
+from repro.core import EntityResolver, ResolverConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EntityResolver",
+    "ResolverConfig",
+    "www05_like",
+    "weps2_like",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Baseline entity-resolution strategies.
+
+The paper positions its combiner against the classifier-combination
+literature: classifier *fusion* (majority / weighted voting) and dynamic
+classifier *selection* (Woods et al.; Liu & Yuan's clustering-and-
+selection).  This package implements those families plus a classic
+average-link agglomerative clusterer and best-single-function references,
+so the benchmark harness can compare the paper's technique against real
+alternatives rather than straw men.
+"""
+
+from repro.baselines.base import PairwiseBaseline, baseline_layers
+from repro.baselines.single_best import (
+    OracleBestFunctionBaseline,
+    TrainedBestFunctionBaseline,
+)
+from repro.baselines.voting import MajorityVoteBaseline, WeightedVoteBaseline
+from repro.baselines.dcs import DynamicSelectionBaseline
+from repro.baselines.clustering_selection import ClusteringSelectionBaseline
+from repro.baselines.agglomerative import AgglomerativeBaseline
+from repro.baselines.swoosh import SwooshBaseline, merge_features, r_swoosh
+
+__all__ = [
+    "PairwiseBaseline",
+    "baseline_layers",
+    "OracleBestFunctionBaseline",
+    "TrainedBestFunctionBaseline",
+    "MajorityVoteBaseline",
+    "WeightedVoteBaseline",
+    "DynamicSelectionBaseline",
+    "ClusteringSelectionBaseline",
+    "AgglomerativeBaseline",
+    "SwooshBaseline",
+    "merge_features",
+    "r_swoosh",
+]

@@ -1,0 +1,84 @@
+"""Average-link agglomerative clustering baseline.
+
+The standard clustering-first alternative to the paper's graph pipeline:
+merge the two most similar clusters (average pairwise similarity under one
+chosen function, by default TF-IDF cosine) until no pair of clusters
+exceeds a stopping threshold learned from the training sample.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.baselines.base import PairwiseBaseline
+from repro.core.labels import TrainingSample
+from repro.core.thresholds import learn_threshold
+from repro.corpus.documents import NameCollection
+from repro.graph.entity_graph import WeightedPairGraph, pair_key
+from repro.metrics.clusterings import Clustering
+
+
+class AgglomerativeBaseline(PairwiseBaseline):
+    """Average-link hierarchical clustering with a learned stop threshold.
+
+    Args:
+        function_name: the similarity function driving the linkage.
+    """
+
+    name = "agglomerative"
+
+    def __init__(self, function_name: str = "F8"):
+        self.function_name = function_name
+
+    def resolve_block(self, block: NameCollection,
+                      graphs: dict[str, WeightedPairGraph],
+                      training: TrainingSample) -> Clustering:
+        graph = graphs[self.function_name]
+        threshold = learn_threshold(training.labeled_values(graph)).threshold
+
+        clusters: dict[int, set[str]] = {
+            index: {node} for index, node in enumerate(graph.nodes)}
+        alive = set(clusters)
+        counter = itertools.count(len(clusters))
+
+        def linkage(left: int, right: int) -> float:
+            total = 0.0
+            count = 0
+            for node_left in clusters[left]:
+                for node_right in clusters[right]:
+                    total += graph.weights.get(
+                        pair_key(node_left, node_right), 0.0)
+                    count += 1
+            return total / count if count else 0.0
+
+        # Priority queue of candidate merges (max-heap via negation).
+        heap: list[tuple[float, int, int]] = []
+        alive_list = sorted(alive)
+        for i, left in enumerate(alive_list):
+            for right in alive_list[i + 1:]:
+                score = linkage(left, right)
+                if score >= threshold:
+                    heapq.heappush(heap, (-score, left, right))
+
+        while heap:
+            negative_score, left, right = heapq.heappop(heap)
+            if left not in alive or right not in alive:
+                continue  # stale entry
+            if -negative_score < threshold:
+                break
+            merged = clusters[left] | clusters[right]
+            alive.discard(left)
+            alive.discard(right)
+            new_id = next(counter)
+            clusters[new_id] = merged
+            alive.add(new_id)
+            for other in alive:
+                if other == new_id:
+                    continue
+                score = linkage(new_id, other)
+                if score >= threshold:
+                    heapq.heappush(
+                        heap, (-score, min(new_id, other), max(new_id, other)))
+
+        return Clustering([clusters[index] for index in alive])

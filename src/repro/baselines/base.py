@@ -1,0 +1,46 @@
+"""Baseline interface and shared helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.core.combination import DecisionLayer
+from repro.core.config import ResolverConfig
+from repro.core.labels import TrainingSample
+from repro.core.resolver import EntityResolver
+from repro.corpus.documents import NameCollection
+from repro.graph.entity_graph import WeightedPairGraph
+from repro.metrics.clusterings import Clustering
+
+
+class PairwiseBaseline(ABC):
+    """A baseline that resolves one block from its similarity graphs.
+
+    All baselines consume the same inputs as the paper's resolver (the
+    per-function weighted graphs and the labeled training sample), so
+    comparisons isolate the *combination/clustering strategy* — everything
+    upstream is held fixed.
+    """
+
+    name: str
+
+    @abstractmethod
+    def resolve_block(self, block: NameCollection,
+                      graphs: dict[str, WeightedPairGraph],
+                      training: TrainingSample) -> Clustering:
+        """Produce the entity partition for one block."""
+
+
+def baseline_layers(
+    graphs: dict[str, WeightedPairGraph],
+    training: TrainingSample,
+    function_names: Sequence[str],
+    criteria: Sequence[str] = ("threshold",),
+    region_k: int = 10,
+) -> list[DecisionLayer]:
+    """Fit decision layers outside the resolver (shared by baselines)."""
+    config = ResolverConfig(function_names=tuple(function_names),
+                            criteria=tuple(criteria), region_k=region_k)
+    resolver = EntityResolver(config)
+    return resolver.build_layers(graphs, training)

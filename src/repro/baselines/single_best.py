@@ -1,0 +1,72 @@
+"""Best-single-function references.
+
+``TrainedBestFunctionBaseline`` picks the function whose threshold graph
+looks best on the training sample (what a practitioner without the paper's
+region machinery would deploy).  ``OracleBestFunctionBaseline`` picks the
+function that *actually* scores best against ground truth — an upper bound
+no real system can reach, useful to bound the selection headroom.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.base import PairwiseBaseline, baseline_layers
+from repro.core.labels import TrainingSample
+from repro.corpus.documents import NameCollection
+from repro.graph.entity_graph import WeightedPairGraph
+from repro.graph.transitive import transitive_closure_clusters
+from repro.metrics.clusterings import Clustering, clustering_from_assignments
+from repro.metrics.purity import fp_measure
+from repro.similarity.functions import ALL_FUNCTION_NAMES
+
+
+class TrainedBestFunctionBaseline(PairwiseBaseline):
+    """Single function + threshold, selected by training graph accuracy.
+
+    Equivalent to the paper's I10 column: best-graph selection restricted
+    to threshold criteria.
+    """
+
+    name = "trained_best_function"
+
+    def __init__(self, function_names: Sequence[str] = ALL_FUNCTION_NAMES):
+        self.function_names = tuple(function_names)
+
+    def resolve_block(self, block: NameCollection,
+                      graphs: dict[str, WeightedPairGraph],
+                      training: TrainingSample) -> Clustering:
+        layers = baseline_layers(graphs, training, self.function_names,
+                                 criteria=("threshold",))
+        best = max(layers, key=lambda layer: layer.graph_accuracy)
+        return Clustering(transitive_closure_clusters(best.graph))
+
+
+class OracleBestFunctionBaseline(PairwiseBaseline):
+    """Single function + threshold, selected by *test* Fp (oracle).
+
+    Uses ground truth for selection; only meaningful as an upper bound in
+    ablation benchmarks.
+    """
+
+    name = "oracle_best_function"
+
+    def __init__(self, function_names: Sequence[str] = ALL_FUNCTION_NAMES):
+        self.function_names = tuple(function_names)
+
+    def resolve_block(self, block: NameCollection,
+                      graphs: dict[str, WeightedPairGraph],
+                      training: TrainingSample) -> Clustering:
+        truth = clustering_from_assignments(block.ground_truth())
+        layers = baseline_layers(graphs, training, self.function_names,
+                                 criteria=("threshold",))
+        best_clustering: Clustering | None = None
+        best_score = -1.0
+        for layer in layers:
+            clustering = Clustering(transitive_closure_clusters(layer.graph))
+            score = fp_measure(clustering, truth)
+            if score > best_score:
+                best_score = score
+                best_clustering = clustering
+        assert best_clustering is not None  # layers is never empty
+        return best_clustering

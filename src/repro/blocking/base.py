@@ -1,0 +1,83 @@
+"""Blocking abstractions.
+
+A blocker maps a page collection to the set of candidate pairs that the
+(quadratic) similarity layer is allowed to compare.  ``BlockingResult``
+also reports the standard blocking quality numbers — pair completeness
+(recall of true pairs) and reduction ratio — given ground truth.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.corpus.documents import WebPage
+from repro.graph.entity_graph import PairKey, pair_key
+
+
+@dataclass
+class BlockingResult:
+    """Candidate pairs produced by a blocker over a page universe."""
+
+    pages: list[WebPage]
+    candidate_pairs: set[PairKey] = field(default_factory=set)
+
+    def n_candidates(self) -> int:
+        return len(self.candidate_pairs)
+
+    def total_pairs(self) -> int:
+        """Unordered pair count of the full (blocking-free) universe."""
+        n_pages = len(self.pages)
+        return n_pages * (n_pages - 1) // 2
+
+    def reduction_ratio(self) -> float:
+        """1 − candidates / all-pairs; higher means cheaper matching."""
+        total = self.total_pairs()
+        if total == 0:
+            return 0.0
+        return 1.0 - self.n_candidates() / total
+
+    def pair_completeness(self) -> float:
+        """Fraction of ground-truth co-referent pairs kept by the blocker.
+
+        Raises:
+            ValueError: if any page lacks a ground-truth label.
+        """
+        true_pairs = self._true_pairs()
+        if not true_pairs:
+            return 1.0
+        kept = sum(1 for pair in true_pairs if pair in self.candidate_pairs)
+        return kept / len(true_pairs)
+
+    def _true_pairs(self) -> set[PairKey]:
+        labels: dict[str, str] = {}
+        for page in self.pages:
+            if page.person_id is None:
+                raise ValueError(f"page {page.doc_id!r} is unlabeled")
+            labels[page.doc_id] = page.person_id
+        ids = sorted(labels)
+        pairs: set[PairKey] = set()
+        for i, left in enumerate(ids):
+            for right in ids[i + 1:]:
+                if labels[left] == labels[right]:
+                    pairs.add(pair_key(left, right))
+        return pairs
+
+
+class Blocker(ABC):
+    """Interface for candidate-pair generation."""
+
+    @abstractmethod
+    def block(self, pages: Iterable[WebPage]) -> BlockingResult:
+        """Produce the candidate pairs for ``pages``."""
+
+
+def pairs_within(ids: list[str]) -> set[PairKey]:
+    """All unordered pairs among ``ids`` (helper for block-based schemes)."""
+    ordered = sorted(ids)
+    pairs: set[PairKey] = set()
+    for i, left in enumerate(ordered):
+        for right in ordered[i + 1:]:
+            pairs.add(pair_key(left, right))
+    return pairs

@@ -1,0 +1,28 @@
+"""The paper's blocking scheme: group pages by query name.
+
+Two pages are candidates iff they were retrieved for the same ambiguous
+person name.  For name-organized collections this blocker is lossless
+(pair completeness 1.0 by construction): pages about one real person are
+always retrieved under that person's name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.blocking.base import Blocker, BlockingResult, pairs_within
+from repro.corpus.documents import WebPage
+
+
+class QueryNameBlocker(Blocker):
+    """Candidate pairs = all pairs sharing a query name."""
+
+    def block(self, pages: Iterable[WebPage]) -> BlockingResult:
+        page_list = list(pages)
+        by_name: dict[str, list[str]] = {}
+        for page in page_list:
+            by_name.setdefault(page.query_name, []).append(page.doc_id)
+        result = BlockingResult(pages=page_list)
+        for ids in by_name.values():
+            result.candidate_pairs.update(pairs_within(ids))
+        return result

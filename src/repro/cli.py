@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli generate --dataset www05 --out data.json
+    python -m repro.cli resolve  --dataset www05 [--in data.json]
+    python -m repro.cli figure1  [--function F3] [--name Cohen]
+    python -m repro.cli figure2 | figure3
+    python -m repro.cli table2 | table3
+    python -m repro.cli analyze  --dataset www05
+
+Common options: ``--pages`` (pages per name), ``--runs`` (protocol runs),
+``--seed`` (corpus seed).  All output is plain text on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import ResolverConfig, table2_config
+from repro.core.resolver import EntityResolver
+from repro.corpus.datasets import surname, weps2_like, www05_like
+from repro.corpus.loaders import load_collection, save_collection
+from repro.experiments.analysis import profile_collection
+from repro.experiments.figures import (
+    figure1_series,
+    per_function_series,
+)
+from repro.experiments.reporting import (
+    format_bar_chart,
+    format_region_series,
+    format_table,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import TABLE2_COLUMNS, table2, table3
+from repro.metrics.report import PAPER_METRICS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Entity resolution for web document collections "
+                    "(ICDE 2010 reproduction)")
+    parser.add_argument("--pages", type=int, default=60,
+                        help="pages per ambiguous name (default 60)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="protocol runs to average (default 3; paper: 5)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="corpus seed (default 1)")
+
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a dataset")
+    generate.add_argument("--dataset", choices=("www05", "weps2"),
+                          default="www05")
+    generate.add_argument("--out", required=True, help="output JSON path")
+
+    resolve = commands.add_parser("resolve", help="run Algorithm 1")
+    resolve.add_argument("--dataset", choices=("www05", "weps2"),
+                         default="www05")
+    resolve.add_argument("--in", dest="input_path", default=None,
+                         help="resolve a previously generated JSON dataset")
+    resolve.add_argument("--column", default="C10",
+                         help="Table II column preset (default C10)")
+
+    figure1 = commands.add_parser("figure1",
+                                  help="per-region accuracy (paper Fig. 1)")
+    figure1.add_argument("--function", default="F3")
+    figure1.add_argument("--name", default=None,
+                         help="query name (default: the Cohen block)")
+    figure1.add_argument("--method", choices=("kmeans", "equal_width"),
+                         default="kmeans")
+
+    commands.add_parser("figure2", help="WWW'05 function comparison (Fig. 2)")
+    commands.add_parser("figure3", help="WePS function comparison (Fig. 3)")
+    commands.add_parser("table2", help="Table II on both datasets")
+    commands.add_parser("table3", help="Table III per-name Fp")
+
+    analyze = commands.add_parser("analyze", help="dataset difficulty profile")
+    analyze.add_argument("--dataset", choices=("www05", "weps2"),
+                         default="www05")
+    return parser
+
+
+def _dataset(args: argparse.Namespace, which: str | None = None):
+    which = which or getattr(args, "dataset", "www05")
+    if which == "weps2":
+        return weps2_like(seed=args.seed + 1,
+                          pages_per_name=int(args.pages * 1.5))
+    return www05_like(seed=args.seed, pages_per_name=args.pages)
+
+
+def _context(args: argparse.Namespace, which: str | None = None,
+             input_path: str | None = None) -> ExperimentContext:
+    if input_path:
+        collection = load_collection(input_path)
+    else:
+        collection = _dataset(args, which)
+    return ExperimentContext.prepare(collection)
+
+
+def _seeds(args: argparse.Namespace, context: ExperimentContext) -> list[int]:
+    return context.seeds(n_runs=args.runs, base_seed=0)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    collection = _dataset(args)
+    save_collection(collection, args.out)
+    summary = collection.summary()
+    print(f"wrote {summary['pages']} pages / {summary['names']} names "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_resolve(args: argparse.Namespace) -> int:
+    context = _context(args, input_path=args.input_path)
+    resolver = EntityResolver(table2_config(args.column)
+                              if args.column != "default"
+                              else ResolverConfig())
+    rows = []
+    seeds = _seeds(args, context)
+    for block in context.collection:
+        reports = []
+        chosen = None
+        for seed in seeds:
+            resolution = resolver.resolve_block(
+                block, training_seed=seed,
+                graphs=context.graphs_by_name[block.query_name])
+            reports.append(resolution.report)
+            chosen = resolution.chosen_layer
+        from repro.metrics.report import mean_report
+        mean = mean_report(reports)
+        rows.append([surname(block.query_name), mean.fp, mean.f1, mean.rand,
+                     chosen or "-"])
+    print(format_table(["name", "Fp", "F", "Rand", "layer (last run)"], rows,
+                       title=f"Resolution ({args.column}, {args.runs} runs)"))
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    context = _context(args, which="www05")
+    query_name = None
+    if args.name:
+        matches = [name for name in context.collection.query_names()
+                   if name.endswith(args.name)]
+        if not matches:
+            print(f"no block matching {args.name!r}", file=sys.stderr)
+            return 2
+        query_name = matches[0]
+    points = figure1_series(context, function_name=args.function,
+                            query_name=query_name, method=args.method)
+    print(format_region_series(
+        points, title=f"Figure 1 — {args.function}, {args.method} regions"))
+    return 0
+
+
+def _figure_comparison(args: argparse.Namespace, which: str,
+                       title: str) -> int:
+    context = _context(args, which=which)
+    series = per_function_series(context, _seeds(args, context))
+    for metric in PAPER_METRICS:
+        chart = {label: report.get(metric)
+                 for label, report in series.items()}
+        print(format_bar_chart(chart, title=f"{title} — {metric}"))
+        print()
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    return _figure_comparison(args, "www05", "Figure 2 (WWW'05-like)")
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    return _figure_comparison(args, "weps2", "Figure 3 (WePS-like)")
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    contexts = {
+        "WWW'05": _context(args, which="www05"),
+        "WePS": _context(args, which="weps2"),
+    }
+    seeds = _seeds(args, contexts["WWW'05"])
+    table = table2(contexts, seeds)
+    rows = []
+    for dataset in table.datasets():
+        for metric in ("fp", "f1", "rand"):
+            rows.append([dataset, metric] + [
+                table.get(dataset, metric, column)
+                for column in TABLE2_COLUMNS])
+    print(format_table(["dataset", "metric"] + list(TABLE2_COLUMNS), rows,
+                       title="Table II — comparison of results"))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    context = _context(args, which="www05")
+    table = table3(context, _seeds(args, context))
+    rows = [[name] + [table.get(name, column) for column in table.columns]
+            for name in table.names()]
+    print(format_table(["name"] + list(table.columns), rows,
+                       title="Table III — Fp per name"))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    context = _context(args)
+    rows = []
+    for profile in profile_collection(context):
+        rows.append([
+            profile.label, profile.n_pages, profile.n_persons,
+            profile.dominance, profile.singleton_fraction,
+            profile.feature_availability["organizations"],
+            profile.function_entropy["F8"],
+        ])
+    print(format_table(
+        ["name", "pages", "persons", "dominance", "singletons",
+         "org-avail", "F8-entropy"],
+        rows, title="Dataset profile"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "resolve": cmd_resolve,
+    "figure1": cmd_figure1,
+    "figure2": cmd_figure2,
+    "figure3": cmd_figure3,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "analyze": cmd_analyze,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The paper's entity-resolution framework (§IV).
+
+Pipeline: per-function weighted pair graphs → decision criteria learned on
+a small training sample (plain thresholds, equal-width regions, k-means
+regions with per-region accuracy estimation) → decision graphs with
+accuracy estimates → combination (best-graph selection or accuracy-weighted
+averaging) → clustering (transitive closure or correlation clustering).
+
+``EntityResolver`` (Algorithm 1) ties it all together.
+"""
+
+from repro.core.labels import TrainingSample
+from repro.core.thresholds import LearnedThreshold, learn_threshold
+from repro.core.regions import (
+    EqualWidthRegions,
+    KMeansRegions,
+    Regions,
+    ThresholdRegions,
+    fit_regions,
+)
+from repro.core.accuracy import RegionAccuracyProfile, overall_accuracy
+from repro.core.decisions import (
+    DecisionCriterion,
+    FittedDecision,
+    RegionAccuracyDecision,
+    ThresholdDecision,
+    build_criteria,
+)
+from repro.core.combination import (
+    BestGraphSelector,
+    CombinationResult,
+    Combiner,
+    DecisionLayer,
+    MajorityVoteCombiner,
+    WeightedAverageCombiner,
+    build_combiner,
+)
+from repro.core.config import ResolverConfig
+from repro.core.entropy import (
+    EntropyWeightedCombiner,
+    feature_availability,
+    information_gain,
+    shannon_entropy,
+    value_entropy,
+)
+from repro.core.incremental import Assignment, IncrementalResolver
+from repro.core.resolver import (
+    BlockResolution,
+    CollectionResolution,
+    EntityResolver,
+    compute_similarity_graphs,
+)
+
+__all__ = [
+    "TrainingSample",
+    "LearnedThreshold",
+    "learn_threshold",
+    "Regions",
+    "EqualWidthRegions",
+    "KMeansRegions",
+    "ThresholdRegions",
+    "fit_regions",
+    "RegionAccuracyProfile",
+    "overall_accuracy",
+    "DecisionCriterion",
+    "FittedDecision",
+    "ThresholdDecision",
+    "RegionAccuracyDecision",
+    "build_criteria",
+    "DecisionLayer",
+    "Combiner",
+    "CombinationResult",
+    "BestGraphSelector",
+    "WeightedAverageCombiner",
+    "MajorityVoteCombiner",
+    "build_combiner",
+    "ResolverConfig",
+    "EntropyWeightedCombiner",
+    "shannon_entropy",
+    "feature_availability",
+    "value_entropy",
+    "information_gain",
+    "EntityResolver",
+    "IncrementalResolver",
+    "Assignment",
+    "BlockResolution",
+    "CollectionResolution",
+    "compute_similarity_graphs",
+]

@@ -1,0 +1,111 @@
+"""Per-region accuracy estimation (§IV-A).
+
+For each region the paper estimates, from the training sample, the
+fraction of pairs falling in that region that are true links ("accuracy of
+link existence").  Values above 0.5 mean the region's majority is "link";
+the profile doubles as a per-pair link-probability estimate, which §IV-B
+re-uses as edge weights when combining functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.regions import Regions
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Training statistics of one region."""
+
+    n_pairs: int
+    n_links: int
+    accuracy: float  # estimated P(link | value in region)
+
+
+class RegionAccuracyProfile:
+    """Per-region link-existence accuracy learned from a training sample.
+
+    Args:
+        regions: the fitted value-space partition.
+        labeled_values: training (similarity value, is-link) pairs.
+        smoothing: Laplace pseudo-counts added per class; stabilizes tiny
+            regions (the training set is deliberately small).
+
+    Empty regions fall back to the overall training link prior — the best
+    available estimate when a region was never observed.
+    """
+
+    def __init__(self, regions: Regions,
+                 labeled_values: Sequence[tuple[float, bool]],
+                 smoothing: float = 1.0):
+        self.regions = regions
+        n_regions = regions.n_regions
+        counts = [0] * n_regions
+        links = [0] * n_regions
+        for value, label in labeled_values:
+            region = regions.assign(value)
+            counts[region] += 1
+            if label:
+                links[region] += 1
+
+        total = len(labeled_values)
+        total_links = sum(links)
+        self._prior = (total_links + smoothing) / (total + 2 * smoothing)
+
+        self._stats: list[RegionStats] = []
+        for region in range(n_regions):
+            if counts[region] == 0:
+                accuracy = self._prior
+            else:
+                accuracy = (links[region] + smoothing) / (counts[region] + 2 * smoothing)
+            self._stats.append(RegionStats(
+                n_pairs=counts[region], n_links=links[region], accuracy=accuracy))
+
+    @property
+    def n_regions(self) -> int:
+        return self.regions.n_regions
+
+    @property
+    def prior(self) -> float:
+        """Smoothed overall link fraction of the training sample."""
+        return self._prior
+
+    def region_stats(self, region: int) -> RegionStats:
+        return self._stats[region]
+
+    def region_accuracy(self, region: int) -> float:
+        """Estimated P(link | region)."""
+        return self._stats[region].accuracy
+
+    def link_probability(self, value: float) -> float:
+        """Estimated P(link) for a pair with similarity ``value``."""
+        return self._stats[self.regions.assign(value)].accuracy
+
+    def decide(self, value: float) -> bool:
+        """Majority decision of the value's region (accuracy > 0.5 → link)."""
+        return self.link_probability(value) > 0.5
+
+    def accuracy_series(self) -> list[tuple[float, float, float]]:
+        """(low, high, accuracy) per region — the paper's Figure 1 data."""
+        series = []
+        for region in range(self.n_regions):
+            low, high = self.regions.bounds(region)
+            series.append((low, high, self._stats[region].accuracy))
+        return series
+
+
+def overall_accuracy(decisions: Sequence[bool], labels: Sequence[bool]) -> float:
+    """Fraction of correct decisions — the paper's acc(G_Dj).
+
+    Raises:
+        ValueError: on length mismatch or empty input.
+    """
+    if len(decisions) != len(labels):
+        raise ValueError("decisions and labels differ in length")
+    if not decisions:
+        raise ValueError("cannot score zero decisions")
+    correct = sum(1 for decision, label in zip(decisions, labels)
+                  if decision == label)
+    return correct / len(decisions)

@@ -1,0 +1,216 @@
+"""Combining multiple similarity functions (§IV-B).
+
+Every (similarity function, decision criterion) combination yields a
+:class:`DecisionLayer`: a decision graph G_Dj plus per-pair link
+probabilities and a training-set accuracy estimate acc(G_Dj).  Combiners
+merge layers into one graph:
+
+* :class:`BestGraphSelector` — estimate every layer's overall accuracy and
+  keep the single best graph.  The paper reports this performed best on
+  its datasets (the C columns of Table II), while noting the winner varies.
+* :class:`WeightedAverageCombiner` — the multigraph route: weight each
+  layer's per-pair link probability by the layer's accuracy, average, and
+  learn an optimal threshold on the combined value (the W column).
+* :class:`MajorityVoteCombiner` — classic classifier-fusion baseline the
+  related work discusses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.decisions import FittedDecision
+from repro.core.labels import TrainingSample
+from repro.core.thresholds import learn_threshold
+from repro.graph.entity_graph import DecisionGraph, PairKey, WeightedPairGraph
+
+
+@dataclass
+class DecisionLayer:
+    """One (function, criterion) decision graph with its estimates.
+
+    Attributes:
+        function_name: e.g. ``"F3"``.
+        criterion_name: e.g. ``"kmeans"``.
+        graph: the layer's decision graph G_Dj.
+        probabilities: per-pair link-probability estimates (every scored
+            pair, not only asserted edges — negative evidence matters for
+            averaging).
+        fitted: the fitted decision backing this layer.
+        graph_accuracy: acc(G_Dj) — the fraction of training pairs whose
+            label matches the equivalence the graph *implies* (i.e. after
+            transitive closure, since the final resolution is the closure).
+            This is the selection signal of best-graph combination: it
+            punishes over-linking layers whose chains merge everything,
+            which raw per-pair accuracy cannot see.
+    """
+
+    function_name: str
+    criterion_name: str
+    graph: DecisionGraph
+    probabilities: dict[PairKey, float]
+    fitted: FittedDecision
+    graph_accuracy: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.function_name}/{self.criterion_name}"
+
+    @property
+    def training_accuracy(self) -> float:
+        """Per-pair decision accuracy on the training sample."""
+        return self.fitted.training_accuracy
+
+
+@dataclass
+class CombinationResult:
+    """The combined graph G_combined plus diagnostics.
+
+    Attributes:
+        graph: combined decision graph.
+        probabilities: combined per-pair link probabilities (drives
+            correlation clustering when selected).
+        chosen_layer: the winning layer's label (best-graph selection only).
+        threshold: the learned combination threshold (weighted average only).
+    """
+
+    graph: DecisionGraph
+    probabilities: WeightedPairGraph
+    chosen_layer: str | None = None
+    threshold: float | None = None
+    diagnostics: dict[str, float] = field(default_factory=dict)
+
+
+class Combiner(ABC):
+    """Merges decision layers into one combined graph."""
+
+    name: str
+
+    @abstractmethod
+    def combine(self, layers: Sequence[DecisionLayer],
+                training: TrainingSample) -> CombinationResult:
+        """Combine ``layers`` (all over the same node universe).
+
+        Raises:
+            ValueError: when called with no layers.
+        """
+
+
+def _require_layers(layers: Sequence[DecisionLayer]) -> None:
+    if not layers:
+        raise ValueError("cannot combine zero decision layers")
+
+
+class BestGraphSelector(Combiner):
+    """Keep the layer with the highest estimated graph accuracy acc(G_Dj).
+
+    Ties break toward the earlier layer (stable, deterministic).  This is
+    dynamic classifier *selection* at the graph level; the paper found it
+    the strongest combiner on both datasets.
+    """
+
+    name = "best_graph"
+
+    def combine(self, layers: Sequence[DecisionLayer],
+                training: TrainingSample) -> CombinationResult:
+        _require_layers(layers)
+        best = max(layers, key=lambda layer: layer.graph_accuracy)
+        probabilities = WeightedPairGraph(
+            nodes=list(best.graph.nodes), weights=dict(best.probabilities))
+        return CombinationResult(
+            graph=DecisionGraph(nodes=list(best.graph.nodes),
+                                edges=set(best.graph.edges)),
+            probabilities=probabilities,
+            chosen_layer=best.label,
+            diagnostics={"chosen_accuracy": best.graph_accuracy},
+        )
+
+
+class WeightedAverageCombiner(Combiner):
+    """Accuracy-weighted average of per-layer link probabilities.
+
+    Every pair's combined probability is
+    ``Σ_l acc_l · p_l(pair) / Σ_l acc_l``; the link threshold on the
+    combined value is then learned on the training sample (§IV-B).
+    """
+
+    name = "weighted_average"
+
+    def combine(self, layers: Sequence[DecisionLayer],
+                training: TrainingSample) -> CombinationResult:
+        _require_layers(layers)
+        nodes = list(layers[0].graph.nodes)
+        weights = [max(layer.training_accuracy, 1e-9) for layer in layers]
+        total_weight = sum(weights)
+
+        combined: dict[PairKey, float] = {}
+        all_pairs: set[PairKey] = set()
+        for layer in layers:
+            all_pairs.update(layer.probabilities)
+        for pair in all_pairs:
+            numerator = 0.0
+            for layer, weight in zip(layers, weights):
+                numerator += weight * layer.probabilities.get(pair, 0.0)
+            combined[pair] = numerator / total_weight
+
+        labeled = [(combined.get(pair, 0.0), label) for pair, label in training.pairs]
+        threshold = learn_threshold(labeled)
+
+        graph = DecisionGraph(nodes=nodes)
+        for pair, probability in combined.items():
+            if threshold.decide(probability):
+                graph.edges.add(pair)
+        return CombinationResult(
+            graph=graph,
+            probabilities=WeightedPairGraph(nodes=nodes, weights=combined),
+            threshold=threshold.threshold,
+            diagnostics={"training_accuracy": threshold.training_accuracy},
+        )
+
+
+class MajorityVoteCombiner(Combiner):
+    """Edge iff a strict majority of layers assert it (classifier fusion)."""
+
+    name = "majority"
+
+    def combine(self, layers: Sequence[DecisionLayer],
+                training: TrainingSample) -> CombinationResult:
+        _require_layers(layers)
+        nodes = list(layers[0].graph.nodes)
+        n_layers = len(layers)
+        votes: dict[PairKey, int] = {}
+        all_pairs: set[PairKey] = set()
+        for layer in layers:
+            all_pairs.update(layer.probabilities)
+            for pair in layer.graph.edges:
+                votes[pair] = votes.get(pair, 0) + 1
+
+        graph = DecisionGraph(nodes=nodes)
+        probabilities: dict[PairKey, float] = {}
+        for pair in all_pairs:
+            fraction = votes.get(pair, 0) / n_layers
+            probabilities[pair] = fraction
+            if fraction > 0.5:
+                graph.edges.add(pair)
+        return CombinationResult(
+            graph=graph,
+            probabilities=WeightedPairGraph(nodes=nodes, weights=probabilities),
+        )
+
+
+def build_combiner(name: str) -> Combiner:
+    """Combiner factory for config strings.
+
+    Raises:
+        ValueError: for unknown combiner names.
+    """
+    combiners: dict[str, type[Combiner]] = {
+        BestGraphSelector.name: BestGraphSelector,
+        WeightedAverageCombiner.name: WeightedAverageCombiner,
+        MajorityVoteCombiner.name: MajorityVoteCombiner,
+    }
+    if name not in combiners:
+        raise ValueError(f"unknown combiner: {name!r}")
+    return combiners[name]()

@@ -1,0 +1,90 @@
+"""Resolver configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.similarity.functions import ALL_FUNCTION_NAMES
+
+
+@dataclass(frozen=True)
+class ResolverConfig:
+    """All knobs of the paper's Algorithm 1.
+
+    Attributes:
+        function_names: which similarity functions to run (Table II's I4 /
+            I7 / I10 subsets, default all ten).
+        criteria: decision-criteria families to fit per function; any of
+            ``"threshold"``, ``"equal_width"``, ``"kmeans"``.
+        region_k: bin/cluster count for the region criteria.
+        combiner: ``"best_graph"`` (paper's C columns), ``"weighted_average"``
+            (W column) or ``"majority"``.
+        clusterer: ``"transitive"`` (paper default), ``"correlation"``
+            or ``"star"`` (extension; see :mod:`repro.graph.star`).
+        training_fraction: labeled fraction used for fitting (paper: 0.1).
+        sampling_mode: ``"pairs"`` or ``"documents"``
+            (see :mod:`repro.ml.sampling`).
+        correlation_seed: RNG seed of the correlation clusterer.
+    """
+
+    function_names: tuple[str, ...] = ALL_FUNCTION_NAMES
+    criteria: tuple[str, ...] = ("threshold", "equal_width", "kmeans")
+    region_k: int = 10
+    combiner: str = "best_graph"
+    clusterer: str = "transitive"
+    training_fraction: float = 0.1
+    sampling_mode: str = "pairs"
+    correlation_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.function_names:
+            raise ValueError("at least one similarity function is required")
+        if not self.criteria:
+            raise ValueError("at least one decision criterion is required")
+        if self.clusterer not in ("transitive", "correlation", "star"):
+            raise ValueError(f"unknown clusterer: {self.clusterer!r}")
+        if not 0.0 < self.training_fraction <= 1.0:
+            raise ValueError(
+                f"training_fraction must be in (0, 1], got {self.training_fraction}")
+
+
+#: Table II column presets: function subsets with threshold-only decisions
+#: (I columns) or the full criteria battery under best-graph selection
+#: (C columns), plus the weighted-average combination (W column).
+I4 = ("F4", "F5", "F7", "F9")
+I7 = ("F3", "F4", "F5", "F7", "F8", "F9", "F10")
+I10 = ALL_FUNCTION_NAMES
+
+
+def table2_config(column: str, region_k: int = 10) -> ResolverConfig:
+    """The resolver configuration behind one Table II column.
+
+    Args:
+        column: one of ``"I4" "I7" "I10" "C4" "C7" "C10" "W"``.
+
+    Raises:
+        ValueError: for unknown column names.
+    """
+    subsets = {"4": I4, "7": I7, "10": I10}
+    if column in ("I4", "I7", "I10"):
+        return ResolverConfig(
+            function_names=subsets[column[1:]],
+            criteria=("threshold",),
+            combiner="best_graph",
+            region_k=region_k,
+        )
+    if column in ("C4", "C7", "C10"):
+        return ResolverConfig(
+            function_names=subsets[column[1:]],
+            criteria=("threshold", "equal_width", "kmeans"),
+            combiner="best_graph",
+            region_k=region_k,
+        )
+    if column == "W":
+        return ResolverConfig(
+            function_names=I10,
+            criteria=("threshold", "equal_width", "kmeans"),
+            combiner="weighted_average",
+            region_k=region_k,
+        )
+    raise ValueError(f"unknown Table II column: {column!r}")

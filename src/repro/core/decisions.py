@@ -1,0 +1,137 @@
+"""Decision criteria D_j (§IV-A).
+
+A decision criterion turns one function's similarity value into a binary
+same-person decision plus a link-probability estimate.  The paper studies:
+
+* ``ThresholdDecision`` — link iff value ≥ learned threshold (the I
+  columns of Table II);
+* ``RegionAccuracyDecision`` — partition the value space (equal-width or
+  k-means regions), estimate per-region link accuracy, and side with the
+  region majority (the C columns).
+
+Both expose the same fitted interface, because a threshold is just a
+two-region partition whose region accuracies are learned the same way.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.accuracy import RegionAccuracyProfile, overall_accuracy
+from repro.core.regions import ThresholdRegions, fit_regions
+from repro.core.thresholds import LearnedThreshold, learn_threshold
+
+
+@dataclass(frozen=True)
+class FittedDecision:
+    """A criterion fitted on one (function, training sample) combination.
+
+    Attributes:
+        criterion_name: e.g. ``"threshold"`` or ``"kmeans"``.
+        profile: the per-region accuracy profile backing probabilities.
+        threshold: the learned threshold (``None`` for region criteria).
+        training_accuracy: fraction of correct decisions on the training
+            sample — the paper's acc(G_Dj), used for combining.
+    """
+
+    criterion_name: str
+    profile: RegionAccuracyProfile
+    threshold: LearnedThreshold | None
+    training_accuracy: float
+
+    def decide(self, value: float) -> bool:
+        """Binary same-person decision for a similarity value."""
+        if self.threshold is not None:
+            return self.threshold.decide(value)
+        return self.profile.decide(value)
+
+    def link_probability(self, value: float) -> float:
+        """Estimated P(link) for the value (the §IV-B edge weight)."""
+        return self.profile.link_probability(value)
+
+
+class DecisionCriterion(ABC):
+    """A decision-criterion family, fittable per function."""
+
+    name: str
+
+    @abstractmethod
+    def fit(self, labeled_values: Sequence[tuple[float, bool]]) -> FittedDecision:
+        """Fit on training (similarity value, is-link) pairs."""
+
+
+class ThresholdDecision(DecisionCriterion):
+    """Link iff value ≥ the accuracy-maximizing learned threshold."""
+
+    name = "threshold"
+
+    def fit(self, labeled_values: Sequence[tuple[float, bool]]) -> FittedDecision:
+        threshold = learn_threshold(labeled_values)
+        regions = ThresholdRegions(threshold.threshold)
+        profile = RegionAccuracyProfile(regions, labeled_values)
+        decisions = [threshold.decide(value) for value, _ in labeled_values]
+        labels = [label for _, label in labeled_values]
+        accuracy = overall_accuracy(decisions, labels) if labels else 0.0
+        return FittedDecision(
+            criterion_name=self.name,
+            profile=profile,
+            threshold=threshold,
+            training_accuracy=accuracy,
+        )
+
+
+class RegionAccuracyDecision(DecisionCriterion):
+    """Per-region majority decisions over a fitted value-space partition.
+
+    Args:
+        method: ``"equal_width"`` or ``"kmeans"`` (§IV-A's two options).
+        k: bin/cluster count (the paper uses ~10).
+    """
+
+    def __init__(self, method: str = "kmeans", k: int = 10):
+        if method not in ("equal_width", "kmeans"):
+            raise ValueError(f"unknown region method: {method!r}")
+        self.method = method
+        self.k = k
+        self.name = method
+
+    def fit(self, labeled_values: Sequence[tuple[float, bool]]) -> FittedDecision:
+        values = [value for value, _ in labeled_values]
+        if not values:
+            # Degenerate: no training data; a single uninformative region.
+            regions = ThresholdRegions(threshold=1.1)
+        else:
+            regions = fit_regions(self.method, values, k=self.k)
+        profile = RegionAccuracyProfile(regions, labeled_values)
+        decisions = [profile.decide(value) for value, _ in labeled_values]
+        labels = [label for _, label in labeled_values]
+        accuracy = overall_accuracy(decisions, labels) if labels else 0.0
+        return FittedDecision(
+            criterion_name=self.name,
+            profile=profile,
+            threshold=None,
+            training_accuracy=accuracy,
+        )
+
+
+def build_criteria(names: Sequence[str], k: int = 10) -> list[DecisionCriterion]:
+    """Instantiate criteria from config names.
+
+    Args:
+        names: any of ``"threshold"``, ``"equal_width"``, ``"kmeans"``.
+        k: region count for the region-based criteria.
+
+    Raises:
+        ValueError: for unknown criterion names.
+    """
+    criteria: list[DecisionCriterion] = []
+    for name in names:
+        if name == "threshold":
+            criteria.append(ThresholdDecision())
+        elif name in ("equal_width", "kmeans"):
+            criteria.append(RegionAccuracyDecision(method=name, k=k))
+        else:
+            raise ValueError(f"unknown decision criterion: {name!r}")
+    return criteria

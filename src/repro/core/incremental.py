@@ -1,0 +1,210 @@
+"""Incremental entity resolution.
+
+The paper's motivating application — web people search — is a living
+index: new pages for a name arrive continuously, and re-running the full
+quadratic pipeline per page is wasteful.  ``IncrementalResolver`` fits the
+paper's machinery once on an initial block and then assigns each new page
+in O(existing pages × functions): it scores the new page against every
+current entity with the *fitted* decision layers (no re-training) and
+either joins the best-matching entity or founds a new one.
+
+The incremental decision reuses whatever combiner the base configuration
+chose: under best-graph selection the winning layer decides; under
+(entropy-)weighted averaging the stored layer weights and learned
+combination threshold decide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.combination import DecisionLayer
+from repro.core.config import ResolverConfig
+from repro.core.labels import TrainingSample
+from repro.core.resolver import EntityResolver, compute_similarity_graphs
+from repro.corpus.documents import NameCollection
+from repro.extraction.features import PageFeatures
+from repro.metrics.clusterings import Clustering
+from repro.ml.sampling import sample_training_pairs
+from repro.similarity.base import SimilarityFunction
+from repro.similarity.functions import function_by_name
+
+
+@dataclass
+class Assignment:
+    """Outcome of adding one page incrementally."""
+
+    doc_id: str
+    cluster_index: int
+    created_new_cluster: bool
+    link_probability: float  # best cluster's mean link probability
+
+
+@dataclass
+class _FittedState:
+    """Everything fitting produced that assignment needs."""
+
+    layers: list[DecisionLayer]
+    functions: dict[str, SimilarityFunction]
+    chosen_layer: DecisionLayer | None  # best-graph mode
+    combination_threshold: float | None  # weighted-average mode
+    layer_weights: list[float] = field(default_factory=list)
+
+
+class IncrementalResolver:
+    """Fit once on a block, then assign new pages without re-training.
+
+    Args:
+        config: resolver configuration for the initial fit.  Supported
+            combiners: ``"best_graph"`` and ``"weighted_average"``.
+
+    Raises:
+        ValueError: for unsupported combiners.
+    """
+
+    def __init__(self, config: ResolverConfig | None = None):
+        self.config = config or ResolverConfig()
+        if self.config.combiner not in ("best_graph", "weighted_average"):
+            raise ValueError(
+                f"incremental mode does not support combiner "
+                f"{self.config.combiner!r}")
+        self._state: _FittedState | None = None
+        self._features: dict[str, PageFeatures] = {}
+        self._clusters: list[set[str]] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._state is not None
+
+    def clusters(self) -> Clustering:
+        """The current entity partition.
+
+        Raises:
+            RuntimeError: before :meth:`fit`.
+        """
+        self._require_fitted()
+        return Clustering(self._clusters)
+
+    def fit(self, block: NameCollection,
+            features: dict[str, PageFeatures],
+            training_seed: int = 0) -> Clustering:
+        """Resolve the initial block and freeze the fitted machinery.
+
+        Args:
+            block: the initial (labeled) page collection.
+            features: extracted features for every page of the block.
+            training_seed: training-sample seed.
+        """
+        resolver = EntityResolver(self.config)
+        functions = {name: function_by_name(name)
+                     for name in self.config.function_names}
+        graphs = compute_similarity_graphs(
+            block, features, list(functions.values()))
+        training = TrainingSample.from_pairs(sample_training_pairs(
+            block, fraction=self.config.training_fraction,
+            seed=training_seed, mode=self.config.sampling_mode))
+        layers = resolver.build_layers(graphs, training)
+        combination = resolver._combiner.combine(layers, training)
+
+        chosen = None
+        weights: list[float] = []
+        if self.config.combiner == "best_graph":
+            chosen = next(layer for layer in layers
+                          if layer.label == combination.chosen_layer)
+        else:
+            weights = [max(layer.training_accuracy, 1e-9) for layer in layers]
+
+        self._state = _FittedState(
+            layers=layers,
+            functions=functions,
+            chosen_layer=chosen,
+            combination_threshold=combination.threshold,
+            layer_weights=weights,
+        )
+        self._features = dict(features)
+        predicted = resolver._cluster(combination)
+        self._clusters = [set(cluster) for cluster in predicted]
+        return predicted
+
+    def link_probability(self, new: PageFeatures,
+                         existing: PageFeatures) -> float:
+        """Combined link probability of (new page, existing page).
+
+        Raises:
+            RuntimeError: before :meth:`fit`.
+        """
+        self._require_fitted()
+        state = self._state
+        if state.chosen_layer is not None:
+            layer = state.chosen_layer
+            function = state.functions[layer.function_name]
+            return layer.fitted.link_probability(function(new, existing))
+        numerator = 0.0
+        total = sum(state.layer_weights)
+        for layer, weight in zip(state.layers, state.layer_weights):
+            function = state.functions[layer.function_name]
+            probability = layer.fitted.link_probability(function(new, existing))
+            numerator += weight * probability
+        return numerator / total
+
+    def _link_decision_threshold(self) -> float:
+        """The probability cut-off that asserts a link."""
+        state = self._state
+        if state.chosen_layer is not None:
+            return 0.5  # region-accuracy majority rule
+        return state.combination_threshold if (
+            state.combination_threshold is not None) else 0.5
+
+    def add_page(self, features: PageFeatures) -> Assignment:
+        """Assign one new page to an entity (or create a new one).
+
+        The page joins the cluster with the highest *mean* link probability
+        over its members, provided that mean clears the fitted decision
+        threshold; otherwise it becomes a new singleton entity.
+
+        Raises:
+            RuntimeError: before :meth:`fit`.
+            ValueError: if the doc id already exists.
+        """
+        self._require_fitted()
+        if features.doc_id in self._features:
+            raise ValueError(f"page {features.doc_id!r} already resolved")
+
+        best_index = -1
+        best_probability = -1.0
+        for index, cluster in enumerate(self._clusters):
+            total = sum(
+                self.link_probability(features, self._features[member])
+                for member in cluster)
+            mean_probability = total / len(cluster)
+            if mean_probability > best_probability:
+                best_probability = mean_probability
+                best_index = index
+
+        threshold = self._link_decision_threshold()
+        if best_index >= 0 and best_probability > threshold:
+            self._clusters[best_index].add(features.doc_id)
+            assignment = Assignment(
+                doc_id=features.doc_id,
+                cluster_index=best_index,
+                created_new_cluster=False,
+                link_probability=best_probability,
+            )
+        else:
+            self._clusters.append({features.doc_id})
+            assignment = Assignment(
+                doc_id=features.doc_id,
+                cluster_index=len(self._clusters) - 1,
+                created_new_cluster=True,
+                link_probability=max(best_probability, 0.0),
+            )
+        self._features[features.doc_id] = features
+        return assignment
+
+    def add_pages(self, pages: list[PageFeatures]) -> list[Assignment]:
+        """Assign several new pages in order."""
+        return [self.add_page(features) for features in pages]
+
+    def _require_fitted(self) -> None:
+        if self._state is None:
+            raise RuntimeError("IncrementalResolver used before fit()")

@@ -1,0 +1,273 @@
+"""Algorithm 1 — the end-to-end entity-resolution procedure.
+
+Per block (one ambiguous name):
+
+1. compute the complete weighted graph ``G_w^fi`` for every similarity
+   function (blocking means pairs are only formed within the block);
+2. learn the decision criteria D_j from the training sample;
+3. apply each criterion to get decision graphs ``G^i_Dj`` with accuracy
+   estimates;
+4. combine the layers into ``G_combined``;
+5. cluster (transitive closure or correlation clustering);
+6. output the final partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.combination import CombinationResult, DecisionLayer, build_combiner
+from repro.core.config import ResolverConfig
+from repro.core.decisions import build_criteria
+from repro.core.labels import TrainingSample
+from repro.corpus.documents import DocumentCollection, NameCollection
+from repro.corpus.vocabulary import build_vocabulary
+from repro.extraction.features import PageFeatures
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.graph.components import UnionFind
+from repro.graph.correlation import correlation_cluster
+from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph, pair_key
+from repro.graph.star import star_cluster
+from repro.graph.transitive import transitive_closure_clusters
+from repro.metrics.clusterings import Clustering, clustering_from_assignments
+from repro.metrics.report import MetricReport, evaluate_clustering, mean_report
+from repro.ml.sampling import sample_training_pairs
+from repro.similarity.base import SimilarityFunction
+from repro.similarity.functions import functions_subset
+
+
+def _graph_accuracy(graph: DecisionGraph, training: TrainingSample) -> float:
+    """acc(G_Dj): agreement of the graph's *implied* equivalence with the
+    training labels.
+
+    The implied equivalence is the transitive closure (the final clustering
+    is the closure, §IV-C), so an over-linking graph whose chains merge
+    distinct persons scores poorly even if its individual edge decisions
+    looked fine in isolation.
+    """
+    if not training.pairs:
+        return 0.0
+    forest = UnionFind(graph.nodes)
+    for left, right in graph.edges:
+        forest.union(left, right)
+    correct = sum(
+        1 for (left, right), label in training.pairs
+        if forest.connected(left, right) == label
+    )
+    return correct / len(training.pairs)
+
+
+def compute_similarity_graphs(
+    block: NameCollection,
+    features: dict[str, PageFeatures],
+    functions: list[SimilarityFunction],
+) -> dict[str, WeightedPairGraph]:
+    """The complete weighted graph ``G_w^fi`` for every function.
+
+    This is the quadratic step; experiments precompute and cache these
+    graphs per dataset because similarity values do not depend on the
+    training sample.
+    """
+    ids = block.page_ids()
+    graphs = {
+        function.name: WeightedPairGraph(nodes=list(ids))
+        for function in functions
+    }
+    for i, left_id in enumerate(ids):
+        left = features[left_id]
+        for right_id in ids[i + 1:]:
+            right = features[right_id]
+            key = pair_key(left_id, right_id)
+            for function in functions:
+                graphs[function.name].weights[key] = function(left, right)
+    return graphs
+
+
+@dataclass
+class BlockResolution:
+    """Resolution output and diagnostics for one name's block."""
+
+    query_name: str
+    predicted: Clustering
+    truth: Clustering
+    report: MetricReport
+    combination: CombinationResult
+    layer_accuracies: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chosen_layer(self) -> str | None:
+        """Winning layer under best-graph selection (else ``None``)."""
+        return self.combination.chosen_layer
+
+
+@dataclass
+class CollectionResolution:
+    """Resolution of a whole dataset (one entry per ambiguous name)."""
+
+    dataset: str
+    blocks: list[BlockResolution]
+
+    def mean_report(self) -> MetricReport:
+        """Macro-average of the per-name metric reports."""
+        return mean_report([block.report for block in self.blocks])
+
+    def by_name(self, query_name: str) -> BlockResolution:
+        """Result for one name.
+
+        Raises:
+            KeyError: if the name is absent.
+        """
+        for block in self.blocks:
+            if block.query_name == query_name:
+                return block
+        raise KeyError(query_name)
+
+
+class EntityResolver:
+    """The paper's entity-resolution framework, configured once, run often.
+
+    Args:
+        config: resolver configuration (see :class:`ResolverConfig`).
+        pipeline: extraction pipeline; when omitted, one is rebuilt from
+            the dataset's generator metadata (synthetic corpora record
+            their vocabulary seed).
+    """
+
+    def __init__(self, config: ResolverConfig | None = None,
+                 pipeline: ExtractionPipeline | None = None):
+        self.config = config or ResolverConfig()
+        self._pipeline = pipeline
+        self._functions = functions_subset(self.config.function_names)
+        self._criteria = build_criteria(self.config.criteria, k=self.config.region_k)
+        self._combiner = build_combiner(self.config.combiner)
+
+    def pipeline_for(self, collection: DocumentCollection) -> ExtractionPipeline:
+        """The extraction pipeline to use for ``collection``.
+
+        Raises:
+            ValueError: when no pipeline was supplied and the collection
+                carries no vocabulary metadata to rebuild one from.
+        """
+        if self._pipeline is not None:
+            return self._pipeline
+        seed = collection.metadata.get("vocabulary_seed")
+        if seed is None:
+            raise ValueError(
+                "collection has no vocabulary metadata; pass an ExtractionPipeline")
+        vocabulary = build_vocabulary(int(seed))
+        return ExtractionPipeline.from_vocabulary(
+            vocabulary, query_names=collection.query_names())
+
+    def resolve_collection(
+        self,
+        collection: DocumentCollection,
+        training_seed: int = 0,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
+    ) -> CollectionResolution:
+        """Resolve every block of a dataset.
+
+        Args:
+            collection: the dataset.
+            training_seed: seed of the per-block training-sample draw.
+            graphs_by_name: optional precomputed similarity graphs
+                (``query name -> function name -> graph``) to skip the
+                quadratic similarity step.
+        """
+        pipeline = self.pipeline_for(collection)
+        blocks = []
+        for block in collection:
+            graphs = (graphs_by_name or {}).get(block.query_name)
+            blocks.append(self.resolve_block(
+                block, training_seed=training_seed,
+                pipeline=pipeline, graphs=graphs))
+        return CollectionResolution(dataset=collection.name, blocks=blocks)
+
+    def resolve_block(
+        self,
+        block: NameCollection,
+        training_seed: int = 0,
+        pipeline: ExtractionPipeline | None = None,
+        features: dict[str, PageFeatures] | None = None,
+        graphs: dict[str, WeightedPairGraph] | None = None,
+    ) -> BlockResolution:
+        """Run Algorithm 1 on one block.
+
+        Args:
+            block: the name's page collection (fully labeled).
+            training_seed: training-sample seed for this run.
+            pipeline: extraction pipeline (required unless ``features`` or
+                ``graphs`` already cover the block).
+            features: precomputed page features (skips extraction).
+            graphs: precomputed weighted graphs (skips extraction *and*
+                similarity computation).
+        """
+        if graphs is None:
+            if features is None:
+                if pipeline is None:
+                    raise ValueError("need a pipeline, features, or graphs")
+                features = pipeline.extract_block(block)
+            graphs = compute_similarity_graphs(block, features, self._functions)
+
+        training = TrainingSample.from_pairs(sample_training_pairs(
+            block,
+            fraction=self.config.training_fraction,
+            seed=training_seed,
+            mode=self.config.sampling_mode,
+        ))
+
+        layers = self.build_layers(graphs, training)
+        combination = self._combiner.combine(layers, training)
+        predicted = self._cluster(combination)
+
+        truth = clustering_from_assignments(block.ground_truth())
+        report = evaluate_clustering(predicted, truth)
+        return BlockResolution(
+            query_name=block.query_name,
+            predicted=predicted,
+            truth=truth,
+            report=report,
+            combination=combination,
+            layer_accuracies={layer.label: layer.training_accuracy
+                              for layer in layers},
+        )
+
+    def build_layers(self, graphs: dict[str, WeightedPairGraph],
+                     training: TrainingSample) -> list[DecisionLayer]:
+        """Fit every (function, criterion) decision layer.
+
+        Exposed for experiments that inspect or recombine layers directly
+        (Figure 1, the combiner ablation).
+        """
+        layers: list[DecisionLayer] = []
+        for function in self._functions:
+            graph = graphs[function.name]
+            labeled_values = training.labeled_values(graph)
+            for criterion in self._criteria:
+                fitted = criterion.fit(labeled_values)
+                decision_graph = DecisionGraph(nodes=list(graph.nodes))
+                probabilities = {}
+                for pair, value in graph.pairs():
+                    probabilities[pair] = fitted.link_probability(value)
+                    if fitted.decide(value):
+                        decision_graph.edges.add(pair)
+                layers.append(DecisionLayer(
+                    function_name=function.name,
+                    criterion_name=criterion.name,
+                    graph=decision_graph,
+                    probabilities=probabilities,
+                    fitted=fitted,
+                    graph_accuracy=_graph_accuracy(decision_graph, training),
+                ))
+        return layers
+
+    def _cluster(self, combination: CombinationResult) -> Clustering:
+        """Apply the configured clustering to the combined graph."""
+        if self.config.clusterer == "transitive":
+            clusters = transitive_closure_clusters(combination.graph)
+        elif self.config.clusterer == "star":
+            clusters = star_cluster(combination.graph,
+                                    weights=combination.probabilities)
+        else:
+            clusters = correlation_cluster(
+                combination.probabilities, seed=self.config.correlation_seed)
+        return Clustering(clusters)

@@ -1,0 +1,89 @@
+"""Optimal-threshold learning (§IV-A).
+
+For each similarity function the paper chooses the threshold that
+maximizes the number of correct link decisions on the training sample.
+The search is exact: with the sample sorted by value, every distinct
+decision boundary is evaluated with prefix sums in O(n log n).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: Threshold meaning "never link" (no value in [0, 1] reaches it).
+NEVER_LINK = 1.1
+#: Threshold meaning "always link".
+ALWAYS_LINK = 0.0
+
+
+@dataclass(frozen=True)
+class LearnedThreshold:
+    """A fitted decision threshold with its training accuracy.
+
+    The decision rule is ``link iff value >= threshold``.
+    """
+
+    threshold: float
+    training_accuracy: float
+    n_training: int
+
+    def decide(self, value: float) -> bool:
+        return value >= self.threshold
+
+
+def learn_threshold(labeled_values: Sequence[tuple[float, bool]]) -> LearnedThreshold:
+    """Fit the accuracy-maximizing threshold on (value, label) pairs.
+
+    Candidate thresholds are 0.0 ("always link"), the midpoints between
+    consecutive distinct values, and :data:`NEVER_LINK`.  Ties prefer the
+    *higher* threshold (more conservative linking), which matters because
+    transitive closure amplifies false links far more than false splits.
+
+    An empty sample yields the conservative ``NEVER_LINK`` rule with
+    accuracy 0.0.
+    """
+    if not labeled_values:
+        return LearnedThreshold(threshold=NEVER_LINK, training_accuracy=0.0,
+                                n_training=0)
+
+    ordered = sorted(labeled_values)
+    n_total = len(ordered)
+    n_positives = sum(1 for _, label in ordered if label)
+
+    # Sweep boundaries from low to high.  With threshold below everything,
+    # all pairs are predicted "link": correct = n_positives.
+    best_threshold = ALWAYS_LINK
+    best_correct = n_positives
+
+    # After placing the boundary just above ordered[i], pairs 0..i are
+    # predicted "no link" and the rest "link".
+    negatives_below = 0
+    positives_below = 0
+    for index, (value, label) in enumerate(ordered):
+        if label:
+            positives_below += 1
+        else:
+            negatives_below += 1
+        next_value = ordered[index + 1][0] if index + 1 < n_total else None
+        if next_value is not None and next_value == value:
+            continue  # boundary cannot separate equal values
+        correct = negatives_below + (n_positives - positives_below)
+        if correct >= best_correct:  # >= prefers the higher threshold
+            best_correct = correct
+            if next_value is None:
+                best_threshold = NEVER_LINK
+            else:
+                boundary = (value + next_value) / 2.0
+                if boundary <= value:
+                    # Float rounding collapsed the midpoint onto the lower
+                    # value (adjacent/denormal floats); the next value
+                    # itself is the smallest threshold that separates.
+                    boundary = next_value
+                best_threshold = boundary
+
+    return LearnedThreshold(
+        threshold=best_threshold,
+        training_accuracy=best_correct / n_total,
+        n_training=n_total,
+    )

@@ -1,0 +1,46 @@
+"""Document model and synthetic Web-corpus substrate.
+
+The paper evaluates on the WWW'05 (Bekkerman & McCallum) and WePS-2 web
+collections, which are not retrievable offline.  This package provides a
+faithful document model (:mod:`repro.corpus.documents`) plus a seeded
+synthetic generator (:mod:`repro.corpus.generator`) that reproduces the
+statistical structure those collections exhibit: ambiguous person names,
+heavy-tailed cluster sizes, pages with partial or missing information, and
+per-name heterogeneity in which page features are informative.
+"""
+
+from repro.corpus.documents import DocumentCollection, NameCollection, WebPage
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig, NameTraits
+from repro.corpus.profiles import PersonProfile
+from repro.corpus.vocabulary import Vocabulary, build_vocabulary
+from repro.corpus.datasets import (
+    WEPS2_ACL_NAMES,
+    WWW05_NAMES,
+    WWW05_CLUSTER_COUNTS,
+    custom_dataset,
+    surname,
+    weps2_like,
+    www05_like,
+)
+from repro.corpus.loaders import load_collection, save_collection
+
+__all__ = [
+    "WebPage",
+    "NameCollection",
+    "DocumentCollection",
+    "Vocabulary",
+    "build_vocabulary",
+    "PersonProfile",
+    "CorpusGenerator",
+    "GeneratorConfig",
+    "NameTraits",
+    "WWW05_NAMES",
+    "WWW05_CLUSTER_COUNTS",
+    "WEPS2_ACL_NAMES",
+    "www05_like",
+    "weps2_like",
+    "custom_dataset",
+    "surname",
+    "save_collection",
+    "load_collection",
+]

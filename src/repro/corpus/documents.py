@@ -1,0 +1,164 @@
+"""Document model for web-page entity resolution.
+
+The paper's input is a collection of unstructured web documents grouped by
+the ambiguous person name they were retrieved for (one search query per
+name).  :class:`WebPage` models one retrieved page, :class:`NameCollection`
+one name's result list (which is also the paper's blocking unit), and
+:class:`DocumentCollection` an entire dataset such as WWW'05 or WePS-2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """A single retrieved web page.
+
+    Attributes:
+        doc_id: collection-unique identifier, e.g. ``"cohen/017"``.
+        query_name: the ambiguous person name this page was retrieved for.
+        url: full page URL.
+        title: page title text.
+        text: page body text (plain tokens, entity mentions capitalized).
+        person_id: ground-truth identifier of the real person the page is
+            about, or ``None`` when unlabeled.  Ground truth is available for
+            the datasets in our experiments, mirroring the manually labeled
+            WWW'05/WePS collections.
+    """
+
+    doc_id: str
+    query_name: str
+    url: str
+    title: str
+    text: str
+    person_id: str | None = None
+
+    @property
+    def domain(self) -> str:
+        """The network location of :attr:`url` (empty if unparsable)."""
+        stripped = self.url.split("://", 1)[-1]
+        return stripped.split("/", 1)[0]
+
+
+@dataclass
+class NameCollection:
+    """All pages retrieved for one ambiguous person name.
+
+    This is the paper's blocking unit: similarity is only ever computed
+    between pages sharing a query name (§IV-C footnote).
+    """
+
+    query_name: str
+    pages: list[WebPage] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self) -> Iterator[WebPage]:
+        return iter(self.pages)
+
+    def page_ids(self) -> list[str]:
+        """Document ids in page order."""
+        return [page.doc_id for page in self.pages]
+
+    def ground_truth(self) -> dict[str, str]:
+        """Map ``doc_id -> person_id`` for all labeled pages.
+
+        Raises:
+            ValueError: if any page is unlabeled; the evaluation protocol
+                requires complete ground truth.
+        """
+        truth: dict[str, str] = {}
+        for page in self.pages:
+            if page.person_id is None:
+                raise ValueError(f"page {page.doc_id!r} has no ground-truth label")
+            truth[page.doc_id] = page.person_id
+        return truth
+
+    def true_clusters(self) -> list[set[str]]:
+        """Ground-truth partition of this name's pages as sets of doc ids."""
+        clusters: dict[str, set[str]] = {}
+        for doc_id, person in self.ground_truth().items():
+            clusters.setdefault(person, set()).add(doc_id)
+        return list(clusters.values())
+
+    def n_persons(self) -> int:
+        """Number of distinct real persons behind this name."""
+        return len({page.person_id for page in self.pages})
+
+    def pairs(self) -> Iterator[tuple[WebPage, WebPage]]:
+        """All unordered page pairs within the block, in index order."""
+        for i, left in enumerate(self.pages):
+            for right in self.pages[i + 1:]:
+                yield left, right
+
+
+@dataclass
+class DocumentCollection:
+    """A full dataset: one :class:`NameCollection` per ambiguous name."""
+
+    name: str
+    collections: list[NameCollection] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.collections)
+
+    def __iter__(self) -> Iterator[NameCollection]:
+        return iter(self.collections)
+
+    def query_names(self) -> list[str]:
+        """The ambiguous names, in collection order."""
+        return [collection.query_name for collection in self.collections]
+
+    def by_name(self, query_name: str) -> NameCollection:
+        """Return the block for ``query_name``.
+
+        Raises:
+            KeyError: if no block with that name exists.
+        """
+        for collection in self.collections:
+            if collection.query_name == query_name:
+                return collection
+        raise KeyError(query_name)
+
+    def n_pages(self) -> int:
+        """Total page count across all names."""
+        return sum(len(collection) for collection in self.collections)
+
+    def all_pages(self) -> Iterator[WebPage]:
+        """Iterate every page in the dataset."""
+        for collection in self.collections:
+            yield from collection.pages
+
+    def summary(self) -> dict[str, object]:
+        """Dataset shape statistics (names, pages, cluster counts)."""
+        cluster_counts = [collection.n_persons() for collection in self.collections]
+        return {
+            "dataset": self.name,
+            "names": len(self.collections),
+            "pages": self.n_pages(),
+            "min_clusters": min(cluster_counts) if cluster_counts else 0,
+            "max_clusters": max(cluster_counts) if cluster_counts else 0,
+        }
+
+
+def collection_from_pages(name: str, pages: Iterable[WebPage]) -> DocumentCollection:
+    """Group loose pages into a :class:`DocumentCollection` by query name.
+
+    Pages keep their relative order within each name; names appear in
+    first-seen order.
+    """
+    by_name: dict[str, NameCollection] = {}
+    ordered: list[NameCollection] = []
+    for page in pages:
+        block = by_name.get(page.query_name)
+        if block is None:
+            block = NameCollection(query_name=page.query_name)
+            by_name[page.query_name] = block
+            ordered.append(block)
+        block.pages.append(page)
+    return DocumentCollection(name=name, collections=ordered)

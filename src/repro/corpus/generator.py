@@ -1,0 +1,380 @@
+"""Synthetic web-corpus generator.
+
+Replaces the paper's crawled WWW'05/WePS collections (see DESIGN.md §2).
+The generator draws latent :class:`~repro.corpus.profiles.PersonProfile`
+objects per ambiguous name, then synthesizes web pages from them with
+controlled noise:
+
+* **partial information** — pages omit organizations / concepts / associates
+  with per-name probabilities, the paper's "missing or incomplete
+  information" failure mode;
+* **extraction noise** — mentioned entities are sometimes replaced by random
+  ones, modeling noisy information-extraction input;
+* **heterogeneity** — every name draws its own :class:`NameTraits`, so the
+  informative features differ per name and no single similarity function
+  wins everywhere (the paper's Table III observation).
+
+All randomness flows from explicit seeds through local ``random.Random``
+instances; the same (config, names, seed) triple always yields the identical
+corpus.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, replace
+
+from repro.corpus.documents import DocumentCollection, NameCollection, WebPage
+from repro.corpus.profiles import NamePools, PersonProfile, sample_profile
+from repro.corpus.vocabulary import Vocabulary, build_vocabulary
+
+
+@dataclass(frozen=True)
+class NameTraits:
+    """Per-name feature-informativeness profile.
+
+    Each ambiguous name draws one of these; the fields control how reliable
+    each page feature is for that name.  The spread across names is what
+    makes different similarity functions win for different names.
+    """
+
+    p_home_domain: float = 0.6
+    p_missing_orgs: float = 0.3
+    p_missing_concepts: float = 0.2
+    concept_noise: float = 0.15
+    org_noise: float = 0.1
+    associate_noise: float = 0.15
+    name_confusion: float = 0.1
+    shared_word_rate: float = 0.25
+    noise_word_rate: float = 0.2
+    boilerplate_rate: float = 0.15
+    offtopic_rate: float = 0.05
+    min_tokens: int = 90
+    max_tokens: int = 170
+
+    @staticmethod
+    def sample(rng: random.Random) -> "NameTraits":
+        """Draw a heterogeneous traits profile for one name."""
+        return NameTraits(
+            p_home_domain=rng.uniform(0.3, 0.95),
+            p_missing_orgs=rng.uniform(0.1, 0.6),
+            p_missing_concepts=rng.uniform(0.05, 0.4),
+            concept_noise=rng.uniform(0.0, 0.35),
+            org_noise=rng.uniform(0.0, 0.3),
+            associate_noise=rng.uniform(0.0, 0.3),
+            name_confusion=rng.uniform(0.05, 0.3),
+            shared_word_rate=rng.uniform(0.05, 0.22),
+            noise_word_rate=rng.uniform(0.05, 0.2),
+            boilerplate_rate=rng.uniform(0.02, 0.16),
+            offtopic_rate=rng.uniform(0.0, 0.15),
+        )
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for corpus synthesis.
+
+    Attributes:
+        pages_per_name: number of retrieved pages per ambiguous name
+            (~100 for WWW'05, ~150 for WePS-2).
+        min_clusters / max_clusters: range the per-name true cluster count
+            is drawn from when not fixed explicitly (paper: 2–61).
+        cluster_size_alpha: Zipf exponent of the cluster-size distribution;
+            larger means one dominant person plus a long tail.
+        n_concepts_per_person: latent concept count per profile.
+        n_topic_words: latent topical word count per profile.
+        word_pool_factor / concept_pool_factor: per-name pool sizes as a
+            multiple of one person's consumption; smaller factors mean
+            namesakes overlap more and the corpus gets harder.
+        vocabulary_seed: seed for :func:`build_vocabulary`; independent of
+            the corpus seed so re-sampling pages keeps the lexicon fixed.
+        fixed_traits: if set, every name uses these traits instead of
+            sampling (useful for tests and ablations).
+    """
+
+    pages_per_name: int = 100
+    min_clusters: int = 2
+    max_clusters: int = 40
+    cluster_size_alpha: float = 1.7
+    n_concepts_per_person: int = 8
+    n_topic_words: int = 60
+    word_pool_factor: float = 4.5
+    concept_pool_factor: float = 3.5
+    vocabulary_seed: int = 7
+    fixed_traits: NameTraits | None = None
+
+
+def _zipf_cluster_sizes(rng: random.Random, n_pages: int, n_clusters: int,
+                        alpha: float) -> list[int]:
+    """Allocate ``n_pages`` over ``n_clusters`` with Zipf-ish weights.
+
+    Every cluster receives at least one page; remaining pages are assigned
+    proportionally to ``1 / rank**alpha`` with randomized rank order.
+    """
+    if n_clusters > n_pages:
+        raise ValueError(f"cannot split {n_pages} pages into {n_clusters} clusters")
+    weights = [1.0 / (rank ** alpha) for rank in range(1, n_clusters + 1)]
+    rng.shuffle(weights)
+    total = sum(weights)
+    sizes = [1] * n_clusters
+    remaining = n_pages - n_clusters
+    # Largest-remainder apportionment of the leftover pages.
+    quotas = [remaining * w / total for w in weights]
+    floors = [int(q) for q in quotas]
+    sizes = [s + f for s, f in zip(sizes, floors)]
+    leftover = remaining - sum(floors)
+    order = sorted(range(n_clusters), key=lambda i: quotas[i] - floors[i], reverse=True)
+    for i in order[:leftover]:
+        sizes[i] += 1
+    return sizes
+
+
+class CorpusGenerator:
+    """Synthesizes :class:`DocumentCollection` datasets from a config."""
+
+    def __init__(self, config: GeneratorConfig | None = None,
+                 vocabulary: Vocabulary | None = None):
+        self.config = config or GeneratorConfig()
+        self.vocabulary = vocabulary or build_vocabulary(self.config.vocabulary_seed)
+        self._boilerplate_cache: dict[str, list[str]] = {}
+
+    def generate(
+        self,
+        names: list[str],
+        seed: int,
+        dataset_name: str = "synthetic",
+        cluster_counts: dict[str, int] | None = None,
+    ) -> DocumentCollection:
+        """Generate a full dataset.
+
+        Args:
+            names: ambiguous query names (each becomes one block).
+            seed: corpus seed; fully determines the output.
+            dataset_name: label stored on the collection.
+            cluster_counts: optional fixed true-cluster count per name;
+                names absent from the mapping draw from the config range.
+        """
+        master = random.Random(seed)
+        collections = []
+        for query_name in names:
+            name_seed = master.randrange(2**31)
+            n_clusters = (cluster_counts or {}).get(query_name)
+            collections.append(
+                self._generate_name(query_name, name_seed, n_clusters))
+        collection = DocumentCollection(name=dataset_name, collections=collections)
+        collection.metadata = {
+            "seed": seed,
+            "pages_per_name": self.config.pages_per_name,
+            "vocabulary_seed": self.config.vocabulary_seed,
+        }
+        return collection
+
+    def _generate_name(self, query_name: str, seed: int,
+                       n_clusters: int | None) -> NameCollection:
+        """Generate one name's block of pages."""
+        rng = random.Random(seed)
+        config = self.config
+        traits = config.fixed_traits or NameTraits.sample(rng)
+
+        if n_clusters is None:
+            upper = min(config.max_clusters, config.pages_per_name)
+            n_clusters = rng.randint(config.min_clusters, upper)
+        # Per-name skew jitter: some names are dominated by one famous
+        # bearer, others are spread more evenly.
+        alpha = config.cluster_size_alpha * rng.uniform(0.75, 1.4)
+        sizes = _zipf_cluster_sizes(
+            rng, config.pages_per_name, n_clusters, alpha)
+
+        key = query_name.split()[-1].lower()
+        pools = NamePools.sample(
+            rng, self.vocabulary, n_clusters,
+            n_topic_words=config.n_topic_words,
+            n_concepts=config.n_concepts_per_person,
+            word_pool_factor=config.word_pool_factor,
+            concept_pool_factor=config.concept_pool_factor,
+        )
+        profiles: list[PersonProfile] = []
+        for index in range(n_clusters):
+            profiles.append(sample_profile(
+                rng, pools,
+                person_id=f"{key}#{index:02d}",
+                query_name=query_name,
+                n_concepts=config.n_concepts_per_person,
+                n_topic_words=config.n_topic_words,
+            ))
+
+        assignments = [profile for profile, size in zip(profiles, sizes)
+                       for _ in range(size)]
+        rng.shuffle(assignments)
+
+        pages = []
+        for index, profile in enumerate(assignments):
+            doc_id = f"{key}/{index:03d}"
+            pages.append(self._generate_page(rng, doc_id, profile, profiles, traits))
+        return NameCollection(query_name=query_name, pages=pages)
+
+    def _generate_page(self, rng: random.Random, doc_id: str,
+                       profile: PersonProfile, peers: list[PersonProfile],
+                       traits: NameTraits) -> WebPage:
+        """Synthesize one page about ``profile``."""
+        offtopic = rng.random() < traits.offtopic_rate
+        mentions: list[str] = []
+
+        mentions.extend(self._name_mentions(rng, profile, peers, traits, offtopic))
+        mentions.extend(self._org_mentions(rng, profile, traits, offtopic))
+        mentions.extend(self._concept_mentions(rng, profile, traits, offtopic))
+        mentions.extend(self._associate_mentions(rng, profile, traits, offtopic))
+        for location in profile.locations:
+            if rng.random() < (0.2 if offtopic else 0.5):
+                mentions.append(location)
+
+        url = self._page_url(rng, profile, traits)
+        domain = url.split("://", 1)[-1].split("/", 1)[0]
+        words = self._body_words(rng, profile, traits, offtopic, domain)
+        text = self._compose_text(rng, mentions, words)
+
+        title_words = rng.sample(profile.topic_words, 2)
+        title = f"{profile.full_name} {' '.join(title_words)}"
+        return WebPage(
+            doc_id=doc_id,
+            query_name=profile.query_name,
+            url=url,
+            title=title,
+            text=text,
+            person_id=profile.person_id,
+        )
+
+    def _name_mentions(self, rng: random.Random, profile: PersonProfile,
+                       peers: list[PersonProfile], traits: NameTraits,
+                       offtopic: bool) -> list[str]:
+        """The person's own name variants plus occasional dominant others.
+
+        All namesakes share the query full name, so own-name mentions are
+        identical across clusters.  With probability ``name_confusion`` the
+        page is dominated by an *associate's* name instead (a profile page
+        of a colleague that merely cites the query person) — the failure
+        mode that makes F3 ("most frequent name") imperfect.
+        """
+        variants = profile.name_variants()
+        n_own = rng.randint(1, 2) if offtopic else rng.randint(2, 5)
+        mentions = [variants[0]] * max(1, n_own - 1)
+        mentions.extend(rng.choice(variants) for _ in range(n_own - len(mentions) + 1))
+        if profile.associates and rng.random() < traits.name_confusion:
+            dominant = rng.choice(profile.associates)
+            mentions.extend([dominant] * rng.randint(2, 4))
+        if offtopic:
+            # Off-topic pages are usually *about someone else* who merely
+            # mentions the query person in passing.
+            stranger = self.vocabulary.full_name(rng)
+            mentions.extend([stranger] * rng.randint(2, 4))
+        return mentions
+
+    def _org_mentions(self, rng: random.Random, profile: PersonProfile,
+                      traits: NameTraits, offtopic: bool) -> list[str]:
+        if rng.random() < traits.p_missing_orgs or offtopic:
+            return []
+        mentions = []
+        for org in rng.sample(profile.organizations,
+                              rng.randint(1, len(profile.organizations))):
+            if rng.random() < traits.org_noise:
+                org = rng.choice(self.vocabulary.organizations)
+            mentions.extend([org] * rng.randint(1, 2))
+        return mentions
+
+    def _concept_mentions(self, rng: random.Random, profile: PersonProfile,
+                          traits: NameTraits, offtopic: bool) -> list[str]:
+        if rng.random() < traits.p_missing_concepts:
+            return []
+        concepts = list(profile.concepts)
+        weights = list(profile.concepts.values())
+        n_mention = rng.randint(1, 2) if offtopic else rng.randint(2, 6)
+        mentions = []
+        for _ in range(n_mention):
+            concept = rng.choices(concepts, weights=weights, k=1)[0]
+            if rng.random() < traits.concept_noise:
+                concept = rng.choice(self.vocabulary.concepts)
+            mentions.extend([concept] * rng.randint(1, 3))
+        return mentions
+
+    def _associate_mentions(self, rng: random.Random, profile: PersonProfile,
+                            traits: NameTraits, offtopic: bool) -> list[str]:
+        n_assoc = 0 if offtopic else rng.randint(0, 3)
+        mentions = []
+        for name in rng.sample(profile.associates,
+                               min(n_assoc, len(profile.associates))):
+            if rng.random() < traits.associate_noise:
+                name = self.vocabulary.full_name(rng)
+            mentions.append(name)
+        return mentions
+
+    def _body_words(self, rng: random.Random, profile: PersonProfile,
+                    traits: NameTraits, offtopic: bool,
+                    domain: str) -> list[str]:
+        """Draw the page's plain content words from the mixture model.
+
+        The mixture has five layers: site boilerplate (same for every page
+        of a domain — the template text that confounds TF-IDF), random
+        noise words, general filler, name-shared words (topical overlap of
+        namesakes) and the person's own topic words.
+        """
+        n_tokens = rng.randint(traits.min_tokens, traits.max_tokens)
+        shared_rate = traits.shared_word_rate
+        noise_rate = traits.noise_word_rate
+        boilerplate_rate = traits.boilerplate_rate
+        if offtopic:
+            noise_rate = min(0.9, noise_rate + 0.4)
+        boilerplate = self._domain_boilerplate(domain)
+        words = []
+        for _ in range(n_tokens):
+            roll = rng.random()
+            if roll < boilerplate_rate:
+                words.append(rng.choice(boilerplate))
+            elif roll < boilerplate_rate + noise_rate:
+                words.append(rng.choice(self.vocabulary.content_words))
+            elif roll < boilerplate_rate + noise_rate + 0.12:
+                words.append(rng.choice(self.vocabulary.general_words))
+            elif roll < boilerplate_rate + noise_rate + 0.12 + shared_rate:
+                words.append(rng.choice(profile.shared_words))
+            else:
+                words.append(rng.choice(profile.topic_words))
+        return words
+
+    def _domain_boilerplate(self, domain: str) -> list[str]:
+        """The site-template words of a domain (stable across pages/seeds)."""
+        cached = self._boilerplate_cache.get(domain)
+        if cached is None:
+            seed = zlib.crc32(domain.encode("utf-8")) ^ self.vocabulary.seed
+            domain_rng = random.Random(seed)
+            cached = domain_rng.sample(self.vocabulary.content_words, 15)
+            self._boilerplate_cache[domain] = cached
+        return cached
+
+    def _compose_text(self, rng: random.Random, mentions: list[str],
+                      words: list[str]) -> str:
+        """Interleave entity mentions into the word stream as sentences."""
+        tokens = list(words)
+        for mention in mentions:
+            position = rng.randint(0, len(tokens))
+            tokens.insert(position, mention)
+        sentences = []
+        cursor = 0
+        while cursor < len(tokens):
+            length = rng.randint(8, 14)
+            sentences.append(" ".join(tokens[cursor:cursor + length]) + ".")
+            cursor += length
+        return " ".join(sentences)
+
+    def _page_url(self, rng: random.Random, profile: PersonProfile,
+                  traits: NameTraits) -> str:
+        if rng.random() < traits.p_home_domain:
+            domain = rng.choice(profile.home_domains)
+        else:
+            domain = rng.choice(self.vocabulary.domains)
+        path_words = rng.sample(self.vocabulary.content_words, 2)
+        return f"http://{domain}/{path_words[0]}/{path_words[1]}{rng.randint(0, 999)}.html"
+
+
+def with_traits(config: GeneratorConfig, traits: NameTraits) -> GeneratorConfig:
+    """Return a copy of ``config`` with :attr:`fixed_traits` set."""
+    return replace(config, fixed_traits=traits)

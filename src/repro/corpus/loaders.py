@@ -1,0 +1,66 @@
+"""JSON serialization of document collections.
+
+Generated corpora are cheap to rebuild from a seed, but persisting them lets
+experiments pin an exact dataset (e.g. to share a run between the test suite
+and the benchmark harness, or to inspect pages by hand).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.corpus.documents import DocumentCollection, NameCollection, WebPage
+
+_FORMAT_VERSION = 1
+
+
+def save_collection(collection: DocumentCollection, path: str | Path) -> None:
+    """Write ``collection`` to ``path`` as a single JSON document."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": collection.name,
+        "metadata": collection.metadata,
+        "collections": [
+            {
+                "query_name": block.query_name,
+                "pages": [
+                    {
+                        "doc_id": page.doc_id,
+                        "query_name": page.query_name,
+                        "url": page.url,
+                        "title": page.title,
+                        "text": page.text,
+                        "person_id": page.person_id,
+                    }
+                    for page in block.pages
+                ],
+            }
+            for block in collection.collections
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_collection(path: str | Path) -> DocumentCollection:
+    """Read a collection previously written by :func:`save_collection`.
+
+    Raises:
+        ValueError: if the file was written by an incompatible version.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported collection format version: {version!r}")
+    collections = []
+    for block_data in payload["collections"]:
+        pages = [WebPage(**page_data) for page_data in block_data["pages"]]
+        collections.append(NameCollection(
+            query_name=block_data["query_name"], pages=pages))
+    return DocumentCollection(
+        name=payload["name"],
+        collections=collections,
+        metadata=payload.get("metadata", {}),
+    )

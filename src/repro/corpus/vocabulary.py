@@ -1,0 +1,151 @@
+"""Seeded vocabularies for the synthetic web corpus.
+
+All strings that appear on generated pages (content words, Wikipedia-style
+concept phrases, organization names, person names, locations and web
+domains) are drawn from a :class:`Vocabulary` built deterministically from an
+integer seed.  The same vocabularies double as the gazetteers used by the
+dictionary-based NER in :mod:`repro.extraction.ner`, mirroring the paper's
+use of dictionary-based named entity recognition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+_ONSETS = [c + v for c in _CONSONANTS for v in _VOWELS]
+_CODAS = ["n", "r", "s", "l", "m", "t", "k", ""]
+
+
+def _make_word(rng: random.Random, min_syllables: int = 2, max_syllables: int = 4) -> str:
+    """Build a pronounceable lowercase pseudo-word from syllables."""
+    n_syllables = rng.randint(min_syllables, max_syllables)
+    syllables = [rng.choice(_ONSETS) for _ in range(n_syllables)]
+    return "".join(syllables) + rng.choice(_CODAS)
+
+
+def _make_unique_words(rng: random.Random, count: int, **kwargs) -> list[str]:
+    """Generate ``count`` distinct pseudo-words."""
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < count:
+        word = _make_word(rng, **kwargs)
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+_ORG_SUFFIXES = [
+    "University", "Institute", "Labs", "Corporation", "Systems",
+    "Foundation", "College", "Group", "Technologies", "Society",
+]
+_DOMAIN_TLDS = [".com", ".org", ".edu", ".net", ".io"]
+_CONCEPT_HEADS = [
+    "theory", "analysis", "networks", "systems", "learning",
+    "models", "methods", "design", "algebra", "dynamics",
+]
+
+
+@dataclass
+class Vocabulary:
+    """All lexical material available to the corpus generator.
+
+    Attributes:
+        content_words: topical lowercase words pages draw their body from.
+        general_words: high-frequency filler words shared by every page.
+        concepts: multi-word concept phrases (Wikipedia-article style).
+        organizations: organization names (capitalized, often multi-word).
+        first_names: capitalized given names.
+        last_names: capitalized family names (excluding query surnames).
+        locations: capitalized place names.
+        domains: bare web domains such as ``"fooware.org"``.
+        seed: seed this vocabulary was built from.
+    """
+
+    content_words: list[str] = field(default_factory=list)
+    general_words: list[str] = field(default_factory=list)
+    concepts: list[str] = field(default_factory=list)
+    organizations: list[str] = field(default_factory=list)
+    first_names: list[str] = field(default_factory=list)
+    last_names: list[str] = field(default_factory=list)
+    locations: list[str] = field(default_factory=list)
+    domains: list[str] = field(default_factory=list)
+    seed: int = 0
+
+    def full_name(self, rng: random.Random, last_name: str | None = None) -> str:
+        """Draw a ``"First Last"`` full name, optionally with a fixed surname."""
+        first = rng.choice(self.first_names)
+        last = last_name if last_name is not None else rng.choice(self.last_names)
+        return f"{first} {last}"
+
+    def as_gazetteers(self) -> dict[str, list[str]]:
+        """Expose the entity vocabularies as NER gazetteers."""
+        return {
+            "organization": list(self.organizations),
+            "location": list(self.locations),
+        }
+
+
+def build_vocabulary(
+    seed: int = 0,
+    n_content_words: int = 2400,
+    n_general_words: int = 220,
+    n_concepts: int = 360,
+    n_organizations: int = 240,
+    n_first_names: int = 70,
+    n_last_names: int = 90,
+    n_locations: int = 110,
+    n_domains: int = 160,
+) -> Vocabulary:
+    """Build a deterministic :class:`Vocabulary` from ``seed``.
+
+    Every category is sampled from an independent sub-seeded RNG so that
+    enlarging one category does not perturb the others.
+    """
+    master = random.Random(seed)
+    seeds = {name: master.randrange(2**31) for name in (
+        "content", "general", "concepts", "orgs", "first", "last", "loc", "dom")}
+
+    content_rng = random.Random(seeds["content"])
+    content_words = _make_unique_words(content_rng, n_content_words)
+
+    general_rng = random.Random(seeds["general"])
+    general_words = _make_unique_words(general_rng, n_general_words, min_syllables=1, max_syllables=2)
+
+    concept_rng = random.Random(seeds["concepts"])
+    concept_mods = _make_unique_words(concept_rng, n_concepts)
+    concepts = [f"{mod} {concept_rng.choice(_CONCEPT_HEADS)}" for mod in concept_mods]
+
+    org_rng = random.Random(seeds["orgs"])
+    org_stems = _make_unique_words(org_rng, n_organizations)
+    organizations = [
+        f"{stem.capitalize()} {org_rng.choice(_ORG_SUFFIXES)}" for stem in org_stems
+    ]
+
+    first_rng = random.Random(seeds["first"])
+    first_names = [w.capitalize() for w in _make_unique_words(first_rng, n_first_names, min_syllables=2, max_syllables=2)]
+
+    last_rng = random.Random(seeds["last"])
+    last_names = [w.capitalize() for w in _make_unique_words(last_rng, n_last_names, min_syllables=2, max_syllables=3)]
+
+    loc_rng = random.Random(seeds["loc"])
+    locations = [w.capitalize() for w in _make_unique_words(loc_rng, n_locations, min_syllables=2, max_syllables=3)]
+
+    dom_rng = random.Random(seeds["dom"])
+    domain_stems = _make_unique_words(dom_rng, n_domains)
+    domains = [stem + dom_rng.choice(_DOMAIN_TLDS) for stem in domain_stems]
+
+    return Vocabulary(
+        content_words=content_words,
+        general_words=general_words,
+        concepts=concepts,
+        organizations=organizations,
+        first_names=first_names,
+        last_names=last_names,
+        locations=locations,
+        domains=domains,
+        seed=seed,
+    )

@@ -1,0 +1,68 @@
+"""Experiment harness for regenerating the paper's tables and figures.
+
+``ExperimentContext`` prepares a dataset once (extraction + similarity
+graphs — the quadratic work that does not depend on training seeds); the
+runners then evaluate resolver configurations or baselines across the
+paper's 5-run protocol.  ``figures`` and ``tables`` build the exact series
+the paper plots/tabulates, and ``reporting`` renders them as text.
+"""
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    RunResult,
+    run_baseline,
+    run_config,
+)
+from repro.experiments.figures import (
+    figure1_series,
+    figure2_series,
+    figure3_series,
+    per_function_series,
+)
+from repro.experiments.tables import (
+    TABLE2_COLUMNS,
+    table2,
+    table3,
+)
+from repro.experiments.analysis import (
+    BlockProfile,
+    difficulty_correlation,
+    profile_block,
+    profile_collection,
+)
+from repro.experiments.significance import (
+    PairedComparison,
+    compare_strategies,
+    paired_differences,
+    permutation_test,
+)
+from repro.experiments.reporting import (
+    format_bar_chart,
+    format_region_series,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "RunResult",
+    "run_config",
+    "run_baseline",
+    "figure1_series",
+    "figure2_series",
+    "figure3_series",
+    "per_function_series",
+    "TABLE2_COLUMNS",
+    "table2",
+    "table3",
+    "format_table",
+    "format_bar_chart",
+    "format_region_series",
+    "BlockProfile",
+    "profile_block",
+    "profile_collection",
+    "difficulty_correlation",
+    "PairedComparison",
+    "compare_strategies",
+    "paired_differences",
+    "permutation_test",
+]

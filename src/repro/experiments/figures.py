@@ -1,0 +1,122 @@
+"""Builders for the paper's figure data.
+
+* Figure 1 — per-region accuracy of one similarity function (the paper
+  shows F3 for "Cohen" with k-means regions).
+* Figure 2 — WWW'05: Fp / F / Rand per individual function plus the
+  combined technique.
+* Figure 3 — the same on the WePS dataset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.accuracy import RegionAccuracyProfile
+from repro.core.config import ResolverConfig, table2_config
+from repro.core.labels import TrainingSample
+from repro.core.regions import fit_regions
+from repro.experiments.runner import ExperimentContext, RunResult, run_config
+from repro.metrics.report import MetricReport
+from repro.ml.sampling import sample_training_pairs
+from repro.similarity.functions import ALL_FUNCTION_NAMES
+
+
+@dataclass(frozen=True)
+class RegionAccuracyPoint:
+    """One region of the Figure 1 series."""
+
+    low: float
+    high: float
+    center: float
+    accuracy: float
+    n_training_pairs: int
+
+
+def figure1_series(
+    context: ExperimentContext,
+    function_name: str = "F3",
+    query_name: str | None = None,
+    method: str = "kmeans",
+    k: int = 10,
+    training_fraction: float = 0.1,
+    seed: int = 0,
+) -> list[RegionAccuracyPoint]:
+    """Per-region link-existence accuracy for one function on one name.
+
+    Defaults mirror the paper's Figure 1: function F3, the "Cohen" block,
+    k-means regions.
+
+    Raises:
+        KeyError: for unknown query or function names.
+    """
+    if query_name is None:
+        cohen = [name for name in context.collection.query_names()
+                 if name.endswith("Cohen")]
+        query_name = cohen[0] if cohen else context.collection.query_names()[0]
+    block = context.collection.by_name(query_name)
+    graph = context.graphs_by_name[query_name][function_name]
+
+    training = TrainingSample.from_pairs(sample_training_pairs(
+        block, fraction=training_fraction, seed=seed))
+    labeled_values = training.labeled_values(graph)
+    regions = fit_regions(method, [value for value, _ in labeled_values], k=k)
+    profile = RegionAccuracyProfile(regions, labeled_values)
+
+    points = []
+    for index in range(profile.n_regions):
+        low, high = regions.bounds(index)
+        stats = profile.region_stats(index)
+        points.append(RegionAccuracyPoint(
+            low=low, high=high, center=(low + high) / 2.0,
+            accuracy=stats.accuracy, n_training_pairs=stats.n_pairs))
+    return points
+
+
+def per_function_series(
+    context: ExperimentContext,
+    seeds: Sequence[int],
+    combined_column: str = "C10",
+) -> dict[str, MetricReport]:
+    """Mean metrics per individual function plus the combined technique.
+
+    This is the data behind Figures 2 and 3: each function is evaluated as
+    a threshold-based single-function resolver; the final entry (keyed
+    ``"combined"``) is the paper's proposed technique.
+    """
+    series: dict[str, MetricReport] = {}
+    for function_name in ALL_FUNCTION_NAMES:
+        config = ResolverConfig(function_names=(function_name,),
+                                criteria=("threshold",))
+        series[function_name] = run_config(
+            context, config, seeds, label=function_name).mean()
+    combined = run_config(context, table2_config(combined_column), seeds,
+                          label="combined")
+    series["combined"] = combined.mean()
+    return series
+
+
+def figure2_series(context: ExperimentContext,
+                   seeds: Sequence[int]) -> dict[str, MetricReport]:
+    """Figure 2 — per-function + combined metrics on a WWW'05-like context."""
+    return per_function_series(context, seeds)
+
+
+def figure3_series(context: ExperimentContext,
+                   seeds: Sequence[int]) -> dict[str, MetricReport]:
+    """Figure 3 — per-function + combined metrics on a WePS-like context."""
+    return per_function_series(context, seeds)
+
+
+def run_results_per_function(
+    context: ExperimentContext,
+    seeds: Sequence[int],
+) -> dict[str, RunResult]:
+    """Full per-run results per function (used by Table III)."""
+    results = {}
+    for function_name in ALL_FUNCTION_NAMES:
+        config = ResolverConfig(function_names=(function_name,),
+                                criteria=("threshold",))
+        results[function_name] = run_config(context, config, seeds,
+                                            label=function_name)
+    return results

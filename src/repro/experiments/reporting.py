@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and readable in terminals and
+captured logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.experiments.figures import RegionAccuracyPoint
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted to four decimals (the paper's precision).
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(width)
+                            for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(values: Mapping[str, float], title: str | None = None,
+                     width: int = 50) -> str:
+    """Render a horizontal ASCII bar chart of label -> value in [0, 1]."""
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max((len(label) for label in values), default=0)
+    for label, value in values.items():
+        clamped = min(1.0, max(0.0, value))
+        bar = "#" * round(clamped * width)
+        lines.append(f"{label.ljust(label_width)}  {value:.4f}  {bar}")
+    return "\n".join(lines)
+
+
+def format_region_series(points: Sequence[RegionAccuracyPoint],
+                         title: str | None = None) -> str:
+    """Render a Figure 1 style region-accuracy series."""
+    headers = ["region", "interval", "center", "pairs", "accuracy", "bar"]
+    rows = []
+    for index, point in enumerate(points):
+        bar = "#" * round(point.accuracy * 30)
+        rows.append([
+            index,
+            f"[{point.low:.3f}, {point.high:.3f})",
+            f"{point.center:.3f}",
+            point.n_training_pairs,
+            point.accuracy,
+            bar,
+        ])
+    return format_table(headers, rows, title=title)

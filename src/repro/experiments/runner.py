@@ -1,0 +1,128 @@
+"""Shared experiment runner.
+
+Implements the paper's evaluation protocol (§V-A2): for each of several
+runs, draw a fresh 10 % training sample per name, resolve, score against
+ground truth, and average.  Similarity graphs are computed once per
+dataset and shared across configurations, runs and baselines — they do not
+depend on the training sample.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines.base import PairwiseBaseline
+from repro.core.config import ResolverConfig
+from repro.core.labels import TrainingSample
+from repro.core.resolver import EntityResolver, compute_similarity_graphs
+from repro.corpus.documents import DocumentCollection
+from repro.extraction.features import PageFeatures
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.graph.entity_graph import WeightedPairGraph
+from repro.metrics.clusterings import clustering_from_assignments
+from repro.metrics.report import MetricReport, evaluate_clustering, mean_report
+from repro.ml.sampling import sample_training_pairs, training_runs
+from repro.similarity.functions import default_functions
+
+
+@dataclass
+class ExperimentContext:
+    """A dataset with its precomputed features and similarity graphs."""
+
+    collection: DocumentCollection
+    features_by_name: dict[str, dict[str, PageFeatures]]
+    graphs_by_name: dict[str, dict[str, WeightedPairGraph]]
+
+    @classmethod
+    def prepare(cls, collection: DocumentCollection,
+                pipeline: ExtractionPipeline | None = None,
+                functions: list | None = None) -> "ExperimentContext":
+        """Run extraction and the quadratic similarity step once.
+
+        All ten Table I functions are computed by default so every
+        configuration (any subset) can reuse the same graphs; pass
+        ``functions`` (e.g. ``repro.similarity.extended.full_battery()``)
+        to precompute a different battery.
+        """
+        if pipeline is None:
+            pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
+        functions = functions if functions is not None else default_functions()
+        features_by_name = {}
+        graphs_by_name = {}
+        for block in collection:
+            features = pipeline.extract_block(block)
+            features_by_name[block.query_name] = features
+            graphs_by_name[block.query_name] = compute_similarity_graphs(
+                block, features, functions)
+        return cls(collection=collection,
+                   features_by_name=features_by_name,
+                   graphs_by_name=graphs_by_name)
+
+    def seeds(self, n_runs: int = 5, base_seed: int = 0) -> list[int]:
+        """The protocol's per-run training seeds."""
+        return training_runs(n_runs=n_runs, base_seed=base_seed)
+
+
+@dataclass
+class RunResult:
+    """Per-run, per-name metric reports for one strategy."""
+
+    label: str
+    #: one entry per run: query name -> metric report
+    per_seed_reports: list[dict[str, MetricReport]] = field(default_factory=list)
+
+    def names(self) -> list[str]:
+        return list(self.per_seed_reports[0]) if self.per_seed_reports else []
+
+    def mean(self) -> MetricReport:
+        """Grand mean: average names within a run, then average runs."""
+        per_run = [mean_report(list(reports.values()))
+                   for reports in self.per_seed_reports]
+        return mean_report(per_run)
+
+    def name_mean(self, query_name: str) -> MetricReport:
+        """Average of one name's reports across runs."""
+        return mean_report([reports[query_name]
+                            for reports in self.per_seed_reports])
+
+    def metric(self, metric: str = "fp") -> float:
+        """Convenience: one scalar for the whole run."""
+        return self.mean().get(metric)
+
+
+def run_config(context: ExperimentContext, config: ResolverConfig,
+               seeds: Sequence[int], label: str | None = None) -> RunResult:
+    """Evaluate a resolver configuration under the multi-run protocol."""
+    resolver = EntityResolver(config)
+    result = RunResult(label=label or config.combiner)
+    for seed in seeds:
+        reports: dict[str, MetricReport] = {}
+        for block in context.collection:
+            resolution = resolver.resolve_block(
+                block, training_seed=seed,
+                graphs=context.graphs_by_name[block.query_name])
+            reports[block.query_name] = resolution.report
+        result.per_seed_reports.append(reports)
+    return result
+
+
+def run_baseline(context: ExperimentContext, baseline: PairwiseBaseline,
+                 seeds: Sequence[int],
+                 training_fraction: float = 0.1,
+                 sampling_mode: str = "pairs",
+                 label: str | None = None) -> RunResult:
+    """Evaluate a baseline under the same protocol as :func:`run_config`."""
+    result = RunResult(label=label or baseline.name)
+    for seed in seeds:
+        reports: dict[str, MetricReport] = {}
+        for block in context.collection:
+            training = TrainingSample.from_pairs(sample_training_pairs(
+                block, fraction=training_fraction, seed=seed,
+                mode=sampling_mode))
+            predicted = baseline.resolve_block(
+                block, context.graphs_by_name[block.query_name], training)
+            truth = clustering_from_assignments(block.ground_truth())
+            reports[block.query_name] = evaluate_clustering(predicted, truth)
+        result.per_seed_reports.append(reports)
+    return result

@@ -1,0 +1,101 @@
+"""Builders for the paper's Table II and Table III."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import table2_config
+from repro.corpus.datasets import surname
+from repro.experiments.figures import run_results_per_function
+from repro.experiments.runner import ExperimentContext, run_config
+
+#: Table II column order.
+TABLE2_COLUMNS = ("I4", "I7", "I10", "C4", "C7", "C10", "W")
+
+#: Table II metric rows per dataset, in the paper's order.
+TABLE2_METRICS = ("fp", "f1", "rand")
+
+
+@dataclass
+class Table2:
+    """Table II — comparison of function subsets and decision criteria.
+
+    ``values[dataset][metric][column]`` holds the averaged score.
+    """
+
+    values: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def get(self, dataset: str, metric: str, column: str) -> float:
+        return self.values[dataset][metric][column]
+
+    def datasets(self) -> list[str]:
+        return list(self.values)
+
+
+def table2(contexts: dict[str, ExperimentContext],
+           seeds: Sequence[int]) -> Table2:
+    """Regenerate Table II over the given dataset contexts.
+
+    Args:
+        contexts: dataset label -> prepared context (the paper uses
+            WWW'05 and WePS).
+        seeds: the protocol's training seeds.
+    """
+    table = Table2()
+    for dataset_label, context in contexts.items():
+        per_metric: dict[str, dict[str, float]] = {m: {} for m in TABLE2_METRICS}
+        for column in TABLE2_COLUMNS:
+            result = run_config(context, table2_config(column), seeds,
+                                label=column)
+            mean = result.mean()
+            for metric in TABLE2_METRICS:
+                per_metric[metric][column] = mean.get(metric)
+        table.values[dataset_label] = per_metric
+    return table
+
+
+@dataclass
+class Table3:
+    """Table III — per-name Fp for each function, C10 and W.
+
+    ``values[surname][column]`` holds the averaged Fp-measure; columns are
+    F1…F10, C10, W.
+    """
+
+    values: dict[str, dict[str, float]] = field(default_factory=dict)
+    columns: tuple[str, ...] = ()
+
+    def get(self, name: str, column: str) -> float:
+        return self.values[name][column]
+
+    def names(self) -> list[str]:
+        return list(self.values)
+
+    def best_function_per_name(self) -> dict[str, str]:
+        """Which single function wins each name (paper's S5 observation)."""
+        winners = {}
+        for name, row in self.values.items():
+            function_scores = {column: value for column, value in row.items()
+                               if column.startswith("F") and column != "Fp"}
+            winners[name] = max(function_scores, key=function_scores.get)
+        return winners
+
+
+def table3(context: ExperimentContext, seeds: Sequence[int],
+           metric: str = "fp") -> Table3:
+    """Regenerate Table III (per-name Fp on the WWW'05-like dataset)."""
+    per_function = run_results_per_function(context, seeds)
+    c10 = run_config(context, table2_config("C10"), seeds, label="C10")
+    weighted = run_config(context, table2_config("W"), seeds, label="W")
+
+    columns = tuple(per_function) + ("C10", "W")
+    table = Table3(columns=columns)
+    for query_name in context.collection.query_names():
+        row: dict[str, float] = {}
+        for function_name, result in per_function.items():
+            row[function_name] = result.name_mean(query_name).get(metric)
+        row["C10"] = c10.name_mean(query_name).get(metric)
+        row["W"] = weighted.name_mean(query_name).get(metric)
+        table.values[surname(query_name)] = row
+    return table

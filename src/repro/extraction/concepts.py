@@ -1,0 +1,69 @@
+"""Wikipedia-style concept extraction (SemanticHacker substitute).
+
+Concepts are multi-word phrases from a known concept inventory.  The
+extractor spots them in lowercased token streams by greedy longest-match
+and produces both the raw concept multiset (for the overlap-based F4) and a
+frequency-weighted, L1-normalized concept vector (for the cosine-based F1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+
+class ConceptExtractor:
+    """Spots known concept phrases in page text.
+
+    Args:
+        concepts: the concept inventory (phrases of one or more words).
+    """
+
+    def __init__(self, concepts: Iterable[str]):
+        self._index: dict[str, set[tuple[str, ...]]] = {}
+        self.max_len = 1
+        for concept in concepts:
+            tokens = tuple(concept.lower().split())
+            if not tokens:
+                continue
+            self._index.setdefault(tokens[0], set()).add(tokens)
+            self.max_len = max(self.max_len, len(tokens))
+
+    def extract_counts(self, tokens: list[str]) -> Counter:
+        """Concept phrase -> occurrence count for a page.
+
+        Args:
+            tokens: the page's tokens (any case; matching is lowercased).
+        """
+        lowered = [token.lower() for token in tokens]
+        counts: Counter = Counter()
+        position = 0
+        n_tokens = len(lowered)
+        while position < n_tokens:
+            candidates = self._index.get(lowered[position])
+            matched = False
+            if candidates:
+                limit = min(self.max_len, n_tokens - position)
+                for length in range(limit, 0, -1):
+                    window = tuple(lowered[position:position + length])
+                    if window in candidates:
+                        counts[" ".join(window)] += 1
+                        position += length
+                        matched = True
+                        break
+            if not matched:
+                position += 1
+        return counts
+
+    @staticmethod
+    def weighted_vector(counts: Counter) -> dict[str, float]:
+        """Frequency-weighted concept vector, L1-normalized.
+
+        Returns an empty dict for pages without concepts (the similarity
+        functions treat that as zero evidence, one of the paper's "missing
+        information" cases).
+        """
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {concept: count / total for concept, count in counts.items()}

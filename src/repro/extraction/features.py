@@ -1,0 +1,54 @@
+"""The extracted feature bundle consumed by similarity functions.
+
+Table I of the paper compares pages on: weighted concept vectors, page
+URLs, the most frequent name on the page, raw concept sets, organization
+entities, co-occurring person names, the name closest to the search
+keyword, and TF-IDF word vectors.  :class:`PageFeatures` carries exactly
+those fields.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PageFeatures:
+    """All features extracted from one web page.
+
+    Attributes:
+        doc_id: the page's identifier.
+        url: full page URL (feature of F2).
+        most_frequent_name: dominant person-name surface form (F3), empty
+            string when no person name was found.
+        closest_name_to_query: extracted name most string-similar to the
+            search keyword (F7), empty string when none was found.
+        concept_vector: weighted concept vector (F1).
+        concept_set: distinct extracted concepts (F4).
+        organizations: organization mention counts (F5).
+        other_persons: person names on the page *excluding* the query
+            person's own mentions (F6).
+        locations: location mention counts (auxiliary).
+        tfidf: TF-IDF body vector (F8, F9, F10).
+        n_tokens: page length in tokens (diagnostics).
+    """
+
+    doc_id: str
+    url: str = ""
+    most_frequent_name: str = ""
+    closest_name_to_query: str = ""
+    concept_vector: dict[str, float] = field(default_factory=dict)
+    concept_set: frozenset[str] = frozenset()
+    organizations: Counter = field(default_factory=Counter)
+    other_persons: Counter = field(default_factory=Counter)
+    locations: Counter = field(default_factory=Counter)
+    tfidf: dict[str, float] = field(default_factory=dict)
+    n_tokens: int = 0
+
+    def has_feature(self, feature: str) -> bool:
+        """True when the named feature carries any evidence on this page."""
+        value = getattr(self, feature)
+        if isinstance(value, str):
+            return bool(value)
+        return len(value) > 0

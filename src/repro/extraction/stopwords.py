@@ -1,0 +1,36 @@
+"""Stopword handling for document vectorization.
+
+The TF-IDF vectorizer removes classic English function words plus any
+corpus-specific high-frequency filler the caller supplies (the synthetic
+corpus has its own "general word" layer that plays the role of function
+words and is best filtered the same way).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+#: Small classic English stopword list; enough for web-page body text.
+STOPWORDS: frozenset[str] = frozenset("""
+a about above after again all also an and any are as at be because been
+before being below between both but by can did do does doing down during
+each few for from further had has have having he her here hers him his how
+i if in into is it its just me more most my no nor not of off on once only
+or other our ours out over own same she should so some such than that the
+their theirs them then there these they this those through to too under
+until up very was we were what when where which while who whom why will
+with you your yours
+""".split())
+
+
+def is_stopword(token: str, extra: frozenset[str] | None = None) -> bool:
+    """True if the (lowercased) token is a stopword."""
+    lowered = token.lower()
+    if lowered in STOPWORDS:
+        return True
+    return extra is not None and lowered in extra
+
+
+def build_stopword_set(extra_words: Iterable[str] = ()) -> frozenset[str]:
+    """The default stopwords extended with ``extra_words`` (lowercased)."""
+    return STOPWORDS | frozenset(word.lower() for word in extra_words)

@@ -1,0 +1,89 @@
+"""TF-IDF document vectorization (Lucene substitute).
+
+Implements the classic ``ltc`` weighting: logarithmic term frequency,
+smoothed inverse document frequency, cosine (L2) normalization.  Vectors
+are sparse ``dict[str, float]`` — page vocabularies are small relative to
+the collection vocabulary, and the similarity layer
+(:mod:`repro.similarity.vectors`) operates on sparse dicts throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+
+class TfidfVectorizer:
+    """Fits IDF statistics on a corpus, transforms documents to vectors.
+
+    The paper computes document vectors per blocking unit (one ambiguous
+    name's pages form the comparison universe), so a vectorizer instance is
+    typically fit per :class:`~repro.corpus.documents.NameCollection`.
+    """
+
+    def __init__(self, stopwords: frozenset[str] = frozenset(),
+                 min_token_length: int = 2):
+        self.stopwords = stopwords
+        self.min_token_length = min_token_length
+        self._idf: dict[str, float] = {}
+        self._n_documents = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._n_documents > 0
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._idf)
+
+    def _filter(self, tokens: Iterable[str]) -> list[str]:
+        return [
+            token.lower() for token in tokens
+            if len(token) >= self.min_token_length
+            and token.lower() not in self.stopwords
+        ]
+
+    def fit(self, documents: Sequence[list[str]]) -> "TfidfVectorizer":
+        """Learn IDF weights from tokenized documents.
+
+        Uses smoothed IDF: ``log((1 + N) / (1 + df)) + 1`` so unseen terms
+        at transform time still receive a finite weight.
+        """
+        self._n_documents = len(documents)
+        document_frequency: Counter = Counter()
+        for tokens in documents:
+            document_frequency.update(set(self._filter(tokens)))
+        n_docs = self._n_documents
+        self._idf = {
+            term: math.log((1 + n_docs) / (1 + df)) + 1.0
+            for term, df in document_frequency.items()
+        }
+        return self
+
+    def transform(self, tokens: list[str]) -> dict[str, float]:
+        """Map one tokenized document to an L2-normalized TF-IDF vector.
+
+        Terms never seen during :meth:`fit` get the maximum IDF (they are
+        maximally discriminative by the smoothing argument).
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("TfidfVectorizer.transform called before fit")
+        term_frequency = Counter(self._filter(tokens))
+        if not term_frequency:
+            return {}
+        default_idf = math.log(1 + self._n_documents) + 1.0
+        vector = {
+            term: (1.0 + math.log(count)) * self._idf.get(term, default_idf)
+            for term, count in term_frequency.items()
+        }
+        norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+        return {term: weight / norm for term, weight in vector.items()}
+
+    def fit_transform(self, documents: Sequence[list[str]]) -> list[dict[str, float]]:
+        """Fit on ``documents`` and transform each of them."""
+        self.fit(documents)
+        return [self.transform(tokens) for tokens in documents]

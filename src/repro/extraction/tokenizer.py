@@ -1,0 +1,45 @@
+"""Tokenization for web-page text.
+
+Tokens keep their original capitalization (the NER relies on it) but are
+stripped of punctuation; a trailing period after a single capital letter is
+treated as a name initial and preserved as the bare letter (``"J." -> "J"``).
+"""
+
+from __future__ import annotations
+
+import re
+
+_SENTENCE_SPLIT = re.compile(r"(?<=[.!?])\s+")
+_TOKEN = re.compile(r"[A-Za-z][A-Za-z'-]*")
+
+
+def sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on terminal punctuation."""
+    parts = _SENTENCE_SPLIT.split(text.strip())
+    return [part for part in parts if part]
+
+
+def tokenize(text: str) -> list[str]:
+    """Extract word tokens from ``text``, preserving case.
+
+    Punctuation is dropped; hyphens and apostrophes inside words are kept.
+
+    >>> tokenize("Prof. J. Cohen works at Acme Labs.")
+    ['Prof', 'J', 'Cohen', 'works', 'at', 'Acme', 'Labs']
+    """
+    return _TOKEN.findall(text)
+
+
+def lower_tokens(text: str) -> list[str]:
+    """Lowercased tokens, for term-frequency style processing."""
+    return [token.lower() for token in tokenize(text)]
+
+
+def is_capitalized(token: str) -> bool:
+    """True for tokens starting with an uppercase letter."""
+    return bool(token) and token[0].isupper()
+
+
+def is_initial(token: str) -> bool:
+    """True for single-letter uppercase tokens (name initials)."""
+    return len(token) == 1 and token.isupper()

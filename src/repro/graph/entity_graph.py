@@ -1,0 +1,118 @@
+"""Weighted pair graphs and decision graphs over web pages.
+
+``WeightedPairGraph`` is the paper's complete weighted graph ``G_w^fi``:
+every unordered page pair carries the similarity value reported by one
+function.  ``DecisionGraph`` is an unweighted graph ``G_Dj`` whose edges
+assert "same person" after a decision criterion has been applied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+PairKey = tuple[str, str]
+
+
+def pair_key(left: str, right: str) -> PairKey:
+    """Canonical unordered pair key (lexicographically sorted).
+
+    Raises:
+        ValueError: for self-pairs; the entity graph has no self-loops.
+    """
+    if left == right:
+        raise ValueError(f"self-pair not allowed: {left!r}")
+    return (left, right) if left < right else (right, left)
+
+
+@dataclass
+class WeightedPairGraph:
+    """Complete weighted graph over one block's pages.
+
+    Attributes:
+        nodes: page ids in block order.
+        weights: similarity value per canonical pair key.  A *complete*
+            graph stores every pair; sparse instances are permitted (e.g.
+            after blocking) and missing pairs read as 0.0.
+    """
+
+    nodes: list[str]
+    weights: dict[PairKey, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_scores(cls, nodes: Iterable[str],
+                    scores: dict[PairKey, float]) -> "WeightedPairGraph":
+        """Build from precomputed scores (keys must be canonical)."""
+        return cls(nodes=list(nodes), weights=dict(scores))
+
+    def weight(self, left: str, right: str) -> float:
+        """Similarity of a pair (0.0 when absent)."""
+        return self.weights.get(pair_key(left, right), 0.0)
+
+    def set_weight(self, left: str, right: str, value: float) -> None:
+        """Record a pair similarity."""
+        self.weights[pair_key(left, right)] = value
+
+    def pairs(self) -> Iterator[tuple[PairKey, float]]:
+        """All stored (pair, weight) items."""
+        return iter(self.weights.items())
+
+    def n_pairs(self) -> int:
+        return len(self.weights)
+
+    def values(self) -> list[float]:
+        """All similarity values (for region fitting and diagnostics)."""
+        return list(self.weights.values())
+
+    def is_complete(self) -> bool:
+        """True when every unordered node pair has a stored weight."""
+        n_nodes = len(self.nodes)
+        return len(self.weights) == n_nodes * (n_nodes - 1) // 2
+
+
+@dataclass
+class DecisionGraph:
+    """Unweighted same-person decision graph ``G_Dj`` over one block."""
+
+    nodes: list[str]
+    edges: set[PairKey] = field(default_factory=set)
+
+    @classmethod
+    def from_pairs(cls, nodes: Iterable[str],
+                   pairs: Iterable[PairKey]) -> "DecisionGraph":
+        """Build from an iterable of canonical pair keys."""
+        return cls(nodes=list(nodes), edges=set(pairs))
+
+    def has_edge(self, left: str, right: str) -> bool:
+        return pair_key(left, right) in self.edges
+
+    def add_edge(self, left: str, right: str) -> None:
+        self.edges.add(pair_key(left, right))
+
+    def remove_edge(self, left: str, right: str) -> None:
+        self.edges.discard(pair_key(left, right))
+
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def degree(self, node: str) -> int:
+        """Number of decision edges incident to ``node``."""
+        return sum(1 for pair in self.edges if node in pair)
+
+    def neighbors(self, node: str) -> set[str]:
+        """Nodes directly linked to ``node``."""
+        found = set()
+        for left, right in self.edges:
+            if left == node:
+                found.add(right)
+            elif right == node:
+                found.add(left)
+        return found
+
+    def adjacency(self) -> dict[str, set[str]]:
+        """Full adjacency map (nodes with no edges map to empty sets)."""
+        adjacency: dict[str, set[str]] = {node: set() for node in self.nodes}
+        for left, right in self.edges:
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+        return adjacency

@@ -1,0 +1,82 @@
+"""The decision multigraph used for combining similarity functions.
+
+§IV-B of the paper: the individual decision graphs ``G_Dj`` are first
+stacked into a multigraph whose parallel edges between two pages come from
+the individual graphs, each weighted by its source's accuracy estimation
+(interpreted as a link probability).  A weighted average per pair then
+yields combined link probabilities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.graph.entity_graph import DecisionGraph, PairKey, WeightedPairGraph
+
+
+@dataclass
+class DecisionMultiGraph:
+    """Parallel decision edges from multiple (function, criterion) graphs.
+
+    Attributes:
+        nodes: the block's page ids.
+        layers: (source label, decision graph, per-edge link probabilities)
+            triples.  Probabilities map each pair of the layer's graph to
+            the accuracy estimate backing that edge; pairs *without* an
+            edge in the layer may also carry a probability (the estimated
+            probability that the pair is a link despite the negative
+            decision), which the weighted combiner uses as negative
+            evidence.
+    """
+
+    nodes: list[str]
+    layers: list[tuple[str, DecisionGraph, dict[PairKey, float]]] = field(
+        default_factory=list)
+
+    def add_layer(self, label: str, graph: DecisionGraph,
+                  probabilities: dict[PairKey, float]) -> None:
+        """Stack one decision graph with its per-pair link probabilities.
+
+        Raises:
+            ValueError: if the layer's node set differs from the multigraph's.
+        """
+        if set(graph.nodes) != set(self.nodes):
+            raise ValueError(f"layer {label!r} has mismatching nodes")
+        self.layers.append((label, graph, probabilities))
+
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def edge_multiplicity(self, pair: PairKey) -> int:
+        """How many layers assert this pair as a link."""
+        return sum(1 for _, graph, _ in self.layers if pair in graph.edges)
+
+    def pair_probabilities(self, pair: PairKey) -> Iterator[tuple[str, float]]:
+        """(layer label, link probability) for every layer knowing the pair."""
+        for label, _, probabilities in self.layers:
+            if pair in probabilities:
+                yield label, probabilities[pair]
+
+    def all_pairs(self) -> set[PairKey]:
+        """Union of pairs known to any layer."""
+        pairs: set[PairKey] = set()
+        for _, graph, probabilities in self.layers:
+            pairs.update(graph.edges)
+            pairs.update(probabilities)
+        return pairs
+
+    def averaged(self) -> WeightedPairGraph:
+        """Plain (unweighted-average) combined link-probability graph.
+
+        Every pair's probability is the mean of the layer probabilities
+        that mention it.  The weighted combiner in
+        :mod:`repro.core.combination` implements the accuracy-weighted
+        variant; this method is the simple baseline.
+        """
+        combined = WeightedPairGraph(nodes=list(self.nodes))
+        for pair in self.all_pairs():
+            values = [probability for _, probability in self.pair_probabilities(pair)]
+            if values:
+                combined.weights[pair] = sum(values) / len(values)
+        return combined

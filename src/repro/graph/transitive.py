@@ -1,0 +1,21 @@
+"""Transitive-closure clustering (the paper's deployed clusterer).
+
+Similarity functions are not transitive, but the target equivalence
+relation is; the paper's implementation resolves the tension by taking the
+transitive closure of the combined decision graph — i.e. the connected
+components become the entity clusters.
+"""
+
+from __future__ import annotations
+
+from repro.graph.components import connected_components
+from repro.graph.entity_graph import DecisionGraph
+
+
+def transitive_closure_clusters(graph: DecisionGraph) -> list[set[str]]:
+    """Cluster a decision graph by transitive closure.
+
+    Returns the connected components as the entity partition; pages with
+    no decision edges become singleton entities.
+    """
+    return connected_components(graph.nodes, graph.edges)

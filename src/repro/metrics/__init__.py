@@ -1,0 +1,34 @@
+"""Clustering-quality measures used in the paper's evaluation (§V-A3).
+
+The paper reports the Fp-measure (harmonic mean of purity and inverse
+purity), the pairwise F-measure (with precision and recall), and the Rand
+index.  B-cubed precision/recall — the official WePS-2 measure — is
+included as an extension.
+"""
+
+from repro.metrics.clusterings import (
+    Clustering,
+    clustering_from_assignments,
+    clustering_from_sets,
+)
+from repro.metrics.pairwise import pairwise_scores
+from repro.metrics.purity import fp_measure, inverse_purity, purity
+from repro.metrics.rand import adjusted_rand_index, rand_index
+from repro.metrics.bcubed import bcubed_scores
+from repro.metrics.report import MetricReport, evaluate_clustering, mean_report
+
+__all__ = [
+    "Clustering",
+    "clustering_from_sets",
+    "clustering_from_assignments",
+    "pairwise_scores",
+    "purity",
+    "inverse_purity",
+    "fp_measure",
+    "rand_index",
+    "adjusted_rand_index",
+    "bcubed_scores",
+    "MetricReport",
+    "evaluate_clustering",
+    "mean_report",
+]

@@ -1,0 +1,111 @@
+"""The clustering value type shared by all metrics.
+
+A :class:`Clustering` is an immutable partition of a universe of item ids.
+Constructors validate the partition property (§II of the paper: entity
+resolution outputs are partitions — disjoint cliques in graph terms).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+
+class Clustering:
+    """An immutable partition of item ids into clusters."""
+
+    def __init__(self, clusters: Iterable[Iterable[str]]):
+        normalized: list[frozenset[str]] = []
+        seen: set[str] = set()
+        for cluster in clusters:
+            members = frozenset(cluster)
+            if not members:
+                continue
+            overlap = members & seen
+            if overlap:
+                raise ValueError(f"items in multiple clusters: {sorted(overlap)[:5]}")
+            seen.update(members)
+            normalized.append(members)
+        # Canonical order: by size descending, then lexicographic smallest
+        # member — determinism for tests and reports.
+        normalized.sort(key=lambda c: (-len(c), min(c)))
+        self._clusters: tuple[frozenset[str], ...] = tuple(normalized)
+        self._items: frozenset[str] = frozenset(seen)
+        self._assignment: dict[str, int] = {}
+        for index, cluster in enumerate(self._clusters):
+            for item in cluster:
+                self._assignment[item] = index
+
+    @property
+    def clusters(self) -> tuple[frozenset[str], ...]:
+        return self._clusters
+
+    @property
+    def items(self) -> frozenset[str]:
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        return iter(self._clusters)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clustering):
+            return NotImplemented
+        return set(self._clusters) == set(other._clusters)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._clusters))
+
+    def __repr__(self) -> str:
+        return f"Clustering({len(self._clusters)} clusters, {len(self._items)} items)"
+
+    def n_items(self) -> int:
+        return len(self._items)
+
+    def cluster_of(self, item: str) -> frozenset[str]:
+        """The cluster containing ``item``.
+
+        Raises:
+            KeyError: if the item is not in the clustering.
+        """
+        return self._clusters[self._assignment[item]]
+
+    def same_cluster(self, left: str, right: str) -> bool:
+        """True when the two items share a cluster."""
+        return self._assignment[left] == self._assignment[right]
+
+    def co_referent_pairs(self) -> int:
+        """Number of unordered intra-cluster pairs."""
+        return sum(len(c) * (len(c) - 1) // 2 for c in self._clusters)
+
+    def sizes(self) -> list[int]:
+        """Cluster sizes in canonical order."""
+        return [len(cluster) for cluster in self._clusters]
+
+
+def clustering_from_sets(clusters: Iterable[Iterable[str]]) -> Clustering:
+    """Build a clustering from item sets (empty sets are dropped)."""
+    return Clustering(clusters)
+
+
+def clustering_from_assignments(assignment: Mapping[str, str]) -> Clustering:
+    """Build a clustering from an ``item -> label`` mapping."""
+    by_label: dict[str, set[str]] = {}
+    for item, label in assignment.items():
+        by_label.setdefault(label, set()).add(item)
+    return Clustering(by_label.values())
+
+
+def check_same_universe(predicted: Clustering, truth: Clustering) -> None:
+    """Raise unless the two clusterings partition the same items.
+
+    Raises:
+        ValueError: on any universe mismatch.
+    """
+    if predicted.items != truth.items:
+        only_predicted = predicted.items - truth.items
+        only_truth = truth.items - predicted.items
+        raise ValueError(
+            "clusterings cover different items "
+            f"(only in predicted: {len(only_predicted)}, only in truth: {len(only_truth)})")

@@ -1,0 +1,59 @@
+"""Purity, inverse purity and the Fp-measure.
+
+The Fp-measure — the harmonic mean of purity and inverse purity — is the
+paper's headline metric (Tables II–III, Figures 2–3), following the web
+people search literature.
+
+* purity: each predicted cluster is credited with its majority true class;
+  measures how homogeneous predicted clusters are.
+* inverse purity: the same with roles swapped; measures how completely
+  true clusters are covered by predicted ones.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.clusterings import Clustering, check_same_universe
+
+
+def purity(predicted: Clustering, truth: Clustering) -> float:
+    """Weighted majority-class fraction over predicted clusters.
+
+    Raises:
+        ValueError: if the clusterings cover different items.
+    """
+    check_same_universe(predicted, truth)
+    return _directed_purity(predicted, truth)
+
+
+def inverse_purity(predicted: Clustering, truth: Clustering) -> float:
+    """Purity with the roles of predicted and true clusters swapped."""
+    check_same_universe(predicted, truth)
+    return _directed_purity(truth, predicted)
+
+
+def fp_measure(predicted: Clustering, truth: Clustering) -> float:
+    """Harmonic mean of purity and inverse purity (the paper's Fp)."""
+    pur = purity(predicted, truth)
+    inv = inverse_purity(predicted, truth)
+    if pur + inv == 0.0:
+        return 0.0
+    return 2.0 * pur * inv / (pur + inv)
+
+
+def _directed_purity(source: Clustering, target: Clustering) -> float:
+    """``(1/N) * Σ_C max_T |C ∩ T|`` for source clusters C, target T."""
+    n_items = source.n_items()
+    if n_items == 0:
+        return 1.0
+    target_index: dict[str, int] = {}
+    for index, cluster in enumerate(target.clusters):
+        for item in cluster:
+            target_index[item] = index
+    total = 0
+    for cluster in source.clusters:
+        counts: dict[int, int] = {}
+        for item in cluster:
+            label = target_index[item]
+            counts[label] = counts.get(label, 0) + 1
+        total += max(counts.values())
+    return total / n_items

@@ -1,0 +1,46 @@
+"""Rand index and adjusted Rand index."""
+
+from __future__ import annotations
+
+from repro.metrics.clusterings import Clustering, check_same_universe
+from repro.metrics.pairwise import pairwise_scores
+
+
+def rand_index(predicted: Clustering, truth: Clustering) -> float:
+    """Fraction of item pairs on which the two partitions agree.
+
+    Agreement means the pair is together in both partitions or separate in
+    both.  Defined as 1.0 for universes with fewer than two items.
+    """
+    check_same_universe(predicted, truth)
+    n_items = predicted.n_items()
+    total_pairs = n_items * (n_items - 1) // 2
+    if total_pairs == 0:
+        return 1.0
+    scores = pairwise_scores(predicted, truth)
+    agreements = total_pairs - scores.false_positives - scores.false_negatives
+    return agreements / total_pairs
+
+
+def adjusted_rand_index(predicted: Clustering, truth: Clustering) -> float:
+    """Rand index corrected for chance (Hubert & Arabie).
+
+    Returns 1.0 for identical partitions; approximately 0 for random
+    labelings.  Degenerate cases where the expected index equals the
+    maximum (e.g. both partitions all-singletons) return 1.0.
+    """
+    check_same_universe(predicted, truth)
+    n_items = predicted.n_items()
+    total_pairs = n_items * (n_items - 1) // 2
+    if total_pairs == 0:
+        return 1.0
+
+    scores = pairwise_scores(predicted, truth)
+    index = scores.true_positives
+    sum_predicted = predicted.co_referent_pairs()
+    sum_truth = truth.co_referent_pairs()
+    expected = sum_predicted * sum_truth / total_pairs
+    maximum = (sum_predicted + sum_truth) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (index - expected) / (maximum - expected)

@@ -1,0 +1,20 @@
+"""Minimal machine-learning substrate.
+
+The paper's techniques need only two learning primitives: a 1-D k-means
+for the value-space regions (§IV-A) and seeded sampling of labeled
+training pairs (§V-A2's 10 %, 5-run protocol).  Both are implemented here
+without external dependencies.
+"""
+
+from repro.ml.kmeans import KMeans1D, kmeans_1d
+from repro.ml.noise import flip_labels, one_sided_noise
+from repro.ml.sampling import sample_training_pairs, training_runs
+
+__all__ = [
+    "KMeans1D",
+    "kmeans_1d",
+    "sample_training_pairs",
+    "training_runs",
+    "flip_labels",
+    "one_sided_noise",
+]

@@ -1,0 +1,45 @@
+"""The similarity-function abstraction.
+
+A similarity function (paper §III) maps a pair of pages — via their
+extracted :class:`~repro.extraction.features.PageFeatures` — to a value in
+[0, 1].  Functions are *not* transitive, which is exactly why the paper
+layers accuracy estimation and graph clustering on top.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.extraction.features import PageFeatures
+
+PairScorer = Callable[[PageFeatures, PageFeatures], float]
+
+
+@dataclass(frozen=True)
+class SimilarityFunction:
+    """A named pairwise similarity function.
+
+    Attributes:
+        name: short identifier, e.g. ``"F3"``.
+        feature: the page feature compared (paper Table I wording).
+        measure: the similarity measure applied (paper Table I wording).
+        scorer: the actual pair function.
+    """
+
+    name: str
+    feature: str
+    measure: str
+    scorer: PairScorer
+
+    def __call__(self, left: PageFeatures, right: PageFeatures) -> float:
+        """Score a pair; result is clamped to [0, 1]."""
+        value = self.scorer(left, right)
+        if value < 0.0:
+            return 0.0
+        if value > 1.0:
+            return 1.0
+        return value
+
+    def __repr__(self) -> str:  # concise in experiment logs
+        return f"SimilarityFunction({self.name}: {self.feature} / {self.measure})"

@@ -1,0 +1,107 @@
+"""Vector and set similarity measures of the paper's Table I.
+
+All measures return values in [0, 1].  Pairs where either side carries no
+evidence (empty vector / empty set) score 0.0: the paper treats "missing or
+incomplete information" as one cause of low similarity, and the
+region-based accuracy estimation then learns how trustworthy such low
+values are.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Set
+
+from repro.similarity.vectors import SparseVector, dot, norm, norm_squared
+
+
+def cosine(left: SparseVector, right: SparseVector) -> float:
+    """Cosine similarity; 0.0 when either vector is empty.
+
+    For non-negative vectors (our TF-IDF and concept weights) the value is
+    in [0, 1]; negative components are clamped at 0.
+    """
+    if not left or not right:
+        return 0.0
+    denominator = norm(left) * norm(right)
+    if denominator == 0.0:
+        return 0.0
+    value = dot(left, right) / denominator
+    return min(1.0, max(0.0, value))
+
+
+def pearson_similarity(left: SparseVector, right: SparseVector) -> float:
+    """Pearson correlation over the union support, rescaled to [0, 1].
+
+    The correlation ``r`` in [-1, 1] is mapped to ``(r + 1) / 2``.  Pairs
+    with no evidence or zero variance on either side score 0.0.
+    """
+    if not left or not right:
+        return 0.0
+    keys = set(left) | set(right)
+    dimension = len(keys)
+    if dimension < 2:
+        return 0.0
+    mean_left = sum(left.values()) / dimension
+    mean_right = sum(right.values()) / dimension
+    covariance = 0.0
+    variance_left = 0.0
+    variance_right = 0.0
+    for key in keys:
+        deviation_left = left.get(key, 0.0) - mean_left
+        deviation_right = right.get(key, 0.0) - mean_right
+        covariance += deviation_left * deviation_right
+        variance_left += deviation_left * deviation_left
+        variance_right += deviation_right * deviation_right
+    if variance_left == 0.0 or variance_right == 0.0:
+        return 0.0
+    correlation = covariance / (variance_left ** 0.5 * variance_right ** 0.5)
+    correlation = min(1.0, max(-1.0, correlation))
+    return (correlation + 1.0) / 2.0
+
+
+def extended_jaccard(left: SparseVector, right: SparseVector) -> float:
+    """Extended (Tanimoto) Jaccard: ``x·y / (|x|² + |y|² − x·y)``.
+
+    Coincides with set Jaccard for binary vectors; 0.0 on empty input.
+    """
+    if not left or not right:
+        return 0.0
+    product = dot(left, right)
+    denominator = norm_squared(left) + norm_squared(right) - product
+    if denominator <= 0.0:
+        return 0.0
+    return min(1.0, max(0.0, product / denominator))
+
+
+def overlap_coefficient(left: Set | Collection, right: Set | Collection) -> float:
+    """Normalized overlap count: ``|A ∩ B| / min(|A|, |B|)``.
+
+    The paper's F4–F6 use "number of overlapping" items as the measure;
+    the overlap coefficient is that count normalized into [0, 1] by the
+    smaller set, so a page mentioning few entities is not penalized for
+    brevity.  Scores 0.0 when either side is empty.
+    """
+    left_set = set(left)
+    right_set = set(right)
+    if not left_set or not right_set:
+        return 0.0
+    intersection = len(left_set & right_set)
+    return intersection / min(len(left_set), len(right_set))
+
+
+def jaccard(left: Set | Collection, right: Set | Collection) -> float:
+    """Plain set Jaccard ``|A ∩ B| / |A ∪ B|`` (0.0 on empty input)."""
+    left_set = set(left)
+    right_set = set(right)
+    if not left_set or not right_set:
+        return 0.0
+    return len(left_set & right_set) / len(left_set | right_set)
+
+
+def dice(left: Set | Collection, right: Set | Collection) -> float:
+    """Dice coefficient ``2|A ∩ B| / (|A| + |B|)`` (0.0 on empty input)."""
+    left_set = set(left)
+    right_set = set(right)
+    if not left_set or not right_set:
+        return 0.0
+    return 2.0 * len(left_set & right_set) / (len(left_set) + len(right_set))

@@ -1,0 +1,66 @@
+"""URL similarity (feature of F2).
+
+The paper compares page URLs by string similarity, motivated by the
+observation that two pages on the same web domain are often about the same
+person.  We parse URLs into (domain, path) and weight domain agreement
+heavily: identical domains are strong evidence, while path similarity only
+fine-tunes the score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.similarity.strings import normalized_edit_similarity
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """Scheme-stripped URL components."""
+
+    domain: str
+    path: str
+
+
+def parse_url(url: str) -> ParsedUrl:
+    """Split a URL into domain and path, dropping the scheme.
+
+    >>> parse_url("http://example.org/a/b.html")
+    ParsedUrl(domain='example.org', path='/a/b.html')
+    """
+    stripped = url.split("://", 1)[-1]
+    if "/" in stripped:
+        domain, _, path = stripped.partition("/")
+        return ParsedUrl(domain=domain.lower(), path="/" + path)
+    return ParsedUrl(domain=stripped.lower(), path="")
+
+
+def domain_similarity(left: str, right: str) -> float:
+    """Similarity of two domains: exact match, shared registrable suffix,
+    or string similarity as a weak fallback."""
+    if not left or not right:
+        return 0.0
+    if left == right:
+        return 1.0
+    left_parts = left.split(".")
+    right_parts = right.split(".")
+    # Same registrable domain, different subdomain (www vs people, etc.).
+    if left_parts[-2:] == right_parts[-2:] and len(left_parts) >= 2:
+        return 0.8
+    return 0.5 * normalized_edit_similarity(left, right)
+
+
+def url_similarity(left: str, right: str, domain_weight: float = 0.8) -> float:
+    """String similarity of two URLs with domain-dominant weighting.
+
+    Args:
+        domain_weight: fraction of the score carried by the domain
+            component; the remainder comes from path edit similarity.
+    """
+    if not left or not right:
+        return 0.0
+    parsed_left = parse_url(left)
+    parsed_right = parse_url(right)
+    domain_score = domain_similarity(parsed_left.domain, parsed_right.domain)
+    path_score = normalized_edit_similarity(parsed_left.path, parsed_right.path)
+    return domain_weight * domain_score + (1.0 - domain_weight) * path_score

@@ -1,0 +1,121 @@
+"""Baseline strategy tests.
+
+All baselines run on the session fixture block so they face realistic
+inputs; structural invariants (valid partitions over the right universe)
+are checked everywhere, and selected behavioural contrasts are asserted
+on constructed toy inputs.
+"""
+
+import pytest
+
+from repro.baselines import (
+    AgglomerativeBaseline,
+    ClusteringSelectionBaseline,
+    DynamicSelectionBaseline,
+    MajorityVoteBaseline,
+    OracleBestFunctionBaseline,
+    TrainedBestFunctionBaseline,
+    WeightedVoteBaseline,
+)
+from repro.core.labels import TrainingSample
+from repro.graph.validation import is_partition
+from repro.metrics.clusterings import clustering_from_assignments
+from repro.metrics.purity import fp_measure
+from repro.ml.sampling import sample_training_pairs
+
+ALL_BASELINES = [
+    TrainedBestFunctionBaseline(),
+    OracleBestFunctionBaseline(),
+    MajorityVoteBaseline(),
+    WeightedVoteBaseline(),
+    DynamicSelectionBaseline(),
+    ClusteringSelectionBaseline(),
+    AgglomerativeBaseline(),
+]
+
+
+@pytest.fixture(scope="module")
+def training(small_block):
+    return TrainingSample.from_pairs(
+        sample_training_pairs(small_block, fraction=0.1, seed=0))
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("baseline", ALL_BASELINES,
+                             ids=[b.name for b in ALL_BASELINES])
+    def test_output_is_partition(self, baseline, small_block, block_graphs,
+                                 training):
+        clustering = baseline.resolve_block(small_block, block_graphs, training)
+        assert is_partition([set(c) for c in clustering],
+                            small_block.page_ids())
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES,
+                             ids=[b.name for b in ALL_BASELINES])
+    def test_scores_are_sane(self, baseline, small_block, block_graphs,
+                             training):
+        truth = clustering_from_assignments(small_block.ground_truth())
+        clustering = baseline.resolve_block(small_block, block_graphs, training)
+        assert 0.0 <= fp_measure(clustering, truth) <= 1.0
+
+
+class TestOracleDominance:
+    def test_oracle_at_least_as_good_as_trained(self, small_block,
+                                                block_graphs, training):
+        truth = clustering_from_assignments(small_block.ground_truth())
+        oracle = OracleBestFunctionBaseline().resolve_block(
+            small_block, block_graphs, training)
+        trained = TrainedBestFunctionBaseline().resolve_block(
+            small_block, block_graphs, training)
+        assert (fp_measure(oracle, truth)
+                >= fp_measure(trained, truth) - 1e-12)
+
+
+class TestVotingContrast:
+    def test_majority_and_weighted_can_differ(self, small_block, block_graphs,
+                                              training):
+        majority = MajorityVoteBaseline().resolve_block(
+            small_block, block_graphs, training)
+        weighted = WeightedVoteBaseline().resolve_block(
+            small_block, block_graphs, training)
+        # Both valid; no required ordering, but both must produce clusters.
+        assert len(majority) >= 1
+        assert len(weighted) >= 1
+
+
+class TestAgglomerative:
+    def test_respects_function_choice(self, small_block, block_graphs,
+                                      training):
+        f8 = AgglomerativeBaseline("F8").resolve_block(
+            small_block, block_graphs, training)
+        f2 = AgglomerativeBaseline("F2").resolve_block(
+            small_block, block_graphs, training)
+        assert f8.items == f2.items
+
+    def test_never_link_threshold_gives_singletons(self, small_block,
+                                                   block_graphs):
+        # A training sample with only negative labels forces a never-link
+        # threshold, so agglomeration must not merge anything.
+        negatives = TrainingSample.from_pairs([
+            (pair, False) for pair, _ in sample_training_pairs(
+                small_block, fraction=0.05, seed=1)
+        ])
+        clustering = AgglomerativeBaseline("F8").resolve_block(
+            small_block, block_graphs, negatives)
+        assert len(clustering) == len(small_block)
+
+
+class TestDynamicSelection:
+    def test_region_parameters_respected(self, small_block, block_graphs,
+                                         training):
+        coarse = DynamicSelectionBaseline(region_k=2).resolve_block(
+            small_block, block_graphs, training)
+        fine = DynamicSelectionBaseline(region_k=15).resolve_block(
+            small_block, block_graphs, training)
+        assert coarse.items == fine.items
+
+    def test_subset_of_functions(self, small_block, block_graphs, training):
+        clustering = DynamicSelectionBaseline(
+            function_names=("F8", "F2")).resolve_block(
+            small_block, block_graphs, training)
+        assert is_partition([set(c) for c in clustering],
+                            small_block.page_ids())

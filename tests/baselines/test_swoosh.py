@@ -1,0 +1,115 @@
+"""R-Swoosh baseline tests."""
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines.swoosh import SwooshBaseline, merge_features, r_swoosh
+from repro.core.labels import TrainingSample
+from repro.extraction.features import PageFeatures
+from repro.graph.validation import is_partition
+from repro.ml.sampling import sample_training_pairs
+from repro.similarity.base import SimilarityFunction
+from repro.similarity.functions import function_by_name
+
+
+def features(doc_id, tfidf=None, orgs=None, name=""):
+    return PageFeatures(
+        doc_id=doc_id,
+        most_frequent_name=name,
+        organizations=Counter(orgs or {}),
+        tfidf=tfidf or {},
+    )
+
+
+class TestMergeFeatures:
+    def test_counters_add(self):
+        merged = merge_features(
+            features("a", orgs={"Acme Labs": 2}),
+            features("b", orgs={"Acme Labs": 1, "Initech": 1}))
+        assert merged.organizations == Counter(
+            {"Acme Labs": 3, "Initech": 1})
+
+    def test_concept_sets_union(self):
+        left = PageFeatures(doc_id="a", concept_set=frozenset({"x y"}))
+        right = PageFeatures(doc_id="b", concept_set=frozenset({"z w"}))
+        assert merge_features(left, right).concept_set == {"x y", "z w"}
+
+    def test_tfidf_unit_norm(self):
+        merged = merge_features(
+            features("a", tfidf={"w1": 1.0}),
+            features("b", tfidf={"w2": 1.0}))
+        norm = sum(v * v for v in merged.tfidf.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_name_prefers_longer_nonempty(self):
+        merged = merge_features(features("a", name="J. Roe"),
+                                features("b", name="Jane Roe"))
+        assert merged.most_frequent_name == "Jane Roe"
+        merged = merge_features(features("a", name=""),
+                                features("b", name="Jane Roe"))
+        assert merged.most_frequent_name == "Jane Roe"
+
+    def test_merge_only_adds_information(self):
+        left = features("a", tfidf={"w": 1.0}, orgs={"Acme Labs": 1})
+        right = features("b")
+        merged = merge_features(left, right)
+        assert set(merged.tfidf) >= set(left.tfidf)
+        assert set(merged.organizations) >= set(left.organizations)
+
+
+class TestRSwoosh:
+    def test_transitive_via_merge(self):
+        # a matches b; their merged record still matches c, placing a and
+        # c in one entity even though a-c scores 0.0 — the Swoosh dynamic.
+        bundles = {
+            "a": features("a", tfidf={"w1": 1.0}),
+            "b": features("b", tfidf={"w1": 0.7, "w2": 0.714}),
+            "c": features("c", tfidf={"w2": 1.0}),
+        }
+        match = function_by_name("F8")
+        assert match(bundles["a"], bundles["c"]) == 0.0
+        clusters = r_swoosh(bundles, match, threshold=0.35)
+        assert {frozenset(c) for c in clusters} == {frozenset({"a", "b", "c"})}
+
+    def test_no_matches_all_singletons(self):
+        bundles = {
+            "a": features("a", tfidf={"w1": 1.0}),
+            "b": features("b", tfidf={"w2": 1.0}),
+        }
+        clusters = r_swoosh(bundles, function_by_name("F8"), threshold=0.5)
+        assert len(clusters) == 2
+
+    def test_partition(self):
+        bundles = {f"d{i}": features(f"d{i}", tfidf={f"w{i % 3}": 1.0})
+                   for i in range(9)}
+        clusters = r_swoosh(bundles, function_by_name("F8"), threshold=0.9)
+        assert is_partition([set(c) for c in clusters], list(bundles))
+
+    def test_always_match_single_cluster(self):
+        always = SimilarityFunction("one", "t", "t", lambda a, b: 1.0)
+        bundles = {f"d{i}": features(f"d{i}") for i in range(5)}
+        clusters = r_swoosh(bundles, always, threshold=0.5)
+        assert len(clusters) == 1
+
+
+class TestSwooshBaseline:
+    def test_on_generated_block(self, small_block, block_graphs,
+                                block_features):
+        training = TrainingSample.from_pairs(
+            sample_training_pairs(small_block, fraction=0.1, seed=0))
+        baseline = SwooshBaseline(block_features, function_name="F8")
+        clustering = baseline.resolve_block(small_block, block_graphs,
+                                            training)
+        assert is_partition([set(c) for c in clustering],
+                            small_block.page_ids())
+
+    def test_never_link_training(self, small_block, block_graphs,
+                                 block_features):
+        negatives = TrainingSample.from_pairs([
+            (pair, False) for pair, _ in sample_training_pairs(
+                small_block, fraction=0.05, seed=2)])
+        baseline = SwooshBaseline(block_features, function_name="F8")
+        clustering = baseline.resolve_block(small_block, block_graphs,
+                                            negatives)
+        assert len(clustering) == len(small_block)

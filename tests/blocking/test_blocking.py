@@ -1,0 +1,154 @@
+"""Blocking scheme tests."""
+
+import pytest
+
+from repro.blocking.base import BlockingResult, pairs_within
+from repro.blocking.name_blocking import QueryNameBlocker
+from repro.blocking.sorted_neighborhood import (
+    SortedNeighborhoodBlocker,
+    domain_key,
+    title_key,
+)
+from repro.blocking.token_blocking import TokenBlocker
+from repro.corpus.documents import WebPage
+
+
+def make_page(doc_id, query="Jane Roe", person="p0",
+              url="http://a.org/x", title="title", text="text"):
+    return WebPage(doc_id=doc_id, query_name=query, url=url, title=title,
+                   text=text, person_id=person)
+
+
+class TestPairsWithin:
+    def test_all_pairs(self):
+        pairs = pairs_within(["c", "a", "b"])
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_single(self):
+        assert pairs_within(["a"]) == set()
+
+
+class TestBlockingResult:
+    def test_reduction_ratio(self):
+        pages = [make_page(f"x/{i}") for i in range(5)]
+        result = BlockingResult(pages=pages,
+                                candidate_pairs={("x/0", "x/1")})
+        assert result.total_pairs() == 10
+        assert result.reduction_ratio() == pytest.approx(0.9)
+
+    def test_pair_completeness_full(self):
+        pages = [make_page("x/0", person="a"), make_page("x/1", person="a"),
+                 make_page("x/2", person="b")]
+        result = BlockingResult(pages=pages,
+                                candidate_pairs={("x/0", "x/1")})
+        assert result.pair_completeness() == 1.0
+
+    def test_pair_completeness_partial(self):
+        pages = [make_page(f"x/{i}", person="a") for i in range(3)]
+        result = BlockingResult(pages=pages,
+                                candidate_pairs={("x/0", "x/1")})
+        assert result.pair_completeness() == pytest.approx(1.0 / 3.0)
+
+    def test_pair_completeness_no_links(self):
+        pages = [make_page("x/0", person="a"), make_page("x/1", person="b")]
+        result = BlockingResult(pages=pages)
+        assert result.pair_completeness() == 1.0
+
+    def test_unlabeled_raises(self):
+        pages = [make_page("x/0", person=None)]
+        result = BlockingResult(pages=pages)
+        with pytest.raises(ValueError, match="unlabeled"):
+            result.pair_completeness()
+
+    def test_empty_universe(self):
+        result = BlockingResult(pages=[])
+        assert result.reduction_ratio() == 0.0
+
+
+class TestQueryNameBlocker:
+    def test_blocks_by_name(self):
+        pages = [make_page("a/0", query="A B"), make_page("a/1", query="A B"),
+                 make_page("b/0", query="C D")]
+        result = QueryNameBlocker().block(pages)
+        assert result.candidate_pairs == {("a/0", "a/1")}
+
+    def test_lossless_on_generated_data(self, small_dataset):
+        result = QueryNameBlocker().block(small_dataset.all_pages())
+        assert result.pair_completeness() == 1.0
+
+    def test_reduction_on_multi_name_data(self, small_dataset):
+        result = QueryNameBlocker().block(small_dataset.all_pages())
+        assert result.reduction_ratio() > 0.5
+
+
+class TestTokenBlocker:
+    def test_shared_entity_token_pairs(self):
+        pages = [
+            make_page("x/0", text="works at Initech daily"),
+            make_page("x/1", text="joined Initech recently"),
+            make_page("x/2", text="nothing relevant here"),
+        ]
+        result = TokenBlocker(max_block_fraction=1.0).block(pages)
+        assert ("x/0", "x/1") in result.candidate_pairs
+        assert ("x/0", "x/2") not in result.candidate_pairs
+
+    def test_stop_blocks_dropped(self):
+        pages = [make_page(f"x/{i}", text="Common token everywhere")
+                 for i in range(10)]
+        result = TokenBlocker(max_block_fraction=0.2).block(pages)
+        assert not result.candidate_pairs
+
+    def test_entity_tokens_only(self):
+        pages = [
+            make_page("x/0", text="shared lowercase word", title=""),
+            make_page("x/1", text="shared lowercase word", title=""),
+        ]
+        capitalized_only = TokenBlocker(entity_tokens_only=True).block(pages)
+        assert not capitalized_only.candidate_pairs
+        all_tokens = TokenBlocker(entity_tokens_only=False,
+                                  max_block_fraction=1.0).block(pages)
+        assert all_tokens.candidate_pairs
+
+    def test_decent_completeness_on_generated_data(self, small_block):
+        result = TokenBlocker(max_block_fraction=0.6).block(small_block.pages)
+        assert result.pair_completeness() > 0.5
+
+
+class TestSortedNeighborhoodBlocker:
+    def test_window_pairs(self):
+        pages = [make_page(f"x/{i}", title=f"title {chr(97 + i)}")
+                 for i in range(5)]
+        result = SortedNeighborhoodBlocker(window=2, keys=[title_key]).block(pages)
+        # Window 2 pairs each page with its immediate sorted neighbor.
+        assert len(result.candidate_pairs) == 4
+
+    def test_window_must_be_at_least_two(self):
+        with pytest.raises(ValueError, match="window"):
+            SortedNeighborhoodBlocker(window=1)
+
+    def test_multi_pass_unions(self):
+        pages = [
+            make_page("x/0", title="aaa", url="http://z.org/1"),
+            make_page("x/1", title="zzz", url="http://z.org/2"),
+            make_page("x/2", title="aab", url="http://q.net/3"),
+        ]
+        single = SortedNeighborhoodBlocker(window=2, keys=[title_key]).block(pages)
+        double = SortedNeighborhoodBlocker(
+            window=2, keys=[title_key, domain_key]).block(pages)
+        assert single.candidate_pairs <= double.candidate_pairs
+        assert ("x/0", "x/1") in double.candidate_pairs  # same domain pass
+
+    def test_window_larger_than_universe(self):
+        pages = [make_page(f"x/{i}") for i in range(3)]
+        result = SortedNeighborhoodBlocker(window=10, keys=[title_key]).block(pages)
+        assert len(result.candidate_pairs) == 3  # complete graph
+
+
+class TestKeys:
+    def test_domain_key_reverses_labels(self):
+        page = make_page("x/0", url="http://people.example.org/x")
+        assert domain_key(page) == "org.example.people"
+
+    def test_title_key_lowercases(self):
+        page = make_page("x/0", title="Some Title")
+        assert title_key(page) == "some title"

@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+The expensive artifacts (a small generated dataset, its extracted features
+and similarity graphs) are session-scoped: similarity values do not depend
+on training seeds, so every test can reuse them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resolver import compute_similarity_graphs
+from repro.corpus.datasets import www05_like
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.corpus.vocabulary import build_vocabulary
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.similarity.functions import default_functions
+
+
+@pytest.fixture(scope="session")
+def vocabulary():
+    """A small, fixed vocabulary."""
+    return build_vocabulary(seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Three names, 30 pages each — fast but structurally realistic."""
+    return www05_like(
+        seed=11,
+        pages_per_name=30,
+        names=["William Cohen", "Adam Cheyer", "Lynn Voss"],
+    )
+
+
+@pytest.fixture(scope="session")
+def small_block(small_dataset):
+    """The Cohen block of the small dataset."""
+    return small_dataset.by_name("William Cohen")
+
+
+@pytest.fixture(scope="session")
+def pipeline(small_dataset, vocabulary):
+    """Extraction pipeline matching the small dataset's vocabulary."""
+    return ExtractionPipeline.from_vocabulary(
+        vocabulary, query_names=small_dataset.query_names())
+
+
+@pytest.fixture(scope="session")
+def block_features(pipeline, small_block):
+    """Extracted features for the Cohen block."""
+    return pipeline.extract_block(small_block)
+
+
+@pytest.fixture(scope="session")
+def block_graphs(small_block, block_features):
+    """Weighted similarity graphs (all ten functions) for the Cohen block."""
+    return compute_similarity_graphs(
+        small_block, block_features, default_functions())
+
+
+@pytest.fixture(scope="session")
+def tiny_generator():
+    """A generator with a tiny page budget for structure-level tests."""
+    return CorpusGenerator(GeneratorConfig(pages_per_name=12, max_clusters=4))

@@ -1,0 +1,88 @@
+"""Region-accuracy estimation tests."""
+
+import pytest
+
+from repro.core.accuracy import RegionAccuracyProfile, overall_accuracy
+from repro.core.regions import EqualWidthRegions
+
+
+def profile_from(data, n_bins=10, smoothing=0.0):
+    return RegionAccuracyProfile(EqualWidthRegions(n_bins), data,
+                                 smoothing=smoothing)
+
+
+class TestRegionAccuracyProfile:
+    def test_unsmoothed_accuracy_is_link_fraction(self):
+        data = [(0.05, True), (0.05, False), (0.06, True), (0.07, True)]
+        profile = profile_from(data)
+        assert profile.region_accuracy(0) == pytest.approx(0.75)
+
+    def test_link_probability_uses_region(self):
+        data = [(0.05, False), (0.95, True)]
+        profile = profile_from(data)
+        assert profile.link_probability(0.02) < 0.5
+        assert profile.link_probability(0.98) > 0.5
+
+    def test_decide_majority(self):
+        data = [(0.05, False), (0.06, False), (0.07, True),
+                (0.95, True), (0.96, True), (0.97, False)]
+        profile = profile_from(data)
+        assert not profile.decide(0.05)
+        assert profile.decide(0.95)
+
+    def test_empty_region_falls_back_to_prior(self):
+        data = [(0.05, True), (0.06, True), (0.07, False)]
+        profile = profile_from(data, smoothing=0.0)
+        # Region around 0.5 saw no data; prior is smoothed 2/3-ish.
+        assert profile.link_probability(0.5) == profile.prior
+
+    def test_smoothing_shrinks_extremes(self):
+        data = [(0.05, True)]  # one positive in bin 0
+        unsmoothed = profile_from(data, smoothing=0.0)
+        smoothed = profile_from(data, smoothing=1.0)
+        assert unsmoothed.region_accuracy(0) == 1.0
+        assert smoothed.region_accuracy(0) < 1.0
+
+    def test_region_stats(self):
+        data = [(0.05, True), (0.06, False)]
+        profile = profile_from(data)
+        stats = profile.region_stats(0)
+        assert stats.n_pairs == 2
+        assert stats.n_links == 1
+
+    def test_accuracy_series_matches_regions(self):
+        data = [(0.05, True), (0.95, False)]
+        profile = profile_from(data, n_bins=4)
+        series = profile.accuracy_series()
+        assert len(series) == 4
+        assert series[0][0] == 0.0
+        assert series[-1][1] == 1.0
+
+    def test_non_monotone_structure_is_captured(self):
+        # Low values: links (missing info on dominant-cluster pairs);
+        # mid values: non-links; high values: links.  Thresholds cannot
+        # express this, region profiles can — the paper's core argument.
+        data = ([(0.05, True)] * 8 + [(0.05, False)] * 2
+                + [(0.5, False)] * 8 + [(0.5, True)] * 2
+                + [(0.95, True)] * 9 + [(0.95, False)] * 1)
+        profile = profile_from(data)
+        assert profile.decide(0.05)
+        assert not profile.decide(0.5)
+        assert profile.decide(0.95)
+
+
+class TestOverallAccuracy:
+    def test_basic(self):
+        assert overall_accuracy([True, False, True],
+                                [True, True, True]) == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        assert overall_accuracy([True, False], [True, False]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            overall_accuracy([True], [True, False])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="zero"):
+            overall_accuracy([], [])

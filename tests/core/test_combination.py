@@ -1,0 +1,130 @@
+"""Combiner tests."""
+
+import pytest
+
+from repro.core.combination import (
+    BestGraphSelector,
+    DecisionLayer,
+    MajorityVoteCombiner,
+    WeightedAverageCombiner,
+    build_combiner,
+)
+from repro.core.decisions import ThresholdDecision
+from repro.core.labels import TrainingSample
+from repro.graph.entity_graph import DecisionGraph
+
+NODES = ["a", "b", "c"]
+
+
+def make_layer(function_name, edges, probabilities, graph_accuracy,
+               training_data=((0.9, True), (0.1, False))):
+    fitted = ThresholdDecision().fit(list(training_data))
+    graph = DecisionGraph.from_pairs(NODES, edges)
+    return DecisionLayer(
+        function_name=function_name,
+        criterion_name="threshold",
+        graph=graph,
+        probabilities=probabilities,
+        fitted=fitted,
+        graph_accuracy=graph_accuracy,
+    )
+
+
+def make_training():
+    return TrainingSample.from_pairs([
+        (("a", "b"), True),
+        (("a", "c"), False),
+    ])
+
+
+class TestBestGraphSelector:
+    def test_picks_highest_graph_accuracy(self):
+        weak = make_layer("F1", [("a", "c")], {("a", "c"): 0.8}, 0.3)
+        strong = make_layer("F2", [("a", "b")], {("a", "b"): 0.9}, 0.9)
+        result = BestGraphSelector().combine([weak, strong], make_training())
+        assert result.chosen_layer == "F2/threshold"
+        assert result.graph.edges == {("a", "b")}
+
+    def test_tie_prefers_earlier(self):
+        first = make_layer("F1", [("a", "b")], {}, 0.5)
+        second = make_layer("F2", [("a", "c")], {}, 0.5)
+        result = BestGraphSelector().combine([first, second], make_training())
+        assert result.chosen_layer == "F1/threshold"
+
+    def test_result_is_copy(self):
+        layer = make_layer("F1", [("a", "b")], {("a", "b"): 0.9}, 0.7)
+        result = BestGraphSelector().combine([layer], make_training())
+        result.graph.edges.clear()
+        assert layer.graph.edges == {("a", "b")}
+
+    def test_empty_layers_raise(self):
+        with pytest.raises(ValueError, match="zero decision layers"):
+            BestGraphSelector().combine([], make_training())
+
+
+class TestWeightedAverageCombiner:
+    def test_combined_probability_weighted(self):
+        # Two layers with equal graph accuracies but different fitted
+        # training accuracies used as weights.
+        high = make_layer("F1", [("a", "b")],
+                          {("a", "b"): 1.0, ("a", "c"): 0.0}, 0.9)
+        low = make_layer("F2", [],
+                         {("a", "b"): 0.0, ("a", "c"): 0.0}, 0.9)
+        result = WeightedAverageCombiner().combine([high, low], make_training())
+        # Both fitted accuracies are 1.0 (separable toy data), so the
+        # combined probability of (a, b) is 0.5 and of (a, c) is 0.0.
+        assert result.probabilities.weight("a", "b") == pytest.approx(0.5)
+        assert result.probabilities.weight("a", "c") == pytest.approx(0.0)
+
+    def test_threshold_learned_and_applied(self):
+        layers = [
+            make_layer("F1", [("a", "b")], {("a", "b"): 0.9, ("a", "c"): 0.2}, 0.9),
+            make_layer("F2", [("a", "b")], {("a", "b"): 0.8, ("a", "c"): 0.1}, 0.8),
+        ]
+        result = WeightedAverageCombiner().combine(layers, make_training())
+        assert result.threshold is not None
+        assert ("a", "b") in result.graph.edges
+        assert ("a", "c") not in result.graph.edges
+
+    def test_empty_layers_raise(self):
+        with pytest.raises(ValueError):
+            WeightedAverageCombiner().combine([], make_training())
+
+
+class TestMajorityVoteCombiner:
+    def test_strict_majority_required(self):
+        layers = [
+            make_layer("F1", [("a", "b")], {("a", "b"): 0.9, ("a", "c"): 0.1}, 0.5),
+            make_layer("F2", [("a", "b")], {("a", "b"): 0.9, ("a", "c"): 0.1}, 0.5),
+            make_layer("F3", [("a", "c")], {("a", "b"): 0.1, ("a", "c"): 0.9}, 0.5),
+        ]
+        result = MajorityVoteCombiner().combine(layers, make_training())
+        assert ("a", "b") in result.graph.edges
+        assert ("a", "c") not in result.graph.edges
+
+    def test_half_is_not_majority(self):
+        layers = [
+            make_layer("F1", [("a", "b")], {("a", "b"): 0.9}, 0.5),
+            make_layer("F2", [], {("a", "b"): 0.1}, 0.5),
+        ]
+        result = MajorityVoteCombiner().combine(layers, make_training())
+        assert ("a", "b") not in result.graph.edges
+
+    def test_probabilities_are_vote_fractions(self):
+        layers = [
+            make_layer("F1", [("a", "b")], {("a", "b"): 0.9}, 0.5),
+            make_layer("F2", [], {("a", "b"): 0.1}, 0.5),
+        ]
+        result = MajorityVoteCombiner().combine(layers, make_training())
+        assert result.probabilities.weight("a", "b") == pytest.approx(0.5)
+
+
+class TestBuildCombiner:
+    def test_known_names(self):
+        assert build_combiner("best_graph").name == "best_graph"
+        assert build_combiner("weighted_average").name == "weighted_average"
+        assert build_combiner("majority").name == "majority"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown combiner"):
+            build_combiner("quantum")

@@ -1,0 +1,69 @@
+"""Resolver configuration tests."""
+
+import pytest
+
+from repro.core.config import I4, I7, I10, ResolverConfig, table2_config
+from repro.similarity.functions import ALL_FUNCTION_NAMES
+
+
+class TestResolverConfig:
+    def test_defaults(self):
+        config = ResolverConfig()
+        assert config.function_names == ALL_FUNCTION_NAMES
+        assert config.combiner == "best_graph"
+        assert config.clusterer == "transitive"
+        assert config.training_fraction == 0.1
+
+    def test_rejects_empty_functions(self):
+        with pytest.raises(ValueError, match="similarity function"):
+            ResolverConfig(function_names=())
+
+    def test_rejects_empty_criteria(self):
+        with pytest.raises(ValueError, match="decision criterion"):
+            ResolverConfig(criteria=())
+
+    def test_rejects_unknown_clusterer(self):
+        with pytest.raises(ValueError, match="clusterer"):
+            ResolverConfig(clusterer="spectral")
+
+    def test_rejects_bad_training_fraction(self):
+        with pytest.raises(ValueError, match="training_fraction"):
+            ResolverConfig(training_fraction=0.0)
+
+    def test_frozen(self):
+        config = ResolverConfig()
+        with pytest.raises(AttributeError):
+            config.combiner = "majority"
+
+
+class TestTable2Config:
+    def test_subsets_match_paper(self):
+        assert I4 == ("F4", "F5", "F7", "F9")
+        assert I7 == ("F3", "F4", "F5", "F7", "F8", "F9", "F10")
+        assert I10 == ALL_FUNCTION_NAMES
+
+    def test_i_columns_threshold_only(self):
+        for column, subset in (("I4", I4), ("I7", I7), ("I10", I10)):
+            config = table2_config(column)
+            assert config.function_names == subset
+            assert config.criteria == ("threshold",)
+            assert config.combiner == "best_graph"
+
+    def test_c_columns_full_criteria(self):
+        for column, subset in (("C4", I4), ("C7", I7), ("C10", I10)):
+            config = table2_config(column)
+            assert config.function_names == subset
+            assert set(config.criteria) == {"threshold", "equal_width", "kmeans"}
+            assert config.combiner == "best_graph"
+
+    def test_w_column(self):
+        config = table2_config("W")
+        assert config.combiner == "weighted_average"
+        assert config.function_names == I10
+
+    def test_unknown_column(self):
+        with pytest.raises(ValueError, match="unknown Table II column"):
+            table2_config("X9")
+
+    def test_region_k_forwarded(self):
+        assert table2_config("C10", region_k=5).region_k == 5

@@ -1,0 +1,83 @@
+"""Decision-criteria tests."""
+
+import pytest
+
+from repro.core.decisions import (
+    RegionAccuracyDecision,
+    ThresholdDecision,
+    build_criteria,
+)
+
+SEPARABLE = [(0.1, False), (0.2, False), (0.8, True), (0.9, True)]
+
+NON_MONOTONE = (
+    [(0.05, True)] * 8 + [(0.05, False)] * 2
+    + [(0.45, False)] * 9 + [(0.45, True)] * 1
+    + [(0.95, True)] * 9 + [(0.95, False)] * 1
+)
+
+
+class TestThresholdDecision:
+    def test_fit_and_decide(self):
+        fitted = ThresholdDecision().fit(SEPARABLE)
+        assert fitted.criterion_name == "threshold"
+        assert fitted.decide(0.85)
+        assert not fitted.decide(0.15)
+        assert fitted.training_accuracy == 1.0
+
+    def test_link_probability_sides(self):
+        fitted = ThresholdDecision().fit(SEPARABLE)
+        assert fitted.link_probability(0.9) > 0.5
+        assert fitted.link_probability(0.1) < 0.5
+
+    def test_cannot_express_non_monotone(self):
+        fitted = ThresholdDecision().fit(NON_MONOTONE)
+        # A single threshold must get the low-value links wrong (or the
+        # mid-value non-links); it cannot satisfy both.
+        low_correct = fitted.decide(0.05) is True
+        mid_correct = fitted.decide(0.45) is False
+        assert not (low_correct and mid_correct)
+
+
+class TestRegionAccuracyDecision:
+    @pytest.mark.parametrize("method", ["equal_width", "kmeans"])
+    def test_fit_and_decide(self, method):
+        fitted = RegionAccuracyDecision(method=method, k=10).fit(SEPARABLE)
+        assert fitted.criterion_name == method
+        assert fitted.decide(0.85)
+        assert not fitted.decide(0.15)
+
+    @pytest.mark.parametrize("method", ["equal_width", "kmeans"])
+    def test_captures_non_monotone(self, method):
+        fitted = RegionAccuracyDecision(method=method, k=10).fit(NON_MONOTONE)
+        assert fitted.decide(0.05)
+        assert not fitted.decide(0.45)
+        assert fitted.decide(0.95)
+
+    def test_region_beats_threshold_on_non_monotone(self):
+        threshold = ThresholdDecision().fit(NON_MONOTONE)
+        region = RegionAccuracyDecision(method="kmeans", k=10).fit(NON_MONOTONE)
+        assert region.training_accuracy > threshold.training_accuracy
+
+    def test_empty_training(self):
+        fitted = RegionAccuracyDecision(method="kmeans").fit([])
+        assert not fitted.decide(0.9)  # uninformative prior 0.5 is not > 0.5
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown region method"):
+            RegionAccuracyDecision(method="what")
+
+
+class TestBuildCriteria:
+    def test_builds_all_three(self):
+        criteria = build_criteria(("threshold", "equal_width", "kmeans"), k=8)
+        assert [c.name for c in criteria] == ["threshold", "equal_width", "kmeans"]
+
+    def test_region_k_forwarded(self):
+        criteria = build_criteria(("equal_width",), k=4)
+        fitted = criteria[0].fit(SEPARABLE)
+        assert fitted.profile.n_regions == 4
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown decision criterion"):
+            build_criteria(("magic",))

@@ -1,0 +1,113 @@
+"""Value-space region tests."""
+
+import pytest
+
+from repro.core.regions import (
+    EqualWidthRegions,
+    KMeansRegions,
+    ThresholdRegions,
+    fit_regions,
+)
+
+
+class TestEqualWidthRegions:
+    def test_default_ten_bins(self):
+        regions = EqualWidthRegions()
+        assert regions.n_regions == 10
+
+    def test_assign(self):
+        regions = EqualWidthRegions(n_bins=10)
+        assert regions.assign(0.0) == 0
+        assert regions.assign(0.05) == 0
+        assert regions.assign(0.15) == 1
+        assert regions.assign(0.95) == 9
+
+    def test_one_is_last_bin(self):
+        assert EqualWidthRegions(10).assign(1.0) == 9
+
+    def test_out_of_range_clamped(self):
+        regions = EqualWidthRegions(10)
+        assert regions.assign(-0.5) == 0
+        assert regions.assign(1.5) == 9
+
+    def test_bounds(self):
+        regions = EqualWidthRegions(4)
+        assert regions.bounds(0) == (0.0, 0.25)
+        assert regions.bounds(3) == (0.75, 1.0)
+
+    def test_describe_covers_unit_interval(self):
+        bounds = EqualWidthRegions(5).describe()
+        assert bounds[0][0] == 0.0
+        assert bounds[-1][1] == 1.0
+        for (previous_low, previous_high), (low, high) in zip(bounds, bounds[1:]):
+            assert previous_high == pytest.approx(low)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            EqualWidthRegions(0)
+
+
+class TestKMeansRegions:
+    def test_regions_from_values(self):
+        values = [0.1, 0.12, 0.5, 0.52, 0.9, 0.92]
+        regions = KMeansRegions(values, k=3)
+        assert regions.n_regions == 3
+        assert regions.assign(0.11) == 0
+        assert regions.assign(0.51) == 1
+        assert regions.assign(0.91) == 2
+
+    def test_k_reduced(self):
+        regions = KMeansRegions([0.5, 0.5], k=10)
+        assert regions.n_regions == 1
+
+    def test_centers_exposed(self):
+        regions = KMeansRegions([0.0, 0.0, 1.0, 1.0], k=2)
+        assert regions.centers == (0.0, 1.0)
+
+    def test_bounds_tile_unit_interval(self):
+        regions = KMeansRegions([0.2, 0.4, 0.6, 0.8], k=4)
+        bounds = regions.describe()
+        assert bounds[0][0] == 0.0
+        assert bounds[-1][1] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            KMeansRegions([], k=3)
+
+
+class TestThresholdRegions:
+    def test_two_regions(self):
+        regions = ThresholdRegions(0.6)
+        assert regions.n_regions == 2
+        assert regions.assign(0.59) == 0
+        assert regions.assign(0.6) == 1
+
+    def test_bounds(self):
+        regions = ThresholdRegions(0.6)
+        assert regions.bounds(0) == (0.0, 0.6)
+        assert regions.bounds(1) == (0.6, 1.0)
+
+    def test_never_link_degenerates(self):
+        regions = ThresholdRegions(1.1)
+        assert regions.n_regions == 1
+        assert regions.assign(0.99) == 0
+        assert regions.bounds(0) == (0.0, 1.0)
+
+    def test_always_link_degenerates(self):
+        regions = ThresholdRegions(0.0)
+        assert regions.n_regions == 1
+
+
+class TestFitRegions:
+    def test_equal_width(self):
+        regions = fit_regions("equal_width", [0.5], k=7)
+        assert isinstance(regions, EqualWidthRegions)
+        assert regions.n_regions == 7
+
+    def test_kmeans(self):
+        regions = fit_regions("kmeans", [0.1, 0.9], k=2)
+        assert isinstance(regions, KMeansRegions)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown region method"):
+            fit_regions("quantile", [0.5])

@@ -1,0 +1,76 @@
+"""Threshold-learning tests."""
+
+import pytest
+
+from repro.core.thresholds import ALWAYS_LINK, NEVER_LINK, learn_threshold
+
+
+class TestLearnThreshold:
+    def test_perfectly_separable(self):
+        data = [(0.1, False), (0.2, False), (0.8, True), (0.9, True)]
+        learned = learn_threshold(data)
+        assert 0.2 < learned.threshold <= 0.8
+        assert learned.training_accuracy == 1.0
+        assert learned.n_training == 4
+
+    def test_decide_semantics(self):
+        data = [(0.1, False), (0.9, True)]
+        learned = learn_threshold(data)
+        assert learned.decide(0.95)
+        assert not learned.decide(0.05)
+        assert learned.decide(learned.threshold)  # inclusive boundary
+
+    def test_all_positive_prefers_low_threshold(self):
+        data = [(0.2, True), (0.5, True), (0.9, True)]
+        learned = learn_threshold(data)
+        assert learned.training_accuracy == 1.0
+        assert all(learned.decide(v) for v, _ in data)
+
+    def test_all_negative_never_links(self):
+        data = [(0.2, False), (0.5, False), (0.9, False)]
+        learned = learn_threshold(data)
+        assert learned.training_accuracy == 1.0
+        assert not any(learned.decide(v) for v, _ in data)
+        assert learned.threshold == NEVER_LINK
+
+    def test_empty_sample_conservative(self):
+        learned = learn_threshold([])
+        assert learned.threshold == NEVER_LINK
+        assert learned.training_accuracy == 0.0
+        assert not learned.decide(1.0)
+
+    def test_noisy_data_maximizes_accuracy(self):
+        # 0.0-0.4: 1 of 4 positive; 0.6-1.0: 3 of 4 positive.
+        data = [(0.0, False), (0.1, False), (0.3, True), (0.4, False),
+                (0.6, True), (0.7, False), (0.9, True), (1.0, True)]
+        learned = learn_threshold(data)
+        correct = sum(1 for value, label in data
+                      if learned.decide(value) == label)
+        assert correct == 6
+        assert learned.training_accuracy == pytest.approx(0.75)
+
+    def test_ties_prefer_higher_threshold(self):
+        # Threshold between 0.4/0.6 and above 0.6 are equally accurate;
+        # the learner must pick the more conservative (higher) one.
+        data = [(0.2, False), (0.6, True)]
+        learned = learn_threshold(data)
+        assert learned.threshold == pytest.approx(0.4)
+
+    def test_equal_values_cannot_be_split(self):
+        data = [(0.5, True), (0.5, False), (0.5, True)]
+        learned = learn_threshold(data)
+        # Best rule: link everything (2/3 correct).
+        assert learned.training_accuracy == pytest.approx(2 / 3)
+        assert learned.decide(0.5)
+
+    def test_exhaustive_optimality_small_case(self):
+        data = [(0.15, False), (0.25, True), (0.35, False), (0.55, True),
+                (0.65, True), (0.75, False), (0.85, True)]
+        learned = learn_threshold(data)
+        candidates = [ALWAYS_LINK, NEVER_LINK] + [
+            (data[i][0] + data[i + 1][0]) / 2 for i in range(len(data) - 1)]
+        best = max(
+            sum(1 for v, lab in data if (v >= c) == lab) for c in candidates)
+        achieved = sum(1 for v, lab in data
+                       if learned.decide(v) == lab)
+        assert achieved == best

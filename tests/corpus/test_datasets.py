@@ -1,0 +1,113 @@
+"""Dataset builder tests."""
+
+import pytest
+
+from repro.corpus.datasets import (
+    WEPS2_ACL_NAMES,
+    WWW05_CLUSTER_COUNTS,
+    WWW05_NAMES,
+    custom_dataset,
+    surname,
+    weps2_like,
+    www05_like,
+)
+
+
+class TestSurname:
+    def test_full_name(self):
+        assert surname("William Cohen") == "Cohen"
+
+    def test_single_token(self):
+        assert surname("Cohen") == "Cohen"
+
+
+class TestWww05Like:
+    def test_has_twelve_names(self):
+        dataset = www05_like(seed=1, pages_per_name=12)
+        assert len(dataset) == 12
+        assert dataset.query_names() == WWW05_NAMES
+
+    def test_pages_per_name(self):
+        dataset = www05_like(seed=1, pages_per_name=20)
+        assert all(len(block) == 20 for block in dataset)
+
+    def test_cluster_counts_at_reference_scale(self):
+        dataset = www05_like(seed=1, pages_per_name=100,
+                             names=["Adam Cheyer", "Lynn Voss"])
+        assert dataset.by_name("Adam Cheyer").n_persons() == 2
+        assert dataset.by_name("Lynn Voss").n_persons() == 61
+
+    def test_cluster_counts_scale_down(self):
+        dataset = www05_like(seed=1, pages_per_name=50, names=["Lynn Voss"])
+        expected = round(WWW05_CLUSTER_COUNTS["Voss"] * 0.5)
+        assert dataset.by_name("Lynn Voss").n_persons() == expected
+
+    def test_subset_of_names(self):
+        dataset = www05_like(seed=1, pages_per_name=10,
+                             names=["William Cohen"])
+        assert dataset.query_names() == ["William Cohen"]
+
+    def test_deterministic(self):
+        first = www05_like(seed=4, pages_per_name=10, names=["Andrew Ng"])
+        second = www05_like(seed=4, pages_per_name=10, names=["Andrew Ng"])
+        assert ([p.text for p in first.all_pages()]
+                == [p.text for p in second.all_pages()])
+
+    def test_metadata_vocabulary_seed(self):
+        dataset = www05_like(seed=1, pages_per_name=10, names=["Andrew Ng"])
+        assert dataset.metadata["vocabulary_seed"] == 7
+
+
+class TestWeps2Like:
+    def test_has_ten_names(self):
+        dataset = weps2_like(seed=2, pages_per_name=12)
+        assert len(dataset) == 10
+        assert dataset.query_names() == WEPS2_ACL_NAMES
+
+    def test_different_vocabulary_than_www05(self):
+        dataset = weps2_like(seed=2, pages_per_name=10, names=["Frank Keller"])
+        assert dataset.metadata["vocabulary_seed"] == 11
+
+    def test_dataset_name(self):
+        dataset = weps2_like(seed=2, pages_per_name=10, names=["Frank Keller"])
+        assert dataset.name == "weps2-like"
+
+
+class TestCustomDataset:
+    def test_arbitrary_names(self):
+        dataset = custom_dataset(["Zoe Quill"], seed=0)
+        assert dataset.query_names() == ["Zoe Quill"]
+        assert dataset.name == "custom"
+
+    def test_cluster_counts_forwarded(self):
+        dataset = custom_dataset(["Zoe Quill"], seed=0,
+                                 cluster_counts={"Zoe Quill": 3})
+        assert dataset.by_name("Zoe Quill").n_persons() == 3
+
+    def test_unknown_count_name_ignored(self):
+        # cluster_counts for names not generated must not break anything
+        dataset = custom_dataset(["Zoe Quill"], seed=0,
+                                 cluster_counts={"Someone Else": 3})
+        assert len(dataset) == 1
+
+
+class TestClusterCountsSanity:
+    def test_counts_cover_paper_range(self):
+        values = sorted(WWW05_CLUSTER_COUNTS.values())
+        assert values[0] == 2
+        assert values[-1] == 61
+
+    def test_count_keys_match_names(self):
+        assert {surname(name) for name in WWW05_NAMES} == set(WWW05_CLUSTER_COUNTS)
+
+    def test_cluster_count_never_exceeds_pages(self):
+        dataset = www05_like(seed=3, pages_per_name=8, names=["Lynn Voss"])
+        block = dataset.by_name("Lynn Voss")
+        assert block.n_persons() <= len(block)
+
+    def test_more_clusters_than_pages_raises(self):
+        from repro.corpus.generator import GeneratorConfig
+        with pytest.raises(ValueError, match="cannot split"):
+            custom_dataset(["Zoe Quill"], seed=0,
+                           config=GeneratorConfig(pages_per_name=5),
+                           cluster_counts={"Zoe Quill": 10})

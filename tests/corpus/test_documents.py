@@ -1,0 +1,136 @@
+"""Document model tests."""
+
+import pytest
+
+from repro.corpus.documents import (
+    DocumentCollection,
+    NameCollection,
+    WebPage,
+    collection_from_pages,
+)
+
+
+def make_page(doc_id="x/001", query="Jane Roe", person="roe#00",
+              url="http://example.org/a/b.html"):
+    return WebPage(doc_id=doc_id, query_name=query, url=url,
+                   title="t", text="body text", person_id=person)
+
+
+class TestWebPage:
+    def test_domain_extraction(self):
+        page = make_page(url="http://sub.example.org/path/x.html")
+        assert page.domain == "sub.example.org"
+
+    def test_domain_without_scheme(self):
+        page = make_page(url="example.org/path")
+        assert page.domain == "example.org"
+
+    def test_domain_without_path(self):
+        page = make_page(url="http://example.org")
+        assert page.domain == "example.org"
+
+    def test_frozen(self):
+        page = make_page()
+        with pytest.raises(AttributeError):
+            page.url = "http://other.org"
+
+
+class TestNameCollection:
+    def build(self, labels):
+        pages = [make_page(doc_id=f"x/{i:03d}", person=p)
+                 for i, p in enumerate(labels)]
+        return NameCollection(query_name="Jane Roe", pages=pages)
+
+    def test_len_and_iter(self):
+        block = self.build(["a", "a", "b"])
+        assert len(block) == 3
+        assert [p.doc_id for p in block] == ["x/000", "x/001", "x/002"]
+
+    def test_ground_truth(self):
+        block = self.build(["a", "b", "a"])
+        truth = block.ground_truth()
+        assert truth == {"x/000": "a", "x/001": "b", "x/002": "a"}
+
+    def test_ground_truth_rejects_unlabeled(self):
+        block = self.build(["a", "b"])
+        block.pages.append(make_page(doc_id="x/999", person=None))
+        with pytest.raises(ValueError, match="no ground-truth"):
+            block.ground_truth()
+
+    def test_true_clusters(self):
+        block = self.build(["a", "b", "a", "c"])
+        clusters = block.true_clusters()
+        assert sorted(sorted(c) for c in clusters) == [
+            ["x/000", "x/002"], ["x/001"], ["x/003"]]
+
+    def test_n_persons(self):
+        assert self.build(["a", "b", "a", "c"]).n_persons() == 3
+
+    def test_pairs_count(self):
+        block = self.build(["a"] * 5)
+        assert len(list(block.pairs())) == 10
+
+    def test_pairs_are_unordered_unique(self):
+        block = self.build(["a"] * 4)
+        seen = set()
+        for left, right in block.pairs():
+            key = frozenset((left.doc_id, right.doc_id))
+            assert key not in seen
+            assert left.doc_id != right.doc_id
+            seen.add(key)
+
+
+class TestDocumentCollection:
+    def build(self):
+        blocks = [
+            NameCollection("Jane Roe", [make_page(doc_id="r/0", query="Jane Roe"),
+                                        make_page(doc_id="r/1", query="Jane Roe")]),
+            NameCollection("John Doe", [make_page(doc_id="d/0", query="John Doe",
+                                                  person="doe#00")]),
+        ]
+        return DocumentCollection(name="test", collections=blocks)
+
+    def test_len_and_names(self):
+        collection = self.build()
+        assert len(collection) == 2
+        assert collection.query_names() == ["Jane Roe", "John Doe"]
+
+    def test_by_name(self):
+        collection = self.build()
+        assert collection.by_name("John Doe").query_name == "John Doe"
+
+    def test_by_name_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.build().by_name("Nobody Here")
+
+    def test_n_pages_and_all_pages(self):
+        collection = self.build()
+        assert collection.n_pages() == 3
+        assert len(list(collection.all_pages())) == 3
+
+    def test_summary(self):
+        summary = self.build().summary()
+        assert summary["names"] == 2
+        assert summary["pages"] == 3
+        assert summary["min_clusters"] == 1
+
+    def test_summary_empty(self):
+        summary = DocumentCollection(name="empty").summary()
+        assert summary["pages"] == 0
+        assert summary["max_clusters"] == 0
+
+
+class TestCollectionFromPages:
+    def test_groups_by_query_name(self):
+        pages = [
+            make_page(doc_id="a/0", query="A B"),
+            make_page(doc_id="b/0", query="B C"),
+            make_page(doc_id="a/1", query="A B"),
+        ]
+        collection = collection_from_pages("grouped", pages)
+        assert collection.query_names() == ["A B", "B C"]
+        assert collection.by_name("A B").page_ids() == ["a/0", "a/1"]
+
+    def test_empty(self):
+        collection = collection_from_pages("none", [])
+        assert len(collection) == 0

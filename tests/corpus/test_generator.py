@@ -1,0 +1,149 @@
+"""Corpus generator tests."""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import (
+    CorpusGenerator,
+    GeneratorConfig,
+    NameTraits,
+    _zipf_cluster_sizes,
+    with_traits,
+)
+
+
+class TestZipfClusterSizes:
+    def test_sums_to_pages(self):
+        rng = random.Random(0)
+        sizes = _zipf_cluster_sizes(rng, 100, 7, alpha=1.5)
+        assert sum(sizes) == 100
+        assert len(sizes) == 7
+
+    def test_every_cluster_nonempty(self):
+        rng = random.Random(1)
+        sizes = _zipf_cluster_sizes(rng, 50, 40, alpha=2.0)
+        assert all(size >= 1 for size in sizes)
+
+    def test_too_many_clusters_raises(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError, match="cannot split"):
+            _zipf_cluster_sizes(rng, 5, 6, alpha=1.0)
+
+    def test_skew_increases_with_alpha(self):
+        rng_flat = random.Random(2)
+        rng_steep = random.Random(2)
+        flat = _zipf_cluster_sizes(rng_flat, 200, 10, alpha=0.5)
+        steep = _zipf_cluster_sizes(rng_steep, 200, 10, alpha=3.0)
+        assert max(steep) > max(flat)
+
+    def test_exact_split_k_equals_n(self):
+        rng = random.Random(3)
+        sizes = _zipf_cluster_sizes(rng, 10, 10, alpha=1.0)
+        assert sizes == [1] * 10
+
+
+class TestNameTraits:
+    def test_sample_in_bounds(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            traits = NameTraits.sample(rng)
+            assert 0.0 <= traits.p_home_domain <= 1.0
+            assert 0.0 <= traits.p_missing_orgs <= 1.0
+            assert 0.0 <= traits.offtopic_rate <= 0.5
+            assert 0.0 <= traits.boilerplate_rate <= 0.5
+            assert traits.min_tokens < traits.max_tokens
+
+    def test_samples_vary(self):
+        rng = random.Random(0)
+        first = NameTraits.sample(rng)
+        second = NameTraits.sample(rng)
+        assert first != second
+
+    def test_with_traits_helper(self):
+        config = GeneratorConfig()
+        traits = NameTraits(p_home_domain=1.0)
+        new_config = with_traits(config, traits)
+        assert new_config.fixed_traits == traits
+        assert config.fixed_traits is None  # original untouched
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self):
+        generator = CorpusGenerator(GeneratorConfig(pages_per_name=15))
+        first = generator.generate(["Jane Roe"], seed=5)
+        second = CorpusGenerator(GeneratorConfig(pages_per_name=15)).generate(
+            ["Jane Roe"], seed=5)
+        pages_first = [(p.doc_id, p.url, p.text) for p in first.all_pages()]
+        pages_second = [(p.doc_id, p.url, p.text) for p in second.all_pages()]
+        assert pages_first == pages_second
+
+    def test_different_seed_different_corpus(self):
+        generator = CorpusGenerator(GeneratorConfig(pages_per_name=15))
+        first = generator.generate(["Jane Roe"], seed=5)
+        second = generator.generate(["Jane Roe"], seed=6)
+        texts_first = [p.text for p in first.all_pages()]
+        texts_second = [p.text for p in second.all_pages()]
+        assert texts_first != texts_second
+
+    def test_pages_per_name(self, tiny_generator):
+        collection = tiny_generator.generate(["A One", "B Two"], seed=0)
+        assert all(len(block) == 12 for block in collection)
+
+    def test_cluster_counts_respected(self):
+        generator = CorpusGenerator(GeneratorConfig(pages_per_name=20))
+        collection = generator.generate(
+            ["Jane Roe"], seed=1, cluster_counts={"Jane Roe": 4})
+        assert collection.by_name("Jane Roe").n_persons() == 4
+
+    def test_all_pages_labeled(self, tiny_generator):
+        collection = tiny_generator.generate(["A One"], seed=2)
+        assert all(page.person_id is not None for page in collection.all_pages())
+
+    def test_doc_ids_unique(self, tiny_generator):
+        collection = tiny_generator.generate(["A One", "B Two"], seed=3)
+        ids = [page.doc_id for page in collection.all_pages()]
+        assert len(ids) == len(set(ids))
+
+    def test_query_name_propagates(self, tiny_generator):
+        collection = tiny_generator.generate(["A One"], seed=4)
+        assert all(page.query_name == "A One" for page in collection.all_pages())
+
+    def test_metadata_recorded(self, tiny_generator):
+        collection = tiny_generator.generate(["A One"], seed=9)
+        assert collection.metadata["seed"] == 9
+        assert collection.metadata["vocabulary_seed"] == 7
+
+    def test_urls_well_formed(self, tiny_generator):
+        collection = tiny_generator.generate(["A One"], seed=5)
+        for page in collection.all_pages():
+            assert page.url.startswith("http://")
+            assert page.domain
+
+    def test_page_text_mentions_query_name_usually(self, tiny_generator):
+        collection = tiny_generator.generate(["A One"], seed=6)
+        mentioning = sum(
+            1 for page in collection.all_pages()
+            if "One" in page.text or "One" in page.title)
+        assert mentioning >= len(collection.by_name("A One")) * 0.8
+
+    def test_fixed_traits_applied(self):
+        traits = NameTraits(p_home_domain=1.0, p_missing_orgs=1.0)
+        config = GeneratorConfig(pages_per_name=10, fixed_traits=traits,
+                                 max_clusters=3)
+        generator = CorpusGenerator(config)
+        collection = generator.generate(["A One"], seed=0)
+        # With p_home_domain = 1.0 every page sits on a profile home domain:
+        # at most 3 clusters x 3 domains distinct domains can appear.
+        domains = {page.domain for page in collection.all_pages()}
+        assert len(domains) <= 9
+
+    def test_boilerplate_stable_across_generators(self):
+        first = CorpusGenerator(GeneratorConfig())
+        second = CorpusGenerator(GeneratorConfig())
+        assert first._domain_boilerplate("x.org") == second._domain_boilerplate("x.org")
+
+    def test_boilerplate_differs_per_domain(self):
+        generator = CorpusGenerator(GeneratorConfig())
+        assert (generator._domain_boilerplate("x.org")
+                != generator._domain_boilerplate("y.org"))

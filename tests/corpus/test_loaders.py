@@ -1,0 +1,52 @@
+"""Serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.corpus.loaders import load_collection, save_collection
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_collection(small_dataset, path)
+        loaded = load_collection(path)
+
+        assert loaded.name == small_dataset.name
+        assert loaded.metadata == small_dataset.metadata
+        assert loaded.query_names() == small_dataset.query_names()
+        original_pages = list(small_dataset.all_pages())
+        loaded_pages = list(loaded.all_pages())
+        assert loaded_pages == original_pages
+
+    def test_round_trip_ground_truth(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_collection(small_dataset, path)
+        loaded = load_collection(path)
+        for block in small_dataset:
+            assert (loaded.by_name(block.query_name).ground_truth()
+                    == block.ground_truth())
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        with open(path, "w") as handle:
+            json.dump({"format_version": 999, "name": "x", "collections": []},
+                      handle)
+        with pytest.raises(ValueError, match="format version"):
+            load_collection(path)
+
+    def test_rejects_missing_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        with open(path, "w") as handle:
+            json.dump({"name": "x", "collections": []}, handle)
+        with pytest.raises(ValueError, match="format version"):
+            load_collection(path)
+
+    def test_file_is_valid_json(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_collection(small_dataset, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["format_version"] == 1
+        assert len(payload["collections"]) == len(small_dataset)

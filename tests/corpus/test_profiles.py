@@ -1,0 +1,84 @@
+"""Person-profile and pool tests."""
+
+import random
+
+from repro.corpus.profiles import NamePools, PersonProfile, sample_profile
+from repro.corpus.vocabulary import build_vocabulary
+
+
+def make_pools(seed=0, n_clusters=5):
+    vocab = build_vocabulary(seed=7)
+    return NamePools.sample(random.Random(seed), vocab, n_clusters)
+
+
+class TestNamePools:
+    def test_pool_sizes(self):
+        pools = make_pools()
+        assert len(pools.words) >= 70
+        assert len(pools.concepts) >= 11
+        assert len(pools.organizations) > 0
+        assert len(pools.associates) > 0
+        assert len(pools.domains) > 0
+
+    def test_pools_independent_of_cluster_count(self):
+        small = make_pools(seed=0, n_clusters=2)
+        large = make_pools(seed=0, n_clusters=40)
+        assert len(small.organizations) == len(large.organizations)
+        assert len(small.domains) == len(large.domains)
+
+    def test_associates_are_full_names(self):
+        pools = make_pools()
+        assert all(" " in name for name in pools.associates)
+
+
+class TestSampleProfile:
+    def sample(self, seed=0):
+        pools = make_pools(seed=seed)
+        return sample_profile(random.Random(seed), pools,
+                              person_id="roe#00", query_name="Jane Roe")
+
+    def test_shares_query_full_name(self):
+        profile = self.sample()
+        assert profile.full_name == "Jane Roe"
+        assert profile.first_name == "Jane"
+        assert profile.last_name == "Roe"
+
+    def test_concept_weights_normalized(self):
+        profile = self.sample()
+        assert abs(sum(profile.concepts.values()) - 1.0) < 1e-9
+        assert all(weight > 0 for weight in profile.concepts.values())
+
+    def test_fields_populated(self):
+        profile = self.sample()
+        assert profile.organizations
+        assert profile.associates
+        assert profile.home_domains
+        assert profile.topic_words
+        assert profile.shared_words
+
+    def test_namesakes_share_pools(self):
+        pools = make_pools(seed=1)
+        rng = random.Random(1)
+        first = sample_profile(rng, pools, "roe#00", "Jane Roe")
+        second = sample_profile(rng, pools, "roe#01", "Jane Roe")
+        assert set(first.topic_words) <= set(pools.words)
+        assert set(second.topic_words) <= set(pools.words)
+        assert first.shared_words == second.shared_words
+        # Pooled draws overlap with non-trivial probability over many pairs;
+        # at minimum they never leave the pool.
+        assert set(first.organizations) <= set(pools.organizations)
+        assert set(second.organizations) <= set(pools.organizations)
+
+
+class TestNameVariants:
+    def test_variants(self):
+        profile = PersonProfile(person_id="x", query_name="Jane Roe",
+                                full_name="Jane Roe")
+        assert profile.name_variants() == ["Jane Roe", "J. Roe", "Roe"]
+
+    def test_variants_identical_for_namesakes(self):
+        first = PersonProfile(person_id="a", query_name="Jane Roe",
+                              full_name="Jane Roe")
+        second = PersonProfile(person_id="b", query_name="Jane Roe",
+                               full_name="Jane Roe")
+        assert first.name_variants() == second.name_variants()

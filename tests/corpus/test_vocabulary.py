@@ -1,0 +1,95 @@
+"""Vocabulary construction tests."""
+
+from repro.corpus.vocabulary import Vocabulary, build_vocabulary
+import random
+
+
+class TestBuildVocabulary:
+    def test_deterministic_for_same_seed(self):
+        first = build_vocabulary(seed=3)
+        second = build_vocabulary(seed=3)
+        assert first.content_words == second.content_words
+        assert first.concepts == second.concepts
+        assert first.organizations == second.organizations
+        assert first.domains == second.domains
+
+    def test_different_seeds_differ(self):
+        assert build_vocabulary(seed=1).content_words != build_vocabulary(seed=2).content_words
+
+    def test_sizes_respected(self):
+        vocab = build_vocabulary(seed=0, n_content_words=50, n_concepts=10,
+                                 n_organizations=5, n_domains=4)
+        assert len(vocab.content_words) == 50
+        assert len(vocab.concepts) == 10
+        assert len(vocab.organizations) == 5
+        assert len(vocab.domains) == 4
+
+    def test_all_categories_unique(self):
+        vocab = build_vocabulary(seed=5)
+        for category in (vocab.content_words, vocab.concepts,
+                         vocab.organizations, vocab.first_names,
+                         vocab.last_names, vocab.locations, vocab.domains):
+            assert len(category) == len(set(category))
+
+    def test_concepts_are_two_word_phrases(self):
+        vocab = build_vocabulary(seed=5)
+        assert all(len(concept.split()) == 2 for concept in vocab.concepts)
+
+    def test_organizations_capitalized_with_suffix(self):
+        vocab = build_vocabulary(seed=5)
+        for org in vocab.organizations:
+            head, suffix = org.split(" ", 1)
+            assert head[0].isupper()
+            assert suffix[0].isupper()
+
+    def test_domains_have_tld(self):
+        vocab = build_vocabulary(seed=5)
+        assert all("." in domain for domain in vocab.domains)
+
+    def test_names_capitalized(self):
+        vocab = build_vocabulary(seed=5)
+        assert all(name[0].isupper() for name in vocab.first_names)
+        assert all(name[0].isupper() for name in vocab.last_names)
+
+    def test_content_words_lowercase(self):
+        vocab = build_vocabulary(seed=5)
+        assert all(word == word.lower() for word in vocab.content_words)
+
+    def test_enlarging_one_category_keeps_others(self):
+        base = build_vocabulary(seed=9, n_concepts=20)
+        bigger = build_vocabulary(seed=9, n_concepts=40)
+        assert base.content_words == bigger.content_words
+        assert base.organizations == bigger.organizations
+
+
+class TestVocabularyMethods:
+    def test_full_name_format(self):
+        vocab = build_vocabulary(seed=2)
+        rng = random.Random(0)
+        name = vocab.full_name(rng)
+        first, last = name.split(" ")
+        assert first in vocab.first_names
+        assert last in vocab.last_names
+
+    def test_full_name_with_fixed_surname(self):
+        vocab = build_vocabulary(seed=2)
+        rng = random.Random(0)
+        name = vocab.full_name(rng, last_name="Cohen")
+        assert name.endswith(" Cohen")
+
+    def test_gazetteers_cover_entities(self):
+        vocab = build_vocabulary(seed=2)
+        gazetteers = vocab.as_gazetteers()
+        assert set(gazetteers["organization"]) == set(vocab.organizations)
+        assert set(gazetteers["location"]) == set(vocab.locations)
+
+    def test_gazetteers_are_copies(self):
+        vocab = build_vocabulary(seed=2)
+        gazetteers = vocab.as_gazetteers()
+        gazetteers["organization"].append("Fake Org")
+        assert "Fake Org" not in vocab.organizations
+
+    def test_empty_vocabulary_constructible(self):
+        vocab = Vocabulary()
+        assert vocab.content_words == []
+        assert vocab.seed == 0

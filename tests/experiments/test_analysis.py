@@ -1,0 +1,67 @@
+"""Analysis utility tests."""
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.experiments.analysis import (
+    _pearson,
+    difficulty_correlation,
+    profile_block,
+    profile_collection,
+)
+from repro.experiments.runner import ExperimentContext, run_config
+
+
+@pytest.fixture(scope="module")
+def context(small_dataset):
+    return ExperimentContext.prepare(small_dataset)
+
+
+class TestProfileBlock:
+    def test_structural_stats(self, context):
+        profile = profile_block(context, "William Cohen")
+        assert profile.label == "Cohen"
+        assert profile.n_pages == 30
+        assert profile.n_persons >= 2
+        assert 0.0 < profile.dominance <= 1.0
+        assert 0.0 <= profile.singleton_fraction <= 1.0
+
+    def test_feature_availability_fields(self, context):
+        profile = profile_block(context, "William Cohen")
+        assert profile.feature_availability["tfidf"] == 1.0
+
+    def test_function_entropy_all_functions(self, context):
+        profile = profile_block(context, "William Cohen")
+        assert set(profile.function_entropy) == {f"F{i}" for i in range(1, 11)}
+        assert all(entropy >= 0.0
+                   for entropy in profile.function_entropy.values())
+
+
+class TestProfileCollection:
+    def test_one_profile_per_name(self, context):
+        profiles = profile_collection(context)
+        assert [p.query_name for p in profiles] == context.collection.query_names()
+
+
+class TestDifficultyCorrelation:
+    def test_returns_value_in_range(self, context):
+        result = run_config(context,
+                            ResolverConfig(function_names=("F8",),
+                                           criteria=("threshold",)),
+                            seeds=[0])
+        correlation = difficulty_correlation(context, result)
+        assert -1.0 <= correlation <= 1.0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert _pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert _pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_zero(self):
+        assert _pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_few_points(self):
+        assert _pearson([1.0], [2.0]) == 0.0

@@ -1,0 +1,47 @@
+"""CLI tests (fast paths only: tiny datasets, single runs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--pages", "12", "--runs", "1", "--seed", "3"]
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(FAST + ["table3"])
+        assert args.command == "table3"
+        assert args.pages == 12
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate_and_resolve(self, tmp_path, capsys):
+        out = tmp_path / "data.json"
+        assert main(FAST + ["generate", "--out", str(out)]) == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+        assert main(FAST + ["resolve", "--in", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "Resolution" in captured.out
+        assert "Cohen" in captured.out
+
+    def test_figure1(self, capsys):
+        assert main(FAST + ["figure1", "--name", "Cohen"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 1" in captured.out
+
+    def test_figure1_unknown_name(self, capsys):
+        assert main(FAST + ["figure1", "--name", "Nobody"]) == 2
+
+    def test_analyze(self, capsys):
+        assert main(FAST + ["analyze"]) == 0
+        captured = capsys.readouterr()
+        assert "Dataset profile" in captured.out
+        assert "dominance" in captured.out

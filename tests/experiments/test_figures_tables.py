@@ -1,0 +1,87 @@
+"""Figure/table builder tests."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1_series,
+    per_function_series,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import TABLE2_COLUMNS, table2, table3
+
+
+@pytest.fixture(scope="module")
+def context(small_dataset):
+    return ExperimentContext.prepare(small_dataset)
+
+
+class TestFigure1:
+    def test_defaults_pick_cohen(self, context):
+        points = figure1_series(context, seed=0)
+        assert points
+        assert points[0].low == 0.0
+        assert points[-1].high == 1.0
+
+    def test_accuracy_in_unit_interval(self, context):
+        for point in figure1_series(context, function_name="F8", seed=0):
+            assert 0.0 <= point.accuracy <= 1.0
+
+    def test_regions_tile_value_space(self, context):
+        points = figure1_series(context, function_name="F8", seed=0, k=6)
+        for previous, current in zip(points, points[1:]):
+            assert previous.high == pytest.approx(current.low)
+
+    def test_training_pairs_sum(self, context):
+        points = figure1_series(context, function_name="F8", seed=0)
+        block = context.collection.by_name("William Cohen")
+        n_pairs = len(block) * (len(block) - 1) // 2
+        expected = -(-n_pairs // 10)  # ceil of 10 %
+        assert sum(point.n_training_pairs for point in points) == expected
+
+    def test_equal_width_method(self, context):
+        points = figure1_series(context, method="equal_width", k=10, seed=0)
+        assert len(points) == 10
+
+    def test_accuracy_varies_across_regions(self, context):
+        # The paper's S1 claim: region accuracies are far from constant.
+        points = figure1_series(context, function_name="F8", seed=0)
+        accuracies = [point.accuracy for point in points]
+        assert max(accuracies) - min(accuracies) > 0.2
+
+
+class TestPerFunctionSeries:
+    def test_series_keys(self, context):
+        series = per_function_series(context, seeds=[0])
+        assert set(series) == {f"F{i}" for i in range(1, 11)} | {"combined"}
+
+    def test_all_scores_unit_interval(self, context):
+        series = per_function_series(context, seeds=[0])
+        for report in series.values():
+            assert 0.0 <= report.fp <= 1.0
+
+
+class TestTable2:
+    def test_structure(self, context):
+        table = table2({"small": context}, seeds=[0])
+        assert table.datasets() == ["small"]
+        for metric in ("fp", "f1", "rand"):
+            for column in TABLE2_COLUMNS:
+                assert 0.0 <= table.get("small", metric, column) <= 1.0
+
+
+class TestTable3:
+    def test_structure(self, context):
+        table = table3(context, seeds=[0])
+        assert set(table.names()) == {"Cohen", "Cheyer", "Voss"}
+        assert "C10" in table.columns
+        assert "W" in table.columns
+        for name in table.names():
+            for column in table.columns:
+                assert 0.0 <= table.get(name, column) <= 1.0
+
+    def test_best_function_per_name(self, context):
+        table = table3(context, seeds=[0])
+        winners = table.best_function_per_name()
+        assert set(winners) == set(table.names())
+        for winner in winners.values():
+            assert winner.startswith("F")

@@ -1,0 +1,55 @@
+"""Reporting helper tests."""
+
+from repro.experiments.figures import RegionAccuracyPoint
+from repro.experiments.reporting import (
+    format_bar_chart,
+    format_region_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 0.123456], ["b", 1]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.1235" in text
+        assert "1" in lines[-1]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatBarChart:
+    def test_bars_scale_with_value(self):
+        text = format_bar_chart({"low": 0.1, "high": 0.9}, width=10)
+        low_line, high_line = text.splitlines()
+        assert low_line.count("#") == 1
+        assert high_line.count("#") == 9
+
+    def test_values_clamped(self):
+        text = format_bar_chart({"over": 1.5}, width=10)
+        assert text.count("#") == 10
+
+    def test_title_included(self):
+        assert format_bar_chart({}, title="T").splitlines()[0] == "T"
+
+
+class TestFormatRegionSeries:
+    def test_renders_all_points(self):
+        points = [
+            RegionAccuracyPoint(low=0.0, high=0.5, center=0.25,
+                                accuracy=0.3, n_training_pairs=10),
+            RegionAccuracyPoint(low=0.5, high=1.0, center=0.75,
+                                accuracy=0.8, n_training_pairs=5),
+        ]
+        text = format_region_series(points, title="Figure 1")
+        assert "Figure 1" in text
+        assert "[0.000, 0.500)" in text
+        assert "0.8000" in text

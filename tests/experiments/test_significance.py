@@ -1,0 +1,98 @@
+"""Significance-testing tests."""
+
+import pytest
+
+from repro.experiments.runner import RunResult
+from repro.experiments.significance import (
+    bootstrap_interval,
+    compare_strategies,
+    paired_differences,
+    permutation_test,
+)
+from repro.metrics.report import MetricReport
+
+
+def make_report(value):
+    return MetricReport(fp=value, f1=value, precision=value, recall=value,
+                        rand=value, adjusted_rand=value, purity=value,
+                        inverse_purity=value, bcubed_precision=value,
+                        bcubed_recall=value, bcubed_f1=value)
+
+
+def make_result(label, scores_by_name):
+    return RunResult(label=label, per_seed_reports=[
+        {name: make_report(score) for name, score in scores_by_name.items()}
+    ])
+
+
+class TestPairedDifferences:
+    def test_basic(self):
+        a = make_result("a", {"X": 0.9, "Y": 0.7})
+        b = make_result("b", {"X": 0.8, "Y": 0.75})
+        differences = paired_differences(a, b)
+        assert differences == pytest.approx([0.1, -0.05])
+
+    def test_name_mismatch(self):
+        a = make_result("a", {"X": 0.9})
+        b = make_result("b", {"Z": 0.8})
+        with pytest.raises(ValueError, match="different names"):
+            paired_differences(a, b)
+
+
+class TestPermutationTest:
+    def test_consistent_advantage_significant(self):
+        differences = [0.05, 0.08, 0.04, 0.06, 0.07, 0.05, 0.09, 0.06,
+                       0.05, 0.04, 0.08, 0.06]
+        assert permutation_test(differences, seed=0) < 0.01
+
+    def test_no_signal_not_significant(self):
+        differences = [0.05, -0.05, 0.04, -0.04, 0.03, -0.03]
+        assert permutation_test(differences, seed=0) > 0.2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            permutation_test([])
+
+    def test_p_value_in_unit_interval(self):
+        p = permutation_test([0.1, -0.2, 0.05], n_permutations=500, seed=1)
+        assert 0.0 < p <= 1.0
+
+    def test_deterministic(self):
+        differences = [0.02, 0.01, -0.01, 0.03]
+        assert (permutation_test(differences, seed=7)
+                == permutation_test(differences, seed=7))
+
+
+class TestBootstrapInterval:
+    def test_contains_true_mean_for_tight_data(self):
+        differences = [0.05] * 10
+        low, high = bootstrap_interval(differences, seed=0)
+        assert low == pytest.approx(0.05)
+        assert high == pytest.approx(0.05)
+
+    def test_interval_ordering(self):
+        differences = [0.1, -0.1, 0.2, 0.0, 0.05]
+        low, high = bootstrap_interval(differences, n_resamples=2000, seed=2)
+        assert low <= high
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([0.1], confidence=1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([])
+
+
+class TestCompareStrategies:
+    def test_full_comparison(self):
+        a = make_result("C10", {f"N{i}": 0.85 + 0.01 * (i % 3)
+                                for i in range(12)})
+        b = make_result("I10", {f"N{i}": 0.80 + 0.01 * (i % 3)
+                                for i in range(12)})
+        comparison = compare_strategies(a, b)
+        assert comparison.label_a == "C10"
+        assert comparison.mean_difference == pytest.approx(0.05)
+        assert comparison.significant
+        assert comparison.ci_low <= comparison.mean_difference <= comparison.ci_high
+        assert comparison.n_names == 12

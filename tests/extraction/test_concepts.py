@@ -1,0 +1,55 @@
+"""Concept extraction tests."""
+
+from collections import Counter
+
+from repro.extraction.concepts import ConceptExtractor
+
+
+def make_extractor():
+    return ConceptExtractor(["kernel methods", "graph theory", "entity resolution"])
+
+
+class TestExtractCounts:
+    def test_finds_phrase(self):
+        counts = make_extractor().extract_counts(
+            "we study kernel methods daily".split())
+        assert counts == {"kernel methods": 1}
+
+    def test_case_insensitive(self):
+        counts = make_extractor().extract_counts(
+            "Kernel Methods are fun".split())
+        assert counts == {"kernel methods": 1}
+
+    def test_counts_repeats(self):
+        tokens = "graph theory beats graph theory".split()
+        counts = make_extractor().extract_counts(tokens)
+        assert counts["graph theory"] == 2
+
+    def test_no_overlap_double_count(self):
+        # "kernel methods" consumed; "methods" alone is not a concept.
+        extractor = ConceptExtractor(["kernel methods", "methods course"])
+        counts = extractor.extract_counts("kernel methods course".split())
+        assert counts == {"kernel methods": 1}
+
+    def test_empty_tokens(self):
+        assert make_extractor().extract_counts([]) == Counter()
+
+    def test_unknown_phrases_ignored(self):
+        counts = make_extractor().extract_counts("totally unrelated words".split())
+        assert not counts
+
+    def test_single_word_concepts_supported(self):
+        extractor = ConceptExtractor(["ontology"])
+        counts = extractor.extract_counts("an ontology matters".split())
+        assert counts == {"ontology": 1}
+
+
+class TestWeightedVector:
+    def test_normalized(self):
+        counts = Counter({"a b": 3, "c d": 1})
+        vector = ConceptExtractor.weighted_vector(counts)
+        assert abs(sum(vector.values()) - 1.0) < 1e-12
+        assert vector["a b"] == 0.75
+
+    def test_empty_counts(self):
+        assert ConceptExtractor.weighted_vector(Counter()) == {}

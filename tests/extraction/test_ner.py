@@ -1,0 +1,112 @@
+"""Dictionary NER tests."""
+
+from repro.extraction.ner import DictionaryNer, PersonMention
+
+
+def make_ner():
+    return DictionaryNer(
+        organizations=["Acme Labs", "Stanford University", "Initech"],
+        locations=["Lausanne", "New York"],
+        first_names=["William", "Jane"],
+        known_surnames=["Cohen"],
+    )
+
+
+class TestOrganizations:
+    def test_multiword_match(self):
+        result = make_ner().extract("He joined Acme Labs last year")
+        assert result.organizations == {"Acme Labs": 1}
+
+    def test_counts_repeats(self):
+        result = make_ner().extract("Initech hired Initech alumni")
+        assert result.organizations["Initech"] == 2
+
+    def test_longest_match_wins(self):
+        ner = DictionaryNer(organizations=["Acme", "Acme Labs"])
+        result = ner.extract("Acme Labs ships products")
+        assert result.organizations == {"Acme Labs": 1}
+
+    def test_no_partial_lowercase_match(self):
+        result = make_ner().extract("the acme labs project")
+        assert not result.organizations
+
+
+class TestLocations:
+    def test_location_found(self):
+        result = make_ner().extract("Research done in Lausanne yesterday")
+        assert result.locations == {"Lausanne": 1}
+
+    def test_two_word_location(self):
+        result = make_ner().extract("He moved to New York recently")
+        assert result.locations == {"New York": 1}
+
+    def test_org_priority_over_location(self):
+        ner = DictionaryNer(organizations=["New York"], locations=["New York"])
+        result = ner.extract("Visit New York often")
+        assert result.organizations == {"New York": 1}
+        assert not result.locations
+
+
+class TestPersons:
+    def test_first_last_pattern(self):
+        result = make_ner().extract("William Cohen wrote the paper")
+        assert [m.surface for m in result.persons] == ["William Cohen"]
+        assert result.persons[0].is_full
+
+    def test_initial_pattern(self):
+        result = make_ner().extract("J. Cohen wrote the paper")
+        mention = result.persons[0]
+        assert mention.surface == "J. Cohen"
+        assert not mention.is_full
+
+    def test_bare_known_surname(self):
+        result = make_ner().extract("Cohen wrote the paper")
+        mention = result.persons[0]
+        assert mention.surface == "Cohen"
+        assert mention.first is None
+
+    def test_unknown_bare_capitalized_word_ignored(self):
+        result = make_ner().extract("Whatever wrote the paper")
+        assert not result.persons
+
+    def test_person_counts(self):
+        result = make_ner().extract(
+            "William Cohen met Jane Doe and William Cohen left")
+        counts = result.person_counts()
+        assert counts["William Cohen"] == 2
+        assert counts["Jane Doe"] == 1
+
+    def test_first_name_gazetteer_required(self):
+        result = make_ner().extract("Zorblax Cohen spoke")
+        # "Zorblax" is no known first name; but "Cohen" is a known surname.
+        surfaces = [m.surface for m in result.persons]
+        assert surfaces == ["Cohen"]
+
+    def test_no_person_inside_org(self):
+        ner = DictionaryNer(organizations=["William Cohen Institute"],
+                            first_names=["William"], known_surnames=["Cohen"])
+        result = ner.extract("the William Cohen Institute opened")
+        assert result.organizations == {"William Cohen Institute": 1}
+        assert not result.persons
+
+
+class TestTokenBoundary:
+    def test_entity_at_end_of_text(self):
+        result = make_ner().extract("we visited Initech")
+        assert result.organizations == {"Initech": 1}
+
+    def test_initial_at_end_not_person(self):
+        result = make_ner().extract("appendix J")
+        assert not result.persons
+
+    def test_empty_text(self):
+        result = make_ner().extract("")
+        assert not result.persons
+        assert not result.organizations
+
+
+class TestPersonMention:
+    def test_is_full_semantics(self):
+        assert PersonMention("Jane Roe", "Jane", "Roe").is_full
+        assert not PersonMention("J. Roe", "J", "Roe").is_full
+        assert not PersonMention("Roe", None, "Roe").is_full

@@ -1,0 +1,64 @@
+"""Property-based tests for the dictionary NER."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extraction.ner import DictionaryNer
+
+ORGS = ["Acme Labs", "Initech", "Globex Corporation"]
+LOCS = ["Lausanne", "New York"]
+FIRST = ["Jane", "Bob"]
+SURNAMES = ["Roe"]
+
+filler = st.sampled_from(["works", "at", "the", "quietly", "since",
+                          "writes", "papers", "online"])
+entity = st.sampled_from(ORGS + LOCS + ["Jane Roe", "Bob Smith", "Roe"])
+token_stream = st.lists(st.one_of(filler, entity), min_size=0, max_size=25)
+
+
+def make_ner():
+    return DictionaryNer(organizations=ORGS, locations=LOCS,
+                         first_names=FIRST, known_surnames=SURNAMES)
+
+
+class TestNerProperties:
+    @settings(max_examples=50)
+    @given(token_stream)
+    def test_extraction_never_crashes_and_counts_consistent(self, parts):
+        text = " ".join(parts)
+        result = make_ner().extract(text)
+        # Every extracted organization must be in the gazetteer.
+        for org in result.organizations:
+            assert org in ORGS
+        for loc in result.locations:
+            assert loc in LOCS
+        # Counts are positive.
+        assert all(count > 0 for count in result.organizations.values())
+        assert all(count > 0 for count in result.locations.values())
+
+    @settings(max_examples=50)
+    @given(token_stream)
+    def test_deterministic(self, parts):
+        text = " ".join(parts)
+        first = make_ner().extract(text)
+        second = make_ner().extract(text)
+        assert first.organizations == second.organizations
+        assert first.person_counts() == second.person_counts()
+
+    @settings(max_examples=50)
+    @given(st.lists(st.sampled_from(ORGS), min_size=0, max_size=8))
+    def test_org_counts_exact_when_unambiguous(self, mentions):
+        # A text of nothing but org mentions: every mention is found.
+        text = " . ".join(mentions)
+        result = make_ner().extract(text)
+        assert sum(result.organizations.values()) == len(mentions)
+
+    @settings(max_examples=50)
+    @given(token_stream)
+    def test_person_surfaces_well_formed(self, parts):
+        text = " ".join(parts)
+        result = make_ner().extract(text)
+        for mention in result.persons:
+            assert mention.surface
+            assert mention.last
+            assert mention.last[0].isupper()

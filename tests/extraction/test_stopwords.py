@@ -1,0 +1,31 @@
+"""Stopword tests."""
+
+from repro.extraction.stopwords import STOPWORDS, build_stopword_set, is_stopword
+
+
+class TestStopwords:
+    def test_common_words_present(self):
+        for word in ("the", "and", "of", "is"):
+            assert word in STOPWORDS
+
+    def test_is_stopword_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_non_stopword(self):
+        assert not is_stopword("entity")
+
+    def test_extra_set(self):
+        extra = frozenset({"foo"})
+        assert is_stopword("foo", extra=extra)
+        assert is_stopword("FOO", extra=extra)
+        assert not is_stopword("bar", extra=extra)
+
+    def test_build_stopword_set_extends(self):
+        combined = build_stopword_set(["Alpha", "beta"])
+        assert "alpha" in combined
+        assert "beta" in combined
+        assert STOPWORDS <= combined
+
+    def test_build_stopword_set_empty(self):
+        assert build_stopword_set() == STOPWORDS

@@ -1,0 +1,66 @@
+"""Tokenizer tests."""
+
+from repro.extraction.tokenizer import (
+    is_capitalized,
+    is_initial,
+    lower_tokens,
+    sentences,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("hello world") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("one, two. three!") == ["one", "two", "three"]
+
+    def test_preserves_case(self):
+        assert tokenize("Acme Labs builds things") == [
+            "Acme", "Labs", "builds", "things"]
+
+    def test_initial_period_dropped(self):
+        assert tokenize("J. Cohen") == ["J", "Cohen"]
+
+    def test_keeps_internal_hyphen_apostrophe(self):
+        assert tokenize("state-of-the-art O'Brien") == ["state-of-the-art", "O'Brien"]
+
+    def test_drops_numbers(self):
+        assert tokenize("in 2009 we built x9") == ["in", "we", "built", "x"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_docstring_example(self):
+        assert tokenize("Prof. J. Cohen works at Acme Labs.") == [
+            "Prof", "J", "Cohen", "works", "at", "Acme", "Labs"]
+
+
+class TestSentences:
+    def test_split_on_periods(self):
+        assert sentences("One two. Three four. Five.") == [
+            "One two.", "Three four.", "Five."]
+
+    def test_no_terminal_punctuation(self):
+        assert sentences("just one fragment") == ["just one fragment"]
+
+    def test_empty(self):
+        assert sentences("  ") == []
+
+
+class TestLowerTokens:
+    def test_lowercases(self):
+        assert lower_tokens("Acme Labs") == ["acme", "labs"]
+
+
+class TestPredicates:
+    def test_is_capitalized(self):
+        assert is_capitalized("Word")
+        assert not is_capitalized("word")
+        assert not is_capitalized("")
+
+    def test_is_initial(self):
+        assert is_initial("J")
+        assert not is_initial("Jo")
+        assert not is_initial("j")

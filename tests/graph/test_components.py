@@ -1,0 +1,63 @@
+"""Union-find and connected-component tests."""
+
+from repro.graph.components import UnionFind, connected_components
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        forest = UnionFind(["a", "b"])
+        assert not forest.connected("a", "b")
+
+    def test_union_connects(self):
+        forest = UnionFind(["a", "b", "c"])
+        assert forest.union("a", "b")
+        assert forest.connected("a", "b")
+        assert not forest.connected("a", "c")
+
+    def test_union_idempotent(self):
+        forest = UnionFind(["a", "b"])
+        forest.union("a", "b")
+        assert not forest.union("a", "b")
+
+    def test_transitivity(self):
+        forest = UnionFind(["a", "b", "c"])
+        forest.union("a", "b")
+        forest.union("b", "c")
+        assert forest.connected("a", "c")
+
+    def test_find_registers_unknown(self):
+        forest = UnionFind()
+        assert forest.find("new") == "new"
+        assert len(forest) == 1
+
+    def test_groups(self):
+        forest = UnionFind(["a", "b", "c", "d"])
+        forest.union("a", "b")
+        groups = sorted(sorted(g) for g in forest.groups())
+        assert groups == [["a", "b"], ["c"], ["d"]]
+
+    def test_union_by_size_keeps_correctness(self):
+        forest = UnionFind(range(100))
+        for i in range(99):
+            forest.union(i, i + 1)
+        assert forest.connected(0, 99)
+        assert len(forest.groups()) == 1
+
+
+class TestConnectedComponents:
+    def test_basic(self):
+        components = connected_components(
+            ["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["c", "d"]]
+
+    def test_isolated_nodes_are_singletons(self):
+        components = connected_components(["a", "b", "c"], [("a", "b")])
+        assert {frozenset(c) for c in components} == {
+            frozenset({"a", "b"}), frozenset({"c"})}
+
+    def test_no_edges(self):
+        components = connected_components(["a", "b"], [])
+        assert len(components) == 2
+
+    def test_empty(self):
+        assert connected_components([], []) == []

@@ -1,0 +1,57 @@
+"""Decision multigraph tests."""
+
+import pytest
+
+from repro.graph.entity_graph import DecisionGraph
+from repro.graph.multigraph import DecisionMultiGraph
+
+
+def layer(nodes, edges, probabilities):
+    graph = DecisionGraph.from_pairs(nodes, edges)
+    return graph, probabilities
+
+
+class TestDecisionMultiGraph:
+    def build(self):
+        nodes = ["a", "b", "c"]
+        multigraph = DecisionMultiGraph(nodes=nodes)
+        graph1, probs1 = layer(nodes, [("a", "b")],
+                               {("a", "b"): 0.9, ("a", "c"): 0.2, ("b", "c"): 0.4})
+        graph2, probs2 = layer(nodes, [("a", "b"), ("b", "c")],
+                               {("a", "b"): 0.7, ("a", "c"): 0.3, ("b", "c"): 0.8})
+        multigraph.add_layer("L1", graph1, probs1)
+        multigraph.add_layer("L2", graph2, probs2)
+        return multigraph
+
+    def test_n_layers(self):
+        assert self.build().n_layers() == 2
+
+    def test_edge_multiplicity(self):
+        multigraph = self.build()
+        assert multigraph.edge_multiplicity(("a", "b")) == 2
+        assert multigraph.edge_multiplicity(("b", "c")) == 1
+        assert multigraph.edge_multiplicity(("a", "c")) == 0
+
+    def test_pair_probabilities(self):
+        multigraph = self.build()
+        entries = dict(multigraph.pair_probabilities(("a", "b")))
+        assert entries == {"L1": 0.9, "L2": 0.7}
+
+    def test_all_pairs(self):
+        assert self.build().all_pairs() == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_averaged(self):
+        combined = self.build().averaged()
+        assert combined.weight("a", "b") == pytest.approx(0.8)
+        assert combined.weight("a", "c") == pytest.approx(0.25)
+        assert combined.weight("b", "c") == pytest.approx(0.6)
+
+    def test_mismatching_nodes_rejected(self):
+        multigraph = DecisionMultiGraph(nodes=["a", "b"])
+        graph = DecisionGraph(nodes=["a", "z"])
+        with pytest.raises(ValueError, match="mismatching nodes"):
+            multigraph.add_layer("bad", graph, {})
+
+    def test_averaged_empty(self):
+        multigraph = DecisionMultiGraph(nodes=["a", "b"])
+        assert multigraph.averaged().n_pairs() == 0

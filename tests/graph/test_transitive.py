@@ -1,0 +1,31 @@
+"""Transitive-closure clustering tests."""
+
+from repro.graph.entity_graph import DecisionGraph
+from repro.graph.transitive import transitive_closure_clusters
+
+
+class TestTransitiveClosure:
+    def test_chain_becomes_one_cluster(self):
+        graph = DecisionGraph.from_pairs(
+            ["a", "b", "c", "d"], [("a", "b"), ("b", "c")])
+        clusters = transitive_closure_clusters(graph)
+        assert {frozenset(c) for c in clusters} == {
+            frozenset({"a", "b", "c"}), frozenset({"d"})}
+
+    def test_no_edges_all_singletons(self):
+        graph = DecisionGraph(nodes=["a", "b", "c"])
+        clusters = transitive_closure_clusters(graph)
+        assert len(clusters) == 3
+
+    def test_clique_stays_together(self):
+        graph = DecisionGraph.from_pairs(
+            ["a", "b", "c"], [("a", "b"), ("a", "c"), ("b", "c")])
+        clusters = transitive_closure_clusters(graph)
+        assert len(clusters) == 1
+
+    def test_partition_property(self):
+        graph = DecisionGraph.from_pairs(
+            ["a", "b", "c", "d", "e"], [("a", "b"), ("d", "e")])
+        clusters = transitive_closure_clusters(graph)
+        all_nodes = sorted(node for cluster in clusters for node in cluster)
+        assert all_nodes == ["a", "b", "c", "d", "e"]

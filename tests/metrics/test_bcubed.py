@@ -1,0 +1,46 @@
+"""B-cubed metric tests."""
+
+import pytest
+
+from repro.metrics.bcubed import bcubed_scores
+from repro.metrics.clusterings import Clustering
+
+
+class TestBCubed:
+    def test_perfect(self):
+        truth = Clustering([{"a", "b"}, {"c"}])
+        scores = bcubed_scores(truth, truth)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_all_merged(self):
+        predicted = Clustering([{"a", "b", "c", "d"}])
+        truth = Clustering([{"a", "b"}, {"c", "d"}])
+        scores = bcubed_scores(predicted, truth)
+        assert scores.recall == 1.0
+        assert scores.precision == pytest.approx(0.5)
+
+    def test_all_singletons(self):
+        predicted = Clustering([{"a"}, {"b"}, {"c"}, {"d"}])
+        truth = Clustering([{"a", "b"}, {"c", "d"}])
+        scores = bcubed_scores(predicted, truth)
+        assert scores.precision == 1.0
+        assert scores.recall == pytest.approx(0.5)
+
+    def test_classic_asymmetric_example(self):
+        predicted = Clustering([{"a", "b", "c"}, {"d"}])
+        truth = Clustering([{"a", "b"}, {"c", "d"}])
+        scores = bcubed_scores(predicted, truth)
+        # precision: a=2/3, b=2/3, c=1/3, d=1 -> (2/3+2/3+1/3+1)/4
+        assert scores.precision == pytest.approx((2 / 3 + 2 / 3 + 1 / 3 + 1) / 4)
+        # recall: a=1, b=1, c=1/2, d=1/2
+        assert scores.recall == pytest.approx((1 + 1 + 0.5 + 0.5) / 4)
+
+    def test_f1_zero_when_both_zero(self):
+        from repro.metrics.bcubed import BCubedScores
+        assert BCubedScores(precision=0.0, recall=0.0).f1 == 0.0
+
+    def test_universe_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bcubed_scores(Clustering([{"a"}]), Clustering([{"b"}]))

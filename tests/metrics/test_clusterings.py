@@ -1,0 +1,84 @@
+"""Clustering value-type tests."""
+
+import pytest
+
+from repro.metrics.clusterings import (
+    Clustering,
+    check_same_universe,
+    clustering_from_assignments,
+    clustering_from_sets,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        clustering = Clustering([{"a", "b"}, {"c"}])
+        assert len(clustering) == 2
+        assert clustering.n_items() == 3
+
+    def test_empty_clusters_dropped(self):
+        clustering = Clustering([{"a"}, set(), {"b"}])
+        assert len(clustering) == 2
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="multiple clusters"):
+            Clustering([{"a", "b"}, {"b", "c"}])
+
+    def test_canonical_order(self):
+        clustering = Clustering([{"z"}, {"a", "b", "c"}, {"m", "n"}])
+        assert [len(c) for c in clustering.clusters] == [3, 2, 1]
+
+    def test_from_assignments(self):
+        clustering = clustering_from_assignments(
+            {"a": "p1", "b": "p1", "c": "p2"})
+        assert clustering.same_cluster("a", "b")
+        assert not clustering.same_cluster("a", "c")
+
+    def test_from_sets(self):
+        clustering = clustering_from_sets([["a", "b"], ["c"]])
+        assert clustering.n_items() == 3
+
+
+class TestQueries:
+    def build(self):
+        return Clustering([{"a", "b", "c"}, {"d", "e"}, {"f"}])
+
+    def test_cluster_of(self):
+        clustering = self.build()
+        assert clustering.cluster_of("a") == frozenset({"a", "b", "c"})
+
+    def test_cluster_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.build().cluster_of("zzz")
+
+    def test_same_cluster(self):
+        clustering = self.build()
+        assert clustering.same_cluster("d", "e")
+        assert not clustering.same_cluster("a", "f")
+
+    def test_co_referent_pairs(self):
+        assert self.build().co_referent_pairs() == 3 + 1 + 0
+
+    def test_sizes(self):
+        assert self.build().sizes() == [3, 2, 1]
+
+    def test_equality_ignores_order(self):
+        first = Clustering([{"a"}, {"b", "c"}])
+        second = Clustering([{"c", "b"}, {"a"}])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality(self):
+        assert Clustering([{"a", "b"}]) != Clustering([{"a"}, {"b"}])
+
+    def test_repr(self):
+        assert "3 clusters" in repr(self.build())
+
+
+class TestCheckSameUniverse:
+    def test_accepts_equal(self):
+        check_same_universe(Clustering([{"a"}]), Clustering([{"a"}]))
+
+    def test_rejects_different(self):
+        with pytest.raises(ValueError, match="different items"):
+            check_same_universe(Clustering([{"a"}]), Clustering([{"b"}]))

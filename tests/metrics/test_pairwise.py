@@ -1,0 +1,63 @@
+"""Pairwise precision/recall/F tests."""
+
+import pytest
+
+from repro.metrics.clusterings import Clustering
+from repro.metrics.pairwise import PairwiseScores, pairwise_scores
+
+
+class TestPairwiseScores:
+    def test_perfect(self):
+        truth = Clustering([{"a", "b"}, {"c"}])
+        scores = pairwise_scores(truth, truth)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_all_singletons_prediction(self):
+        predicted = Clustering([{"a"}, {"b"}, {"c"}])
+        truth = Clustering([{"a", "b", "c"}])
+        scores = pairwise_scores(predicted, truth)
+        assert scores.true_positives == 0
+        assert scores.false_negatives == 3
+        assert scores.recall == 0.0
+        assert scores.precision == 1.0  # no predicted positives
+
+    def test_all_merged_prediction(self):
+        predicted = Clustering([{"a", "b", "c", "d"}])
+        truth = Clustering([{"a", "b"}, {"c", "d"}])
+        scores = pairwise_scores(predicted, truth)
+        assert scores.true_positives == 2
+        assert scores.false_positives == 4
+        assert scores.recall == 1.0
+        assert scores.precision == pytest.approx(2.0 / 6.0)
+
+    def test_counts_explicit_example(self):
+        predicted = Clustering([{"a", "b", "c"}, {"d", "e"}])
+        truth = Clustering([{"a", "b"}, {"c", "d", "e"}])
+        scores = pairwise_scores(predicted, truth)
+        # predicted positives: ab ac bc de; true positives: ab cd ce de
+        assert scores.true_positives == 2      # ab, de
+        assert scores.false_positives == 2     # ac, bc
+        assert scores.false_negatives == 2     # cd, ce
+
+    def test_f1_harmonic_mean(self):
+        scores = PairwiseScores(true_positives=1, false_positives=1,
+                                false_negatives=3)
+        precision, recall = 0.5, 0.25
+        expected = 2 * precision * recall / (precision + recall)
+        assert scores.f1 == pytest.approx(expected)
+
+    def test_zero_f1(self):
+        scores = PairwiseScores(true_positives=0, false_positives=5,
+                                false_negatives=5)
+        assert scores.f1 == 0.0
+
+    def test_universe_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_scores(Clustering([{"a"}]), Clustering([{"b"}]))
+
+    def test_single_item(self):
+        single = Clustering([{"a"}])
+        scores = pairwise_scores(single, single)
+        assert scores.f1 == 1.0

@@ -1,0 +1,69 @@
+"""Purity / inverse purity / Fp tests."""
+
+import pytest
+
+from repro.metrics.clusterings import Clustering
+from repro.metrics.purity import fp_measure, inverse_purity, purity
+
+
+class TestPurity:
+    def test_perfect(self):
+        truth = Clustering([{"a", "b"}, {"c"}])
+        assert purity(truth, truth) == 1.0
+
+    def test_all_merged(self):
+        predicted = Clustering([{"a", "b", "c", "d"}])
+        truth = Clustering([{"a", "b", "c"}, {"d"}])
+        assert purity(predicted, truth) == pytest.approx(0.75)
+
+    def test_all_singletons_purity_one(self):
+        predicted = Clustering([{"a"}, {"b"}, {"c"}])
+        truth = Clustering([{"a", "b", "c"}])
+        assert purity(predicted, truth) == 1.0
+
+    def test_known_example(self):
+        predicted = Clustering([{"a", "b", "x"}, {"c", "y"}])
+        truth = Clustering([{"a", "b", "c"}, {"x", "y"}])
+        # cluster1 majority = {a,b} (2), cluster2 majority = 1
+        assert purity(predicted, truth) == pytest.approx(3.0 / 5.0)
+
+
+class TestInversePurity:
+    def test_swaps_roles(self):
+        predicted = Clustering([{"a", "b", "c", "d"}])
+        truth = Clustering([{"a", "b", "c"}, {"d"}])
+        assert inverse_purity(predicted, truth) == 1.0
+        assert inverse_purity(
+            Clustering([{"a"}, {"b"}, {"c"}, {"d"}]), truth) == pytest.approx(0.5)
+
+    def test_is_purity_with_swapped_args(self):
+        predicted = Clustering([{"a", "b"}, {"c", "d"}, {"e"}])
+        truth = Clustering([{"a", "b", "c"}, {"d", "e"}])
+        assert inverse_purity(predicted, truth) == purity(truth, predicted)
+
+
+class TestFpMeasure:
+    def test_perfect(self):
+        truth = Clustering([{"a", "b"}, {"c"}])
+        assert fp_measure(truth, truth) == 1.0
+
+    def test_harmonic_mean(self):
+        predicted = Clustering([{"a"}, {"b"}, {"c"}, {"d"}])
+        truth = Clustering([{"a", "b"}, {"c", "d"}])
+        pur = purity(predicted, truth)          # 1.0
+        inv = inverse_purity(predicted, truth)  # 0.5
+        expected = 2 * pur * inv / (pur + inv)
+        assert fp_measure(predicted, truth) == pytest.approx(expected)
+
+    def test_symmetric_under_degenerate_extremes(self):
+        # Both degenerate predictions (all-merged, all-singleton) should
+        # score below a structurally correct prediction.
+        truth = Clustering([{"a", "b"}, {"c", "d"}, {"e", "f"}])
+        merged = Clustering([{"a", "b", "c", "d", "e", "f"}])
+        singles = Clustering([{x} for x in "abcdef"])
+        assert fp_measure(truth, truth) > fp_measure(merged, truth)
+        assert fp_measure(truth, truth) > fp_measure(singles, truth)
+
+    def test_universe_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fp_measure(Clustering([{"a"}]), Clustering([{"b"}]))

@@ -1,0 +1,58 @@
+"""Rand index tests."""
+
+import pytest
+
+from repro.metrics.clusterings import Clustering
+from repro.metrics.rand import adjusted_rand_index, rand_index
+
+
+class TestRandIndex:
+    def test_perfect(self):
+        truth = Clustering([{"a", "b"}, {"c"}])
+        assert rand_index(truth, truth) == 1.0
+
+    def test_opposite(self):
+        predicted = Clustering([{"a", "b"}])
+        truth = Clustering([{"a"}, {"b"}])
+        assert rand_index(predicted, truth) == 0.0
+
+    def test_known_value(self):
+        predicted = Clustering([{"a", "b"}, {"c", "d"}])
+        truth = Clustering([{"a", "b", "c"}, {"d"}])
+        # pairs: ab agree(+,+); cd disagree(+,-); ac,bc disagree(-,+);
+        # ad, bd agree(-,-) => 3/6
+        assert rand_index(predicted, truth) == pytest.approx(0.5)
+
+    def test_single_item(self):
+        single = Clustering([{"a"}])
+        assert rand_index(single, single) == 1.0
+
+    def test_range(self, small_block):
+        from repro.metrics.clusterings import clustering_from_assignments
+        truth = clustering_from_assignments(small_block.ground_truth())
+        singles = Clustering([{i} for i in small_block.page_ids()])
+        assert 0.0 <= rand_index(singles, truth) <= 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_perfect(self):
+        truth = Clustering([{"a", "b"}, {"c", "d"}])
+        assert adjusted_rand_index(truth, truth) == 1.0
+
+    def test_both_all_singletons(self):
+        clustering = Clustering([{"a"}, {"b"}, {"c"}])
+        assert adjusted_rand_index(clustering, clustering) == 1.0
+
+    def test_below_rand_for_chance_heavy_cases(self):
+        predicted = Clustering([{"a", "b", "c", "d", "e"}, {"f"}])
+        truth = Clustering([{"a", "b", "f"}, {"c", "d", "e"}])
+        assert adjusted_rand_index(predicted, truth) < rand_index(predicted, truth)
+
+    def test_can_be_negative(self):
+        predicted = Clustering([{"a", "x"}, {"b", "y"}])
+        truth = Clustering([{"a", "b"}, {"x", "y"}])
+        assert adjusted_rand_index(predicted, truth) < 0.0
+
+    def test_single_item(self):
+        single = Clustering([{"a"}])
+        assert adjusted_rand_index(single, single) == 1.0

@@ -1,0 +1,69 @@
+"""1-D k-means tests."""
+
+import pytest
+
+from repro.ml.kmeans import kmeans_1d
+
+
+class TestKMeans1D:
+    def test_two_well_separated_groups(self):
+        values = [0.1, 0.12, 0.11, 0.9, 0.88, 0.91]
+        model = kmeans_1d(values, k=2)
+        assert model.k == 2
+        assert model.centers[0] == pytest.approx(0.11, abs=0.02)
+        assert model.centers[1] == pytest.approx(0.896, abs=0.02)
+
+    def test_assign_respects_boundaries(self):
+        model = kmeans_1d([0.1, 0.1, 0.9, 0.9], k=2)
+        assert model.assign(0.0) == 0
+        assert model.assign(0.2) == 0
+        assert model.assign(0.8) == 1
+        assert model.assign(1.0) == 1
+
+    def test_centers_sorted(self):
+        values = [0.5, 0.2, 0.9, 0.1, 0.7, 0.3]
+        model = kmeans_1d(values, k=3)
+        assert list(model.centers) == sorted(model.centers)
+
+    def test_k_reduced_for_few_distinct_values(self):
+        model = kmeans_1d([0.5, 0.5, 0.5, 0.7], k=10)
+        assert model.k == 2
+
+    def test_single_value(self):
+        model = kmeans_1d([0.4, 0.4], k=3)
+        assert model.k == 1
+        assert model.assign(0.0) == 0
+        assert model.assign(1.0) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            kmeans_1d([], k=2)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            kmeans_1d([0.1], k=0)
+
+    def test_deterministic(self):
+        values = [i / 17 for i in range(17)]
+        first = kmeans_1d(values, k=5)
+        second = kmeans_1d(list(reversed(values)), k=5)
+        assert first.centers == second.centers
+
+    def test_boundaries_are_midpoints(self):
+        model = kmeans_1d([0.0, 0.0, 1.0, 1.0], k=2)
+        assert model.boundaries == (0.5,)
+
+    def test_assignment_matches_nearest_center(self):
+        values = [0.05, 0.1, 0.45, 0.5, 0.55, 0.95, 1.0]
+        model = kmeans_1d(values, k=3)
+        for value in values:
+            assigned = model.assign(value)
+            nearest = min(range(model.k),
+                          key=lambda i: abs(model.centers[i] - value))
+            assert assigned == nearest
+
+    def test_convergence_on_uniform_data(self):
+        values = [i / 100 for i in range(101)]
+        model = kmeans_1d(values, k=10)
+        assert model.k == 10
+        assert all(0.0 <= center <= 1.0 for center in model.centers)

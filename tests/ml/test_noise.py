@@ -1,0 +1,75 @@
+"""Label-noise injection tests."""
+
+import pytest
+
+from repro.ml.noise import flip_labels, one_sided_noise
+
+PAIRS = [(("a", "b"), True), (("a", "c"), False), (("a", "d"), True),
+         (("b", "c"), False), (("b", "d"), True), (("c", "d"), False)]
+
+
+class TestFlipLabels:
+    def test_zero_fraction_identity(self):
+        assert flip_labels(PAIRS, 0.0) == PAIRS
+
+    def test_full_fraction_inverts_everything(self):
+        flipped = flip_labels(PAIRS, 1.0)
+        assert [label for _, label in flipped] == [
+            not label for _, label in PAIRS]
+
+    def test_half_fraction_flips_half(self):
+        flipped = flip_labels(PAIRS, 0.5, seed=1)
+        n_changed = sum(1 for (_, a), (_, b) in zip(PAIRS, flipped) if a != b)
+        assert n_changed == 3
+
+    def test_pairs_unchanged(self):
+        flipped = flip_labels(PAIRS, 0.5, seed=1)
+        assert [pair for pair, _ in flipped] == [pair for pair, _ in PAIRS]
+
+    def test_deterministic(self):
+        assert flip_labels(PAIRS, 0.3, seed=5) == flip_labels(PAIRS, 0.3, seed=5)
+
+    def test_different_seeds_differ(self):
+        all_same = all(
+            flip_labels(PAIRS, 0.5, seed=s) == flip_labels(PAIRS, 0.5, seed=0)
+            for s in range(1, 6))
+        assert not all_same
+
+    def test_input_not_mutated(self):
+        snapshot = list(PAIRS)
+        flip_labels(PAIRS, 1.0)
+        assert PAIRS == snapshot
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            flip_labels(PAIRS, 1.5)
+
+    def test_empty(self):
+        assert flip_labels([], 0.5) == []
+
+
+class TestOneSidedNoise:
+    def test_only_targets_flipped(self):
+        noisy = one_sided_noise(PAIRS, 1.0, target_label=True, seed=0)
+        for (pair, original), (_, corrupted) in zip(PAIRS, noisy):
+            if original:
+                assert not corrupted
+            else:
+                assert not corrupted  # negatives untouched and stay False
+
+    def test_negatives_preserved_when_flipping_positives(self):
+        noisy = one_sided_noise(PAIRS, 1.0, target_label=True, seed=0)
+        originals = dict(PAIRS)
+        for pair, label in noisy:
+            if not originals[pair]:
+                assert label is False
+
+    def test_partial_fraction(self):
+        noisy = one_sided_noise(PAIRS, 0.5, target_label=False, seed=3)
+        flipped = sum(1 for (_, a), (_, b) in zip(PAIRS, noisy) if a != b)
+        # 3 negatives; half rounded = 2 flips (round(1.5) banker's = 2).
+        assert flipped in (1, 2)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            one_sided_noise(PAIRS, -0.1, target_label=True)

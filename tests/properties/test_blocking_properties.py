@@ -1,0 +1,89 @@
+"""Property-based tests for blocking schemes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.name_blocking import QueryNameBlocker
+from repro.blocking.sorted_neighborhood import (
+    SortedNeighborhoodBlocker,
+    domain_key,
+    title_key,
+)
+from repro.blocking.token_blocking import TokenBlocker
+from repro.corpus.documents import WebPage
+
+
+@st.composite
+def page_universes(draw):
+    """A small universe of labeled pages with varied names/domains."""
+    n_pages = draw(st.integers(min_value=2, max_value=12))
+    pages = []
+    for index in range(n_pages):
+        name = draw(st.sampled_from(["A One", "B Two", "C Three"]))
+        person = draw(st.sampled_from(["p0", "p1", "p2"]))
+        domain = draw(st.sampled_from(["x.org", "y.net", "z.com"]))
+        word = draw(st.sampled_from(["Alpha", "Beta", "gamma", "delta"]))
+        pages.append(WebPage(
+            doc_id=f"d/{index:02d}", query_name=name,
+            url=f"http://{domain}/p{index}",
+            title=f"{word} title {index}",
+            text=f"{word} body text for page {index}",
+            person_id=f"{name.split()[-1].lower()}-{person}",
+        ))
+    return pages
+
+
+class TestBlockingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(page_universes())
+    def test_candidates_are_valid_pairs(self, pages):
+        ids = {page.doc_id for page in pages}
+        for blocker in (QueryNameBlocker(), TokenBlocker(),
+                        SortedNeighborhoodBlocker(window=3)):
+            result = blocker.block(pages)
+            for left, right in result.candidate_pairs:
+                assert left in ids and right in ids
+                assert left < right  # canonical keys
+
+    @settings(max_examples=30, deadline=None)
+    @given(page_universes())
+    def test_reduction_ratio_in_unit_interval(self, pages):
+        for blocker in (QueryNameBlocker(), TokenBlocker(),
+                        SortedNeighborhoodBlocker(window=3)):
+            result = blocker.block(pages)
+            assert 0.0 <= result.reduction_ratio() <= 1.0
+            assert 0.0 <= result.pair_completeness() <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(page_universes())
+    def test_query_name_blocking_is_lossless_here(self, pages):
+        # Person ids embed the query name in this universe, so co-referent
+        # pages always share a name: the paper's blocker loses nothing.
+        result = QueryNameBlocker().block(pages)
+        assert result.pair_completeness() == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(page_universes(), st.integers(min_value=2, max_value=6))
+    def test_sorted_neighborhood_window_monotone(self, pages, window):
+        small = SortedNeighborhoodBlocker(window=window,
+                                          keys=[title_key]).block(pages)
+        large = SortedNeighborhoodBlocker(window=window + 2,
+                                          keys=[title_key]).block(pages)
+        assert small.candidate_pairs <= large.candidate_pairs
+
+    @settings(max_examples=30, deadline=None)
+    @given(page_universes())
+    def test_multi_pass_superset_of_single_pass(self, pages):
+        single = SortedNeighborhoodBlocker(window=3,
+                                           keys=[title_key]).block(pages)
+        multi = SortedNeighborhoodBlocker(
+            window=3, keys=[title_key, domain_key]).block(pages)
+        assert single.candidate_pairs <= multi.candidate_pairs
+
+    @settings(max_examples=30, deadline=None)
+    @given(page_universes())
+    def test_blockers_deterministic(self, pages):
+        for blocker in (QueryNameBlocker(), TokenBlocker(),
+                        SortedNeighborhoodBlocker(window=3)):
+            assert (blocker.block(pages).candidate_pairs
+                    == blocker.block(pages).candidate_pairs)

@@ -1,0 +1,94 @@
+"""Property-based tests for core learning components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import RegionAccuracyProfile
+from repro.core.regions import EqualWidthRegions, KMeansRegions
+from repro.core.thresholds import learn_threshold
+from repro.ml.kmeans import kmeans_1d
+
+values = st.floats(min_value=0.0, max_value=1.0)
+labeled = st.lists(st.tuples(values, st.booleans()), min_size=1, max_size=60)
+
+
+class TestThresholdProperties:
+    @given(labeled)
+    def test_accuracy_at_least_majority_class(self, data):
+        learned = learn_threshold(data)
+        n_positive = sum(1 for _, label in data if label)
+        majority = max(n_positive, len(data) - n_positive) / len(data)
+        # Constant rules (always/never link) are candidates, so the learned
+        # rule is never worse than predicting the majority class.
+        assert learned.training_accuracy >= majority - 1e-12
+
+    @given(labeled)
+    def test_reported_accuracy_matches_decisions(self, data):
+        learned = learn_threshold(data)
+        correct = sum(1 for value, label in data
+                      if learned.decide(value) == label)
+        assert learned.training_accuracy == correct / len(data)
+
+    @given(labeled)
+    def test_exhaustive_optimality(self, data):
+        learned = learn_threshold(data)
+        sorted_values = sorted({value for value, _ in data})
+        # Candidate thresholds: always/never link, the values themselves
+        # (>= semantics) and the midpoints between consecutive values.
+        candidates = [0.0, 1.1] + sorted_values
+        candidates.extend((a + b) / 2 for a, b in
+                          zip(sorted_values, sorted_values[1:]))
+        best = max(sum(1 for v, lab in data if (v >= c) == lab)
+                   for c in candidates)
+        achieved = round(learned.training_accuracy * len(data))
+        assert achieved == best
+
+
+class TestKMeansProperties:
+    @given(st.lists(values, min_size=1, max_size=50),
+           st.integers(min_value=1, max_value=10))
+    def test_centers_sorted_and_within_range(self, data, k):
+        model = kmeans_1d(data, k)
+        assert list(model.centers) == sorted(model.centers)
+        assert min(data) - 1e-9 <= model.centers[0]
+        assert model.centers[-1] <= max(data) + 1e-9
+
+    @given(st.lists(values, min_size=1, max_size=50),
+           st.integers(min_value=1, max_value=10))
+    def test_k_bounded_by_distinct_values(self, data, k):
+        model = kmeans_1d(data, k)
+        assert model.k <= len(set(data))
+        assert model.k <= k
+
+    @settings(max_examples=40)
+    @given(st.lists(values, min_size=2, max_size=40),
+           st.integers(min_value=1, max_value=8))
+    def test_assignment_is_nearest_center(self, data, k):
+        model = kmeans_1d(data, k)
+        for value in data:
+            assigned = model.assign(value)
+            distances = [abs(center - value) for center in model.centers]
+            assert distances[assigned] <= min(distances) + 1e-9
+
+
+class TestRegionProfileProperties:
+    @given(labeled, st.integers(min_value=1, max_value=15))
+    def test_probabilities_are_probabilities(self, data, k):
+        profile = RegionAccuracyProfile(EqualWidthRegions(k), data)
+        for value, _ in data:
+            assert 0.0 <= profile.link_probability(value) <= 1.0
+
+    @given(labeled)
+    def test_kmeans_regions_cover_all_values(self, data):
+        raw_values = [value for value, _ in data]
+        regions = KMeansRegions(raw_values, k=5)
+        for value in raw_values:
+            index = regions.assign(value)
+            assert 0 <= index < regions.n_regions
+
+    @given(labeled, st.integers(min_value=1, max_value=15))
+    def test_region_counts_sum_to_sample_size(self, data, k):
+        profile = RegionAccuracyProfile(EqualWidthRegions(k), data)
+        total = sum(profile.region_stats(i).n_pairs
+                    for i in range(profile.n_regions))
+        assert total == len(data)

@@ -1,0 +1,62 @@
+"""Property-based tests of the corpus generator.
+
+For any (seed, page budget, cluster count) configuration the generated
+collection must be structurally sound: complete labels, unique ids, exact
+page/cluster counts, parsable URLs and non-empty text.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.datasets import custom_dataset
+from repro.corpus.generator import GeneratorConfig
+from repro.similarity.urls import parse_url
+
+configs = st.tuples(
+    st.integers(min_value=0, max_value=10_000),   # seed
+    st.integers(min_value=4, max_value=24),       # pages per name
+    st.integers(min_value=1, max_value=4),        # clusters
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(configs)
+def test_generated_collection_is_sound(params):
+    seed, pages, clusters = params
+    clusters = min(clusters, pages)
+    dataset = custom_dataset(
+        ["Ada Prop"], seed=seed,
+        config=GeneratorConfig(pages_per_name=pages),
+        cluster_counts={"Ada Prop": clusters})
+    block = dataset.by_name("Ada Prop")
+
+    assert len(block) == pages
+    assert block.n_persons() == clusters
+
+    ids = block.page_ids()
+    assert len(ids) == len(set(ids))
+
+    for page in block:
+        assert page.person_id is not None
+        assert page.query_name == "Ada Prop"
+        assert page.text.strip()
+        parsed = parse_url(page.url)
+        assert parsed.domain
+        assert "." in parsed.domain
+
+    # Every true cluster is non-empty and they partition the block.
+    sizes = [len(cluster) for cluster in block.true_clusters()]
+    assert sum(sizes) == pages
+    assert all(size >= 1 for size in sizes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_generation_is_a_pure_function_of_seed(seed):
+    config = GeneratorConfig(pages_per_name=8)
+    first = custom_dataset(["Ada Prop"], seed=seed, config=config,
+                           cluster_counts={"Ada Prop": 2})
+    second = custom_dataset(["Ada Prop"], seed=seed, config=config,
+                            cluster_counts={"Ada Prop": 2})
+    assert ([(p.doc_id, p.url, p.text) for p in first.all_pages()]
+            == [(p.doc_id, p.url, p.text) for p in second.all_pages()])

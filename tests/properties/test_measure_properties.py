@@ -1,0 +1,89 @@
+"""Property-based tests for vector/set similarity measures."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.measures import (
+    cosine,
+    dice,
+    extended_jaccard,
+    jaccard,
+    overlap_coefficient,
+    pearson_similarity,
+)
+
+keys = st.sampled_from([f"k{i}" for i in range(8)])
+vectors = st.dictionaries(keys, st.floats(min_value=0.01, max_value=10.0),
+                          min_size=0, max_size=8)
+sets = st.frozensets(keys, max_size=8)
+
+
+class TestVectorMeasureProperties:
+    @given(vectors, vectors)
+    def test_cosine_symmetric(self, left, right):
+        # Summation order may differ (iteration over the smaller operand),
+        # so symmetry holds up to float round-off.
+        assert abs(cosine(left, right) - cosine(right, left)) < 1e-12
+
+    @given(vectors, vectors)
+    def test_cosine_unit_interval(self, left, right):
+        assert 0.0 <= cosine(left, right) <= 1.0
+
+    @given(vectors)
+    def test_cosine_self_is_one(self, vector):
+        if vector:
+            assert abs(cosine(vector, vector) - 1.0) < 1e-9
+
+    @given(vectors, vectors)
+    def test_pearson_symmetric(self, left, right):
+        assert abs(pearson_similarity(left, right)
+                   - pearson_similarity(right, left)) < 1e-12
+
+    @given(vectors, vectors)
+    def test_pearson_unit_interval(self, left, right):
+        assert 0.0 <= pearson_similarity(left, right) <= 1.0
+
+    @given(vectors, vectors)
+    def test_extended_jaccard_symmetric(self, left, right):
+        assert abs(extended_jaccard(left, right)
+                   - extended_jaccard(right, left)) < 1e-12
+
+    @given(vectors, vectors)
+    def test_extended_jaccard_unit_interval(self, left, right):
+        assert 0.0 <= extended_jaccard(left, right) <= 1.0
+
+    @given(vectors)
+    def test_extended_jaccard_self_is_one(self, vector):
+        if vector:
+            assert abs(extended_jaccard(vector, vector) - 1.0) < 1e-9
+
+    @given(vectors, vectors)
+    def test_extended_jaccard_below_cosine(self, left, right):
+        # Tanimoto <= cosine for non-negative vectors.
+        assert extended_jaccard(left, right) <= cosine(left, right) + 1e-9
+
+
+class TestSetMeasureProperties:
+    @given(sets, sets)
+    def test_overlap_symmetric(self, left, right):
+        assert (overlap_coefficient(left, right)
+                == overlap_coefficient(right, left))
+
+    @given(sets, sets)
+    def test_overlap_unit_interval(self, left, right):
+        assert 0.0 <= overlap_coefficient(left, right) <= 1.0
+
+    @given(sets, sets)
+    def test_jaccard_leq_dice_leq_overlap(self, left, right):
+        j = jaccard(left, right)
+        d = dice(left, right)
+        o = overlap_coefficient(left, right)
+        assert j <= d + 1e-12
+        assert d <= o + 1e-12
+
+    @given(sets)
+    def test_self_similarity_one(self, items):
+        if items:
+            assert jaccard(items, items) == 1.0
+            assert dice(items, items) == 1.0
+            assert overlap_coefficient(items, items) == 1.0

@@ -1,0 +1,87 @@
+"""Property-based tests for clustering metrics.
+
+Random partition pairs over a small universe; metric invariants must hold
+for all of them.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.bcubed import bcubed_scores
+from repro.metrics.clusterings import Clustering, clustering_from_assignments
+from repro.metrics.pairwise import pairwise_scores
+from repro.metrics.purity import fp_measure, inverse_purity, purity
+from repro.metrics.rand import adjusted_rand_index, rand_index
+
+ITEMS = [f"d{i}" for i in range(9)]
+
+
+@st.composite
+def partitions(draw):
+    """A random partition of ITEMS encoded as a label assignment."""
+    labels = draw(st.lists(st.integers(min_value=0, max_value=4),
+                           min_size=len(ITEMS), max_size=len(ITEMS)))
+    return clustering_from_assignments(
+        {item: f"c{label}" for item, label in zip(ITEMS, labels)})
+
+
+class TestMetricInvariants:
+    @given(partitions(), partitions())
+    def test_all_in_unit_interval(self, predicted, truth):
+        assert 0.0 <= fp_measure(predicted, truth) <= 1.0
+        assert 0.0 <= purity(predicted, truth) <= 1.0
+        assert 0.0 <= inverse_purity(predicted, truth) <= 1.0
+        assert 0.0 <= rand_index(predicted, truth) <= 1.0
+        scores = pairwise_scores(predicted, truth)
+        assert 0.0 <= scores.f1 <= 1.0
+        bcubed = bcubed_scores(predicted, truth)
+        assert 0.0 <= bcubed.f1 <= 1.0
+
+    @given(partitions())
+    def test_perfect_on_self(self, clustering):
+        assert fp_measure(clustering, clustering) == 1.0
+        assert rand_index(clustering, clustering) == 1.0
+        assert pairwise_scores(clustering, clustering).f1 == 1.0
+        assert adjusted_rand_index(clustering, clustering) == 1.0
+        assert bcubed_scores(clustering, clustering).f1 == 1.0
+
+    @given(partitions(), partitions())
+    def test_purity_duality(self, predicted, truth):
+        assert purity(predicted, truth) == inverse_purity(truth, predicted)
+
+    @given(partitions(), partitions())
+    def test_rand_symmetric(self, predicted, truth):
+        assert rand_index(predicted, truth) == rand_index(truth, predicted)
+
+    @given(partitions(), partitions())
+    def test_fp_symmetric(self, predicted, truth):
+        # Fp is the harmonic mean of purity and inverse purity, which swap
+        # under argument exchange, so Fp itself is symmetric.
+        assert fp_measure(predicted, truth) == fp_measure(truth, predicted)
+
+    @given(partitions(), partitions())
+    def test_pairwise_confusion_consistency(self, predicted, truth):
+        scores = pairwise_scores(predicted, truth)
+        assert (scores.true_positives + scores.false_positives
+                == predicted.co_referent_pairs())
+        assert (scores.true_positives + scores.false_negatives
+                == truth.co_referent_pairs())
+
+    @given(partitions(), partitions())
+    def test_bcubed_recall_is_precision_swapped(self, predicted, truth):
+        forward = bcubed_scores(predicted, truth)
+        backward = bcubed_scores(truth, predicted)
+        assert abs(forward.precision - backward.recall) < 1e-12
+        assert abs(forward.recall - backward.precision) < 1e-12
+
+
+class TestClusteringInvariants:
+    @given(partitions())
+    def test_partition_covers_universe(self, clustering):
+        assert clustering.items == frozenset(ITEMS)
+        assert sum(clustering.sizes()) == len(ITEMS)
+
+    @given(partitions())
+    def test_co_referent_pairs_from_sizes(self, clustering):
+        expected = sum(size * (size - 1) // 2 for size in clustering.sizes())
+        assert clustering.co_referent_pairs() == expected

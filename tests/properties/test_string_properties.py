@@ -1,0 +1,97 @@
+"""Property-based tests for string similarity measures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.strings import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    name_similarity,
+    normalized_edit_similarity,
+)
+
+words = st.text(alphabet="abcdexyz", min_size=0, max_size=12)
+
+
+class TestLevenshteinProperties:
+    @given(words, words)
+    def test_symmetric(self, left, right):
+        assert levenshtein(left, right) == levenshtein(right, left)
+
+    @given(words)
+    def test_identity(self, word):
+        assert levenshtein(word, word) == 0
+
+    @given(words, words)
+    def test_bounded_by_longer_string(self, left, right):
+        assert levenshtein(left, right) <= max(len(left), len(right))
+
+    @given(words, words)
+    def test_at_least_length_difference(self, left, right):
+        assert levenshtein(left, right) >= abs(len(left) - len(right))
+
+    @settings(max_examples=40)
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words, st.sampled_from("abcxyz"))
+    def test_single_append_costs_one(self, word, char):
+        assert levenshtein(word, word + char) == 1
+
+
+class TestJaroProperties:
+    @given(words, words)
+    def test_symmetric(self, left, right):
+        assert jaro(left, right) == jaro(right, left)
+
+    @given(words, words)
+    def test_unit_interval(self, left, right):
+        assert 0.0 <= jaro(left, right) <= 1.0
+
+    @given(words)
+    def test_identity(self, word):
+        assert jaro(word, word) == 1.0
+
+    @given(words, words)
+    def test_winkler_at_least_jaro(self, left, right):
+        assert jaro_winkler(left, right) >= jaro(left, right) - 1e-12
+
+    @given(words, words)
+    def test_winkler_unit_interval(self, left, right):
+        assert 0.0 <= jaro_winkler(left, right) <= 1.0
+
+
+class TestNormalizedEditProperties:
+    @given(words, words)
+    def test_unit_interval(self, left, right):
+        assert 0.0 <= normalized_edit_similarity(left, right) <= 1.0
+
+    @given(words, words)
+    def test_symmetric(self, left, right):
+        assert (normalized_edit_similarity(left, right)
+                == normalized_edit_similarity(right, left))
+
+
+name_parts = st.text(alphabet="abcdef", min_size=1, max_size=6)
+names = st.builds(lambda f, l: f.capitalize() + " " + l.capitalize(),
+                  name_parts, name_parts)
+
+
+class TestNameSimilarityProperties:
+    @given(names, names)
+    def test_symmetric(self, left, right):
+        assert name_similarity(left, right) == name_similarity(right, left)
+
+    @given(names, names)
+    def test_unit_interval(self, left, right):
+        assert 0.0 <= name_similarity(left, right) <= 1.0
+
+    @given(names)
+    def test_identity(self, name):
+        assert name_similarity(name, name) == 1.0
+
+    @given(names)
+    def test_surname_subform(self, name):
+        assert name_similarity(name.split()[-1], name) == 0.9

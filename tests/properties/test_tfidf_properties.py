@@ -1,0 +1,60 @@
+"""Property-based tests of the TF-IDF vectorizer."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extraction.tfidf import TfidfVectorizer
+
+tokens = st.sampled_from([f"t{i}" for i in range(12)])
+documents = st.lists(st.lists(tokens, min_size=1, max_size=20),
+                     min_size=1, max_size=8)
+
+
+class TestTfidfProperties:
+    @settings(max_examples=40)
+    @given(documents)
+    def test_vectors_unit_length(self, docs):
+        vectorizer = TfidfVectorizer().fit(docs)
+        for doc in docs:
+            vector = vectorizer.transform(doc)
+            if vector:
+                norm = math.sqrt(sum(v * v for v in vector.values()))
+                assert abs(norm - 1.0) < 1e-9
+
+    @settings(max_examples=40)
+    @given(documents)
+    def test_weights_positive(self, docs):
+        vectorizer = TfidfVectorizer().fit(docs)
+        for doc in docs:
+            assert all(weight > 0.0
+                       for weight in vectorizer.transform(doc).values())
+
+    @settings(max_examples=40)
+    @given(documents)
+    def test_support_is_filtered_tokens(self, docs):
+        vectorizer = TfidfVectorizer().fit(docs)
+        for doc in docs:
+            vector = vectorizer.transform(doc)
+            filtered = {token.lower() for token in doc
+                        if len(token) >= vectorizer.min_token_length}
+            assert set(vector) == filtered
+
+    @settings(max_examples=30)
+    @given(documents, st.lists(tokens, min_size=1, max_size=20))
+    def test_transform_deterministic(self, docs, query):
+        vectorizer = TfidfVectorizer().fit(docs)
+        assert vectorizer.transform(query) == vectorizer.transform(query)
+
+    @settings(max_examples=30)
+    @given(st.lists(tokens, min_size=1, max_size=20))
+    def test_document_order_invariance(self, doc):
+        """A document's vector only depends on its token multiset."""
+        corpus = [doc]
+        vectorizer = TfidfVectorizer().fit(corpus)
+        forward = vectorizer.transform(doc)
+        backward = vectorizer.transform(list(reversed(doc)))
+        assert set(forward) == set(backward)
+        for key in forward:
+            assert abs(forward[key] - backward[key]) < 1e-12

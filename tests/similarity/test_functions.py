@@ -1,0 +1,148 @@
+"""Tests for the F1–F10 similarity functions."""
+
+from collections import Counter
+
+import pytest
+
+from repro.extraction.features import PageFeatures
+from repro.similarity.base import SimilarityFunction
+from repro.similarity.functions import (
+    ALL_FUNCTION_NAMES,
+    SUBSET_I4,
+    SUBSET_I7,
+    default_functions,
+    function_by_name,
+    functions_subset,
+)
+
+
+def features(**kwargs):
+    return PageFeatures(doc_id=kwargs.pop("doc_id", "x/0"), **kwargs)
+
+
+class TestRegistry:
+    def test_ten_functions(self):
+        assert len(default_functions()) == 10
+        assert ALL_FUNCTION_NAMES == tuple(f"F{i}" for i in range(1, 11))
+
+    def test_lookup_by_name(self):
+        assert function_by_name("F3").name == "F3"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            function_by_name("F99")
+
+    def test_subsets_match_paper(self):
+        assert SUBSET_I4 == ("F4", "F5", "F7", "F9")
+        assert SUBSET_I7 == ("F3", "F4", "F5", "F7", "F8", "F9", "F10")
+
+    def test_functions_subset_preserves_order(self):
+        subset = functions_subset(["F9", "F2"])
+        assert [f.name for f in subset] == ["F9", "F2"]
+
+    def test_repr_mentions_feature(self):
+        assert "URL" in repr(function_by_name("F2"))
+
+
+class TestFunctionBehaviour:
+    def test_f1_concept_cosine(self):
+        left = features(concept_vector={"a b": 0.5, "c d": 0.5})
+        right = features(concept_vector={"a b": 1.0})
+        assert 0.0 < function_by_name("F1")(left, right) < 1.0
+
+    def test_f2_url(self):
+        left = features(url="http://a.org/x")
+        right = features(url="http://a.org/y")
+        assert function_by_name("F2")(left, right) > 0.8
+
+    def test_f3_name(self):
+        left = features(most_frequent_name="Jane Roe")
+        right = features(most_frequent_name="Jane Roe")
+        assert function_by_name("F3")(left, right) == 1.0
+
+    def test_f4_concept_overlap(self):
+        left = features(concept_set=frozenset({"a b", "c d"}))
+        right = features(concept_set=frozenset({"a b"}))
+        assert function_by_name("F4")(left, right) == 1.0
+
+    def test_f5_org_overlap(self):
+        left = features(organizations=Counter({"Acme Labs": 2}))
+        right = features(organizations=Counter({"Acme Labs": 1, "Initech": 1}))
+        assert function_by_name("F5")(left, right) == 1.0
+
+    def test_f6_person_overlap(self):
+        left = features(other_persons=Counter({"Bob Smith": 1}))
+        right = features(other_persons=Counter({"Bob Smith": 2, "Ann Lee": 1}))
+        assert function_by_name("F6")(left, right) == 1.0
+
+    def test_f7_closest_name(self):
+        left = features(closest_name_to_query="J. Roe")
+        right = features(closest_name_to_query="Jane Roe")
+        assert function_by_name("F7")(left, right) == 0.95
+
+    def test_f8_tfidf_cosine(self):
+        left = features(tfidf={"w1": 0.6, "w2": 0.8})
+        right = features(tfidf={"w1": 1.0})
+        assert function_by_name("F8")(left, right) == pytest.approx(0.6)
+
+    def test_f9_pearson(self):
+        left = features(tfidf={"w1": 0.9, "w2": 0.1, "w3": 0.4})
+        right = features(tfidf={"w1": 0.8, "w2": 0.2, "w3": 0.3})
+        assert function_by_name("F9")(left, right) > 0.8
+
+    def test_f10_extended_jaccard(self):
+        vector = {"w1": 0.5, "w2": 0.5}
+        left = features(tfidf=dict(vector))
+        right = features(tfidf=dict(vector))
+        assert function_by_name("F10")(left, right) == pytest.approx(1.0)
+
+
+class TestMissingInformation:
+    """Empty features must score 0 — the paper's missing-data semantics."""
+
+    @pytest.mark.parametrize("name", ALL_FUNCTION_NAMES)
+    def test_empty_features_score_zero(self, name):
+        left = features()
+        right = features(
+            url="http://a.org/x",
+            most_frequent_name="Jane Roe",
+            closest_name_to_query="Jane Roe",
+            concept_vector={"a b": 1.0},
+            concept_set=frozenset({"a b"}),
+            organizations=Counter({"Acme Labs": 1}),
+            other_persons=Counter({"Bob Smith": 1}),
+            tfidf={"w": 1.0},
+        )
+        assert function_by_name(name)(left, right) == 0.0
+
+
+class TestClamping:
+    def test_scorer_clamped(self):
+        clamping = SimilarityFunction("T", "test", "test",
+                                      lambda a, b: 1.7)
+        assert clamping(features(), features()) == 1.0
+        negative = SimilarityFunction("T", "test", "test",
+                                      lambda a, b: -0.3)
+        assert negative(features(), features()) == 0.0
+
+
+class TestOnRealBlock:
+    @pytest.mark.parametrize("name", ALL_FUNCTION_NAMES)
+    def test_values_in_unit_interval(self, name, block_graphs):
+        values = block_graphs[name].values()
+        assert values
+        assert all(0.0 <= value <= 1.0 for value in values)
+
+    def test_functions_disagree(self, block_graphs):
+        # Different functions must capture different aspects: F2 (URL) and
+        # F8 (TF-IDF) must not be identical on a real block.
+        assert block_graphs["F2"].weights != block_graphs["F8"].weights
+
+    def test_symmetry_by_construction(self, block_graphs, block_features):
+        function = function_by_name("F8")
+        ids = sorted(block_features)[:5]
+        for i, left in enumerate(ids):
+            for right in ids[i + 1:]:
+                forward = function(block_features[left], block_features[right])
+                backward = function(block_features[right], block_features[left])
+                assert forward == pytest.approx(backward)

@@ -1,0 +1,113 @@
+"""Similarity measure tests."""
+
+import pytest
+
+from repro.similarity.measures import (
+    cosine,
+    dice,
+    extended_jaccard,
+    jaccard,
+    overlap_coefficient,
+    pearson_similarity,
+)
+
+
+class TestCosine:
+    def test_identical(self):
+        vector = {"a": 1.0, "b": 2.0}
+        assert cosine(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty_is_zero(self):
+        assert cosine({}, {"a": 1.0}) == 0.0
+        assert cosine({}, {}) == 0.0
+
+    def test_scale_invariant(self):
+        left = {"a": 1.0, "b": 2.0}
+        scaled = {"a": 10.0, "b": 20.0}
+        other = {"a": 3.0, "c": 1.0}
+        assert cosine(left, other) == pytest.approx(cosine(scaled, other))
+
+    def test_range(self):
+        assert 0.0 <= cosine({"a": 1.0, "b": 0.1}, {"a": 0.2, "c": 5.0}) <= 1.0
+
+
+class TestPearson:
+    def test_identical_perfect(self):
+        vector = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert pearson_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_anticorrelated_is_zero(self):
+        left = {"a": 1.0, "b": 0.0}
+        right = {"a": 0.0, "b": 1.0}
+        # r = -1 maps to 0.0
+        assert pearson_similarity(left, right) == pytest.approx(0.0)
+
+    def test_empty_is_zero(self):
+        assert pearson_similarity({}, {"a": 1.0}) == 0.0
+
+    def test_single_dimension_zero(self):
+        assert pearson_similarity({"a": 1.0}, {"a": 2.0}) == 0.0
+
+    def test_constant_vector_zero(self):
+        # Same value on the union support -> zero variance -> 0.0.
+        left = {"a": 1.0, "b": 1.0}
+        right = {"a": 2.0, "b": 3.0}
+        assert pearson_similarity(left, right) == 0.0
+
+    def test_in_unit_interval(self):
+        left = {"a": 0.8, "b": 0.1, "c": 0.5}
+        right = {"b": 0.9, "c": 0.4, "d": 0.2}
+        assert 0.0 <= pearson_similarity(left, right) <= 1.0
+
+
+class TestExtendedJaccard:
+    def test_identical(self):
+        vector = {"a": 1.0, "b": 2.0}
+        assert extended_jaccard(vector, vector) == pytest.approx(1.0)
+
+    def test_matches_set_jaccard_for_binary(self):
+        left = {"a": 1.0, "b": 1.0, "c": 1.0}
+        right = {"b": 1.0, "c": 1.0, "d": 1.0}
+        assert extended_jaccard(left, right) == pytest.approx(2.0 / 4.0)
+
+    def test_empty_is_zero(self):
+        assert extended_jaccard({}, {"a": 1.0}) == 0.0
+
+    def test_disjoint_is_zero(self):
+        assert extended_jaccard({"a": 1.0}, {"b": 1.0}) == 0.0
+
+
+class TestOverlapCoefficient:
+    def test_subset_is_one(self):
+        assert overlap_coefficient({"a", "b"}, {"a", "b", "c"}) == 1.0
+
+    def test_partial(self):
+        assert overlap_coefficient({"a", "b"}, {"b", "c"}) == 0.5
+
+    def test_empty_is_zero(self):
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+    def test_accepts_counters(self):
+        from collections import Counter
+        left = Counter({"a": 5, "b": 1})
+        right = Counter({"a": 1})
+        assert overlap_coefficient(left, right) == 1.0
+
+
+class TestJaccardAndDice:
+    def test_jaccard(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1.0 / 3.0)
+
+    def test_dice(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_dice_geq_jaccard(self):
+        left, right = {"a", "b", "c"}, {"b", "c", "d", "e"}
+        assert dice(left, right) >= jaccard(left, right)
+
+    def test_empty(self):
+        assert jaccard(set(), {"a"}) == 0.0
+        assert dice(set(), set()) == 0.0

@@ -1,0 +1,64 @@
+"""URL similarity tests."""
+
+import pytest
+
+from repro.similarity.urls import domain_similarity, parse_url, url_similarity
+
+
+class TestParseUrl:
+    def test_full_url(self):
+        parsed = parse_url("http://example.org/a/b.html")
+        assert parsed.domain == "example.org"
+        assert parsed.path == "/a/b.html"
+
+    def test_no_scheme(self):
+        assert parse_url("example.org/x").domain == "example.org"
+
+    def test_no_path(self):
+        parsed = parse_url("http://example.org")
+        assert parsed.domain == "example.org"
+        assert parsed.path == ""
+
+    def test_lowercases_domain(self):
+        assert parse_url("http://Example.ORG/x").domain == "example.org"
+
+    def test_docstring_example(self):
+        parsed = parse_url("http://example.org/a/b.html")
+        assert (parsed.domain, parsed.path) == ("example.org", "/a/b.html")
+
+
+class TestDomainSimilarity:
+    def test_identical(self):
+        assert domain_similarity("a.org", "a.org") == 1.0
+
+    def test_same_registrable_domain(self):
+        assert domain_similarity("www.a.org", "people.a.org") == 0.8
+
+    def test_unrelated_is_low(self):
+        assert domain_similarity("abcabc.org", "zzz.net") < 0.5
+
+    def test_empty_is_zero(self):
+        assert domain_similarity("", "a.org") == 0.0
+
+
+class TestUrlSimilarity:
+    def test_identical(self):
+        url = "http://a.org/x/y.html"
+        assert url_similarity(url, url) == 1.0
+
+    def test_same_domain_dominates(self):
+        same_domain = url_similarity("http://a.org/x", "http://a.org/zzz")
+        different = url_similarity("http://a.org/x", "http://bbb.net/x")
+        assert same_domain > different
+
+    def test_empty_is_zero(self):
+        assert url_similarity("", "http://a.org/x") == 0.0
+
+    def test_in_unit_interval(self):
+        value = url_similarity("http://aa.org/b", "http://cc.net/d/e/f")
+        assert 0.0 <= value <= 1.0
+
+    def test_domain_weight_parameter(self):
+        full_weight = url_similarity("http://a.org/x", "http://a.org/y",
+                                     domain_weight=1.0)
+        assert full_weight == pytest.approx(1.0)

@@ -1,0 +1,55 @@
+"""Sparse-vector primitive tests."""
+
+import math
+
+import pytest
+
+from repro.similarity.vectors import dot, l2_normalize, mean, norm, norm_squared
+
+
+class TestDot:
+    def test_basic(self):
+        assert dot({"a": 2.0, "b": 3.0}, {"a": 4.0, "c": 1.0}) == 8.0
+
+    def test_disjoint(self):
+        assert dot({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert dot({}, {"a": 1.0}) == 0.0
+
+    def test_symmetric(self):
+        left = {"a": 1.0, "b": 2.0, "c": 3.0}
+        right = {"b": 5.0}
+        assert dot(left, right) == dot(right, left)
+
+
+class TestNorm:
+    def test_norm(self):
+        assert norm({"a": 3.0, "b": 4.0}) == 5.0
+
+    def test_norm_squared(self):
+        assert norm_squared({"a": 3.0, "b": 4.0}) == 25.0
+
+    def test_empty(self):
+        assert norm({}) == 0.0
+
+
+class TestMean:
+    def test_mean_over_dimension(self):
+        assert mean({"a": 2.0, "b": 4.0}, dimension=4) == 1.5
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            mean({"a": 1.0}, dimension=0)
+
+
+class TestL2Normalize:
+    def test_unit_length(self):
+        unit = l2_normalize({"a": 3.0, "b": 4.0})
+        assert abs(math.sqrt(sum(v * v for v in unit.values())) - 1.0) < 1e-12
+
+    def test_empty_stays_empty(self):
+        assert l2_normalize({}) == {}
+
+    def test_zero_vector(self):
+        assert l2_normalize({"a": 0.0}) == {}
