@@ -3,9 +3,10 @@
 
 Simulates the production scenario the paper motivates: an index of
 resolved "William Cohen" pages exists, and newly crawled pages arrive one
-at a time.  ``IncrementalResolver`` fits the paper's machinery once on
-the initial crawl, then assigns each arriving page in O(pages x functions)
-— no quadratic re-resolution.
+at a time.  A ``ResolverModel`` is fitted once on the initial crawl (the
+only label-consuming step); ``IncrementalResolver.from_model`` adopts the
+fitted model without re-training, then assigns each arriving page in
+O(pages x functions) — no quadratic re-resolution.
 
 Run:
     python examples/incremental_stream.py
@@ -29,13 +30,25 @@ def main() -> None:
     print(f"Initial crawl: {len(base)} pages; "
           f"{len(stream)} pages arrive later.\n")
 
-    pipeline = EntityResolver(ResolverConfig()).pipeline_for(dataset)
+    batch_resolver = EntityResolver(ResolverConfig())
+    pipeline = batch_resolver.pipeline_for(dataset)
     all_features = pipeline.extract_block(block)
     base_features = {page.doc_id: all_features[page.doc_id]
                      for page in base.pages}
 
-    resolver = IncrementalResolver(ResolverConfig())
-    initial = resolver.fit(base, base_features, training_seed=0)
+    # Fit once on the labeled initial crawl; everything after this line
+    # could run in a separate serving process via model.save()/load().
+    # Sharing the graphs object between fit and adoption skips the
+    # quadratic similarity step the second time.
+    from repro.core import compute_similarity_graphs
+    from repro.similarity.functions import default_functions
+
+    base_graphs = compute_similarity_graphs(base, base_features,
+                                            default_functions())
+    model = batch_resolver.fit(base, training_seed=0, graphs=base_graphs)
+    resolver = IncrementalResolver.from_model(model, base, base_features,
+                                              graphs=base_graphs)
+    initial = resolver.clusters()
     print(f"Initial resolution: {len(initial)} entities "
           f"(ground truth in base: "
           f"{len({p.person_id for p in base.pages})})\n")

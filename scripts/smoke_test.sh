@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Smoke test: generate a tiny dataset, fit a resolver model, predict with
+# it (labels unused), and score the predictions.  Exercises the full
+# fit -> save -> predict lifecycle through the CLI in a few seconds.
+#
+# Usage: sh scripts/smoke_test.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+run() {
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli \
+        --pages 12 --seed 3 "$@"
+}
+
+echo "== generate =="
+run generate --out "$workdir/data.json"
+
+echo "== fit =="
+run fit --in "$workdir/data.json" --model "$workdir/model.json"
+
+echo "== predict (unlabeled serving path) =="
+run predict --in "$workdir/data.json" --model "$workdir/model.json"
+
+echo "== predict --evaluate =="
+run predict --in "$workdir/data.json" --model "$workdir/model.json" --evaluate
+
+echo "smoke test OK"

@@ -1,27 +1,29 @@
 """repro — reproduction of "Towards better entity resolution techniques
 for Web document collections" (Yerva, Miklós, Aberer; ICDE 2010).
 
-Quickstart::
+Quickstart — fit once on labels, predict on unlabeled pages::
 
     from repro import EntityResolver, ResolverConfig, www05_like
 
     dataset = www05_like(seed=1, pages_per_name=60)
-    resolver = EntityResolver(ResolverConfig())
-    result = resolver.resolve_collection(dataset, training_seed=0)
-    print(result.mean_report().fp)
+    model = EntityResolver(ResolverConfig()).fit(dataset, training_seed=0)
+    prediction = model.predict(dataset)        # labels never read
+    print(model.evaluate(dataset).mean_report().fp)
+    model.save("resolver.json")                # reuse without refitting
 
-See README.md for the architecture overview and DESIGN.md for the
-paper-to-module mapping.
+See README.md for the fit → save → predict lifecycle, the registry
+extension points, and migration notes from ``resolve_collection``.
 """
 
 from repro.corpus import weps2_like, www05_like
-from repro.core import EntityResolver, ResolverConfig
+from repro.core import EntityResolver, ResolverConfig, ResolverModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EntityResolver",
     "ResolverConfig",
+    "ResolverModel",
     "www05_like",
     "weps2_like",
     "__version__",

@@ -3,11 +3,17 @@
 Subcommands::
 
     python -m repro.cli generate --dataset www05 --out data.json
+    python -m repro.cli fit      --model model.json [--in data.json]
+    python -m repro.cli predict  --model model.json [--in data.json]
     python -m repro.cli resolve  --dataset www05 [--in data.json]
     python -m repro.cli figure1  [--function F3] [--name Cohen]
     python -m repro.cli figure2 | figure3
     python -m repro.cli table2 | table3
     python -m repro.cli analyze  --dataset www05
+
+``fit`` consumes ground-truth labels once and writes a reusable JSON
+model; ``predict`` loads that model and resolves pages *without reading
+labels* (add ``--evaluate`` to also score against labels when present).
 
 Common options: ``--pages`` (pages per name), ``--runs`` (protocol runs),
 ``--seed`` (corpus seed).  All output is plain text on stdout.
@@ -19,6 +25,7 @@ import argparse
 import sys
 
 from repro.core.config import ResolverConfig, table2_config
+from repro.core.model import ResolverModel
 from repro.core.resolver import EntityResolver
 from repro.corpus.datasets import surname, weps2_like, www05_like
 from repro.corpus.loaders import load_collection, save_collection
@@ -56,6 +63,33 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--dataset", choices=("www05", "weps2"),
                           default="www05")
     generate.add_argument("--out", required=True, help="output JSON path")
+
+    fit = commands.add_parser(
+        "fit", help="fit a resolver model on labeled data and save it")
+    fit.add_argument("--dataset", choices=("www05", "weps2"),
+                     default="www05")
+    fit.add_argument("--in", dest="input_path", default=None,
+                     help="fit on a previously generated JSON dataset")
+    fit.add_argument("--model", required=True,
+                     help="output path for the fitted model (JSON)")
+    fit.add_argument("--column", default="default",
+                     help="Table II column preset, or 'default'")
+    fit.add_argument("--train-seed", type=int, default=0,
+                     help="training-sample seed (default 0)")
+
+    predict = commands.add_parser(
+        "predict", help="resolve pages with a saved model (labels unused)")
+    predict.add_argument("--dataset", choices=("www05", "weps2"),
+                         default="www05")
+    predict.add_argument("--in", dest="input_path", default=None,
+                         help="predict a previously generated JSON dataset")
+    predict.add_argument("--model", required=True,
+                         help="path of a fitted model written by 'fit'")
+    predict.add_argument("--evaluate", action="store_true",
+                         help="also score predictions against ground truth")
+    predict.add_argument("--model-block", default=None,
+                         help="fitted block whose state serves names the "
+                              "model was never fitted on")
 
     resolve = commands.add_parser("resolve", help="run Algorithm 1")
     resolve.add_argument("--dataset", choices=("www05", "weps2"),
@@ -111,6 +145,68 @@ def cmd_generate(args: argparse.Namespace) -> int:
     summary = collection.summary()
     print(f"wrote {summary['pages']} pages / {summary['names']} names "
           f"to {args.out}")
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if args.input_path:
+        return load_collection(args.input_path)
+    return _dataset(args)
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    collection = _load_or_generate(args)
+    config = (ResolverConfig() if args.column == "default"
+              else table2_config(args.column))
+    model = EntityResolver(config).fit(collection,
+                                       training_seed=args.train_seed)
+    model.save(args.model)
+    rows = [[surname(name), len(fitted.layers), fitted.n_training,
+             fitted.combiner_params.get("chosen_layer", "-")]
+            for name, fitted in model.blocks.items()]
+    print(format_table(["name", "layers", "train pairs", "chosen layer"],
+                       rows, title=f"Fitted model ({config.combiner})"))
+    print(f"wrote {len(model.blocks)} fitted blocks to {args.model}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    model = ResolverModel.load(args.model)
+    collection = _load_or_generate(args)
+    if args.evaluate:
+        unlabeled = [page.doc_id for page in collection.all_pages()
+                     if page.person_id is None]
+        if unlabeled:
+            print(f"cannot evaluate: {len(unlabeled)} pages have no "
+                  f"ground-truth label (e.g. {unlabeled[0]!r}); drop "
+                  "--evaluate to predict without labels", file=sys.stderr)
+            return 2
+        try:
+            resolution = model.evaluate(collection,
+                                        model_block=args.model_block)
+        except KeyError as error:
+            print(f"cannot predict: {error.args[0]}", file=sys.stderr)
+            return 2
+        rows = [[surname(block.query_name), len(block.predicted),
+                 block.report.fp, block.report.f1, block.chosen_layer or "-"]
+                for block in resolution.blocks]
+        print(format_table(["name", "entities", "Fp", "F", "layer"], rows,
+                           title="Predictions (scored against labels)"))
+        mean = resolution.mean_report()
+        print(f"mean Fp = {mean.fp:.4f}, F = {mean.f1:.4f}")
+    else:
+        try:
+            prediction = model.predict(collection,
+                                       model_block=args.model_block)
+        except KeyError as error:
+            print(f"cannot predict: {error.args[0]}", file=sys.stderr)
+            return 2
+        rows = [[surname(block.query_name),
+                 len(block.predicted.items), len(block.predicted),
+                 block.chosen_layer or "-"]
+                for block in prediction.blocks]
+        print(format_table(["name", "pages", "entities", "layer"], rows,
+                           title="Predictions (ground truth unused)"))
     return 0
 
 
@@ -223,6 +319,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": cmd_generate,
+    "fit": cmd_fit,
+    "predict": cmd_predict,
     "resolve": cmd_resolve,
     "figure1": cmd_figure1,
     "figure2": cmd_figure2,

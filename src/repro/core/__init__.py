@@ -6,10 +6,27 @@ regions with per-region accuracy estimation) → decision graphs with
 accuracy estimates → combination (best-graph selection or accuracy-weighted
 averaging) → clustering (transitive closure or correlation clustering).
 
-``EntityResolver`` (Algorithm 1) ties it all together.
+``EntityResolver.fit`` (Algorithm 1's learning steps) ties it together and
+returns a :class:`ResolverModel` that predicts on unlabeled pages,
+evaluates against ground truth, and serializes to JSON.  New combiners,
+decision criteria, clusterers, similarity functions and sampling modes
+plug in through :mod:`repro.core.registry`.
 """
 
 from repro.core.labels import TrainingSample
+from repro.core.registry import (
+    CLUSTERERS,
+    COMBINERS,
+    CRITERIA,
+    SAMPLING_MODES,
+    SIMILARITIES,
+    Registry,
+    register_clusterer,
+    register_combiner,
+    register_criterion,
+    register_sampling_mode,
+    register_similarity,
+)
 from repro.core.thresholds import LearnedThreshold, learn_threshold
 from repro.core.regions import (
     EqualWidthRegions,
@@ -43,13 +60,19 @@ from repro.core.entropy import (
     shannon_entropy,
     value_entropy,
 )
-from repro.core.incremental import Assignment, IncrementalResolver
-from repro.core.resolver import (
+from repro.core.clusterers import cluster_combination
+from repro.core.model import (
+    BlockPrediction,
     BlockResolution,
+    CollectionPrediction,
     CollectionResolution,
-    EntityResolver,
+    FittedBlock,
+    FittedLayer,
+    ResolverModel,
     compute_similarity_graphs,
 )
+from repro.core.resolver import EntityResolver
+from repro.core.incremental import Assignment, IncrementalResolver
 
 __all__ = [
     "TrainingSample",
@@ -83,7 +106,24 @@ __all__ = [
     "EntityResolver",
     "IncrementalResolver",
     "Assignment",
+    "ResolverModel",
+    "FittedBlock",
+    "FittedLayer",
+    "BlockPrediction",
+    "CollectionPrediction",
     "BlockResolution",
     "CollectionResolution",
     "compute_similarity_graphs",
+    "cluster_combination",
+    "Registry",
+    "COMBINERS",
+    "CRITERIA",
+    "CLUSTERERS",
+    "SIMILARITIES",
+    "SAMPLING_MODES",
+    "register_combiner",
+    "register_criterion",
+    "register_clusterer",
+    "register_similarity",
+    "register_sampling_mode",
 ]

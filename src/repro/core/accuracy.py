@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.regions import Regions
+from repro.core.regions import Regions, regions_from_dict
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,48 @@ class RegionAccuracyProfile:
                 accuracy = (links[region] + smoothing) / (counts[region] + 2 * smoothing)
             self._stats.append(RegionStats(
                 n_pairs=counts[region], n_links=links[region], accuracy=accuracy))
+
+    @classmethod
+    def from_stats(cls, regions: Regions, stats: Sequence[RegionStats],
+                   prior: float) -> "RegionAccuracyProfile":
+        """Rebuild a profile from already-estimated statistics.
+
+        This is the deserialization path: no training sample is consulted.
+
+        Raises:
+            ValueError: when ``stats`` does not cover every region.
+        """
+        if len(stats) != regions.n_regions:
+            raise ValueError(
+                f"expected {regions.n_regions} region stats, got {len(stats)}")
+        profile = cls.__new__(cls)
+        profile.regions = regions
+        profile._prior = prior
+        profile._stats = list(stats)
+        return profile
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot of the fitted profile."""
+        return {
+            "regions": self.regions.to_dict(),
+            "prior": self._prior,
+            "stats": [
+                {"n_pairs": s.n_pairs, "n_links": s.n_links,
+                 "accuracy": s.accuracy}
+                for s in self._stats
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "RegionAccuracyProfile":
+        """Rebuild a profile saved by :meth:`to_dict`."""
+        stats = [
+            RegionStats(n_pairs=int(s["n_pairs"]), n_links=int(s["n_links"]),
+                        accuracy=float(s["accuracy"]))
+            for s in payload["stats"]
+        ]
+        return cls.from_stats(regions_from_dict(payload["regions"]), stats,
+                              prior=float(payload["prior"]))
 
     @property
     def n_regions(self) -> int:

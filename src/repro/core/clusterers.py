@@ -1,0 +1,50 @@
+"""Clustering backends for the combined decision graph (§IV-C).
+
+Each clusterer turns one block's :class:`CombinationResult` into the final
+entity partition.  The built-ins register themselves with the
+:data:`~repro.core.registry.CLUSTERERS` registry; new algorithms plug in
+with :func:`~repro.core.registry.register_clusterer` and become valid
+``ResolverConfig.clusterer`` values without touching this module.
+
+A clusterer is a callable ``(combination, seed) -> Iterable[set[str]]``;
+``seed`` is the config's ``correlation_seed`` (deterministic algorithms
+ignore it).
+"""
+
+from __future__ import annotations
+
+from repro.core.combination import CombinationResult
+from repro.core.registry import CLUSTERERS, register_clusterer
+from repro.graph.correlation import correlation_cluster
+from repro.graph.star import star_cluster
+from repro.graph.transitive import transitive_closure_clusters
+from repro.metrics.clusterings import Clustering
+
+
+@register_clusterer("transitive")
+def transitive_clusterer(combination: CombinationResult, seed: int = 0):
+    """Transitive closure of the combined graph (the paper's default)."""
+    return transitive_closure_clusters(combination.graph)
+
+
+@register_clusterer("star")
+def star_clusterer(combination: CombinationResult, seed: int = 0):
+    """Star clustering seeded by combined link probabilities."""
+    return star_cluster(combination.graph, weights=combination.probabilities)
+
+
+@register_clusterer("correlation")
+def correlation_clusterer(combination: CombinationResult, seed: int = 0):
+    """Randomized-pivot correlation clustering over link probabilities."""
+    return correlation_cluster(combination.probabilities, seed=seed)
+
+
+def cluster_combination(name: str, combination: CombinationResult,
+                        seed: int = 0) -> Clustering:
+    """Apply the clusterer registered under ``name``.
+
+    Raises:
+        ValueError: for unknown clusterer names.
+    """
+    clusterer = CLUSTERERS.get(name)
+    return Clustering(clusterer(combination, seed))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.decisions import FittedDecision
 from repro.core.labels import TrainingSample
+from repro.core.registry import COMBINERS, register_combiner
 from repro.core.thresholds import learn_threshold
 from repro.graph.entity_graph import DecisionGraph, PairKey, WeightedPairGraph
 
@@ -84,7 +85,16 @@ class CombinationResult:
 
 
 class Combiner(ABC):
-    """Merges decision layers into one combined graph."""
+    """Merges decision layers into one combined graph.
+
+    ``combine`` is the fit-time path: it may consult the labeled training
+    sample (best-graph selection scores layers on it, weighted averaging
+    learns its link threshold on it).  Whatever it learned beyond the
+    layers themselves must be captured by ``fit_params`` so that ``apply``
+    can re-combine the same layers on *unlabeled* data — that pair of
+    methods is what lets a fitted :class:`~repro.core.model.ResolverModel`
+    serve predictions without ground truth.
+    """
 
     name: str
 
@@ -97,12 +107,30 @@ class Combiner(ABC):
             ValueError: when called with no layers.
         """
 
+    def fit_params(self, result: CombinationResult) -> dict[str, object]:
+        """JSON-serializable parameters ``apply`` needs (default: none)."""
+        return {}
+
+    def apply(self, layers: Sequence[DecisionLayer],
+              params: dict[str, object]) -> CombinationResult:
+        """Re-combine ``layers`` without labels, from stored ``params``.
+
+        Must reproduce ``combine``'s output bit-for-bit when the layers
+        carry the same fitted decisions the params were learned with.
+
+        Raises:
+            ValueError: when called with no layers or unusable params.
+        """
+        raise NotImplementedError(
+            f"combiner {self.name!r} does not support label-free application")
+
 
 def _require_layers(layers: Sequence[DecisionLayer]) -> None:
     if not layers:
         raise ValueError("cannot combine zero decision layers")
 
 
+@register_combiner("best_graph")
 class BestGraphSelector(Combiner):
     """Keep the layer with the highest estimated graph accuracy acc(G_Dj).
 
@@ -117,6 +145,25 @@ class BestGraphSelector(Combiner):
                 training: TrainingSample) -> CombinationResult:
         _require_layers(layers)
         best = max(layers, key=lambda layer: layer.graph_accuracy)
+        return self._select(best)
+
+    def fit_params(self, result: CombinationResult) -> dict[str, object]:
+        return {"chosen_layer": result.chosen_layer}
+
+    def apply(self, layers: Sequence[DecisionLayer],
+              params: dict[str, object]) -> CombinationResult:
+        _require_layers(layers)
+        chosen_label = params.get("chosen_layer")
+        best = next((layer for layer in layers if layer.label == chosen_label),
+                    None)
+        if best is None:
+            # The stored winner is gone (e.g. the model now runs a layer
+            # subset); re-select on the stored accuracy estimates, which
+            # uses the same tie-breaking as fit-time selection.
+            best = max(layers, key=lambda layer: layer.graph_accuracy)
+        return self._select(best)
+
+    def _select(self, best: DecisionLayer) -> CombinationResult:
         probabilities = WeightedPairGraph(
             nodes=list(best.graph.nodes), weights=dict(best.probabilities))
         return CombinationResult(
@@ -128,6 +175,41 @@ class BestGraphSelector(Combiner):
         )
 
 
+def average_probabilities(layers: Sequence[DecisionLayer],
+                          weights: Sequence[float]) -> dict[PairKey, float]:
+    """Weight-averaged per-pair link probabilities across layers."""
+    total_weight = sum(weights)
+    combined: dict[PairKey, float] = {}
+    all_pairs: set[PairKey] = set()
+    for layer in layers:
+        all_pairs.update(layer.probabilities)
+    for pair in all_pairs:
+        numerator = 0.0
+        for layer, weight in zip(layers, weights):
+            numerator += weight * layer.probabilities.get(pair, 0.0)
+        combined[pair] = numerator / total_weight
+    return combined
+
+
+def thresholded_result(nodes: list[str], combined: dict[PairKey, float],
+                       threshold: float,
+                       diagnostics: dict[str, float] | None = None,
+                       ) -> CombinationResult:
+    """Build a :class:`CombinationResult` by cutting averaged probabilities
+    at ``threshold`` (link iff probability >= threshold)."""
+    graph = DecisionGraph(nodes=nodes)
+    for pair, probability in combined.items():
+        if probability >= threshold:
+            graph.edges.add(pair)
+    return CombinationResult(
+        graph=graph,
+        probabilities=WeightedPairGraph(nodes=nodes, weights=combined),
+        threshold=threshold,
+        diagnostics=diagnostics or {},
+    )
+
+
+@register_combiner("weighted_average")
 class WeightedAverageCombiner(Combiner):
     """Accuracy-weighted average of per-layer link probabilities.
 
@@ -138,42 +220,48 @@ class WeightedAverageCombiner(Combiner):
 
     name = "weighted_average"
 
+    def _weights(self, layers: Sequence[DecisionLayer]) -> list[float]:
+        return [max(layer.training_accuracy, 1e-9) for layer in layers]
+
     def combine(self, layers: Sequence[DecisionLayer],
                 training: TrainingSample) -> CombinationResult:
         _require_layers(layers)
         nodes = list(layers[0].graph.nodes)
-        weights = [max(layer.training_accuracy, 1e-9) for layer in layers]
-        total_weight = sum(weights)
-
-        combined: dict[PairKey, float] = {}
-        all_pairs: set[PairKey] = set()
-        for layer in layers:
-            all_pairs.update(layer.probabilities)
-        for pair in all_pairs:
-            numerator = 0.0
-            for layer, weight in zip(layers, weights):
-                numerator += weight * layer.probabilities.get(pair, 0.0)
-            combined[pair] = numerator / total_weight
-
+        combined = average_probabilities(layers, self._weights(layers))
         labeled = [(combined.get(pair, 0.0), label) for pair, label in training.pairs]
         threshold = learn_threshold(labeled)
+        return thresholded_result(
+            nodes, combined, threshold.threshold,
+            diagnostics={"training_accuracy": threshold.training_accuracy})
 
-        graph = DecisionGraph(nodes=nodes)
-        for pair, probability in combined.items():
-            if threshold.decide(probability):
-                graph.edges.add(pair)
-        return CombinationResult(
-            graph=graph,
-            probabilities=WeightedPairGraph(nodes=nodes, weights=combined),
-            threshold=threshold.threshold,
-            diagnostics={"training_accuracy": threshold.training_accuracy},
-        )
+    def fit_params(self, result: CombinationResult) -> dict[str, object]:
+        return {"threshold": result.threshold,
+                "diagnostics": dict(result.diagnostics)}
+
+    def apply(self, layers: Sequence[DecisionLayer],
+              params: dict[str, object]) -> CombinationResult:
+        _require_layers(layers)
+        threshold = params.get("threshold")
+        if threshold is None:
+            raise ValueError(
+                "weighted_average needs a stored 'threshold' to apply")
+        nodes = list(layers[0].graph.nodes)
+        combined = average_probabilities(layers, self._weights(layers))
+        return thresholded_result(
+            nodes, combined, float(threshold),
+            diagnostics=dict(params.get("diagnostics") or {}))
 
 
+@register_combiner("majority")
 class MajorityVoteCombiner(Combiner):
     """Edge iff a strict majority of layers assert it (classifier fusion)."""
 
     name = "majority"
+
+    def apply(self, layers: Sequence[DecisionLayer],
+              params: dict[str, object]) -> CombinationResult:
+        # Voting never consults labels; apply is combine without training.
+        return self.combine(layers, TrainingSample.from_pairs([]))
 
     def combine(self, layers: Sequence[DecisionLayer],
                 training: TrainingSample) -> CombinationResult:
@@ -203,14 +291,12 @@ class MajorityVoteCombiner(Combiner):
 def build_combiner(name: str) -> Combiner:
     """Combiner factory for config strings.
 
+    Resolves through the :data:`~repro.core.registry.COMBINERS` registry,
+    so combiners added with ``@register_combiner`` are constructible here
+    without editing this module.
+
     Raises:
         ValueError: for unknown combiner names.
     """
-    combiners: dict[str, type[Combiner]] = {
-        BestGraphSelector.name: BestGraphSelector,
-        WeightedAverageCombiner.name: WeightedAverageCombiner,
-        MajorityVoteCombiner.name: MajorityVoteCombiner,
-    }
-    if name not in combiners:
-        raise ValueError(f"unknown combiner: {name!r}")
-    return combiners[name]()
+    factory = COMBINERS.get(name)
+    return factory()

@@ -4,6 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.registry import (
+    CLUSTERERS,
+    COMBINERS,
+    CRITERIA,
+    SAMPLING_MODES,
+    SIMILARITIES,
+)
 from repro.similarity.functions import ALL_FUNCTION_NAMES
 
 
@@ -41,11 +48,46 @@ class ResolverConfig:
             raise ValueError("at least one similarity function is required")
         if not self.criteria:
             raise ValueError("at least one decision criterion is required")
-        if self.clusterer not in ("transitive", "correlation", "star"):
-            raise ValueError(f"unknown clusterer: {self.clusterer!r}")
+        # Every pluggable backend is validated against its registry, so a
+        # typo fails at construction with the known values listed instead
+        # of blowing up mid-resolve.
+        for function_name in self.function_names:
+            SIMILARITIES.validate(function_name)
+        COMBINERS.validate(self.combiner)
+        for criterion in self.criteria:
+            CRITERIA.validate(criterion)
+        CLUSTERERS.validate(self.clusterer)
+        SAMPLING_MODES.validate(self.sampling_mode)
         if not 0.0 < self.training_fraction <= 1.0:
             raise ValueError(
                 f"training_fraction must be in (0, 1], got {self.training_fraction}")
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot (tuples become lists)."""
+        return {
+            "function_names": list(self.function_names),
+            "criteria": list(self.criteria),
+            "region_k": self.region_k,
+            "combiner": self.combiner,
+            "clusterer": self.clusterer,
+            "training_fraction": self.training_fraction,
+            "sampling_mode": self.sampling_mode,
+            "correlation_seed": self.correlation_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ResolverConfig":
+        """Rebuild (and re-validate) a config saved by :meth:`to_dict`."""
+        return cls(
+            function_names=tuple(payload["function_names"]),
+            criteria=tuple(payload["criteria"]),
+            region_k=int(payload["region_k"]),
+            combiner=str(payload["combiner"]),
+            clusterer=str(payload["clusterer"]),
+            training_fraction=float(payload["training_fraction"]),
+            sampling_mode=str(payload["sampling_mode"]),
+            correlation_seed=int(payload["correlation_seed"]),
+        )
 
 
 #: Table II column presets: function subsets with threshold-only decisions

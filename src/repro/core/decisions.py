@@ -20,6 +20,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.accuracy import RegionAccuracyProfile, overall_accuracy
+from repro.core.registry import CRITERIA, register_criterion
 from repro.core.regions import ThresholdRegions, fit_regions
 from repro.core.thresholds import LearnedThreshold, learn_threshold
 
@@ -50,6 +51,28 @@ class FittedDecision:
     def link_probability(self, value: float) -> float:
         """Estimated P(link) for the value (the §IV-B edge weight)."""
         return self.profile.link_probability(value)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot of the fitted state."""
+        return {
+            "criterion_name": self.criterion_name,
+            "profile": self.profile.to_dict(),
+            "threshold": (None if self.threshold is None
+                          else self.threshold.to_dict()),
+            "training_accuracy": self.training_accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "FittedDecision":
+        """Rebuild a fitted decision saved by :meth:`to_dict`."""
+        threshold_payload = payload["threshold"]
+        return cls(
+            criterion_name=str(payload["criterion_name"]),
+            profile=RegionAccuracyProfile.from_dict(payload["profile"]),
+            threshold=(None if threshold_payload is None
+                       else LearnedThreshold.from_dict(threshold_payload)),
+            training_accuracy=float(payload["training_accuracy"]),
+        )
 
 
 class DecisionCriterion(ABC):
@@ -116,22 +139,35 @@ class RegionAccuracyDecision(DecisionCriterion):
         )
 
 
+@register_criterion("threshold")
+def _threshold_criterion(k: int) -> DecisionCriterion:
+    return ThresholdDecision()
+
+
+@register_criterion("equal_width")
+def _equal_width_criterion(k: int) -> DecisionCriterion:
+    return RegionAccuracyDecision(method="equal_width", k=k)
+
+
+@register_criterion("kmeans")
+def _kmeans_criterion(k: int) -> DecisionCriterion:
+    return RegionAccuracyDecision(method="kmeans", k=k)
+
+
 def build_criteria(names: Sequence[str], k: int = 10) -> list[DecisionCriterion]:
     """Instantiate criteria from config names.
 
+    Resolves through the :data:`~repro.core.registry.CRITERIA` registry
+    (factories of signature ``(k) -> DecisionCriterion``), so criteria
+    added with ``@register_criterion`` work here without editing this
+    module.
+
     Args:
-        names: any of ``"threshold"``, ``"equal_width"``, ``"kmeans"``.
-        k: region count for the region-based criteria.
+        names: built-ins are ``"threshold"``, ``"equal_width"``,
+            ``"kmeans"``.
+        k: region count passed to each factory.
 
     Raises:
         ValueError: for unknown criterion names.
     """
-    criteria: list[DecisionCriterion] = []
-    for name in names:
-        if name == "threshold":
-            criteria.append(ThresholdDecision())
-        elif name in ("equal_width", "kmeans"):
-            criteria.append(RegionAccuracyDecision(method=name, k=k))
-        else:
-            raise ValueError(f"unknown decision criterion: {name!r}")
-    return criteria
+    return [CRITERIA.get(name)(k) for name in names]

@@ -2,9 +2,10 @@
 
 The paper's motivating application — web people search — is a living
 index: new pages for a name arrive continuously, and re-running the full
-quadratic pipeline per page is wasteful.  ``IncrementalResolver`` fits the
-paper's machinery once on an initial block and then assigns each new page
-in O(existing pages × functions): it scores the new page against every
+quadratic pipeline per page is wasteful.  ``IncrementalResolver`` adopts a
+fitted :class:`~repro.core.model.ResolverModel` (or fits one itself from a
+labeled initial block) and then assigns each new page in
+O(existing pages × functions): it scores the new page against every
 current entity with the *fitted* decision layers (no re-training) and
 either joins the best-matching entity or founds a new one.
 
@@ -18,14 +19,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.combination import DecisionLayer
 from repro.core.config import ResolverConfig
-from repro.core.labels import TrainingSample
-from repro.core.resolver import EntityResolver, compute_similarity_graphs
+from repro.core.model import (
+    BlockPrediction,
+    FittedBlock,
+    FittedLayer,
+    ResolverModel,
+    compute_similarity_graphs,
+)
+from repro.core.resolver import EntityResolver
 from repro.corpus.documents import NameCollection
 from repro.extraction.features import PageFeatures
 from repro.metrics.clusterings import Clustering
-from repro.ml.sampling import sample_training_pairs
 from repro.similarity.base import SimilarityFunction
 from repro.similarity.functions import function_by_name
 
@@ -42,17 +47,17 @@ class Assignment:
 
 @dataclass
 class _FittedState:
-    """Everything fitting produced that assignment needs."""
+    """Everything the fitted model provides that assignment needs."""
 
-    layers: list[DecisionLayer]
+    layers: list[FittedLayer]
     functions: dict[str, SimilarityFunction]
-    chosen_layer: DecisionLayer | None  # best-graph mode
+    chosen_layer: FittedLayer | None  # best-graph mode
     combination_threshold: float | None  # weighted-average mode
     layer_weights: list[float] = field(default_factory=list)
 
 
 class IncrementalResolver:
-    """Fit once on a block, then assign new pages without re-training.
+    """Adopt a fitted model once, then assign new pages without re-training.
 
     Args:
         config: resolver configuration for the initial fit.  Supported
@@ -72,6 +77,45 @@ class IncrementalResolver:
         self._features: dict[str, PageFeatures] = {}
         self._clusters: list[set[str]] = []
 
+    @classmethod
+    def from_model(
+        cls,
+        model: ResolverModel,
+        block: NameCollection,
+        features: dict[str, PageFeatures],
+        model_block: str | None = None,
+        graphs: dict | None = None,
+    ) -> "IncrementalResolver":
+        """Serve from an already-fitted model — no labels consumed.
+
+        The block is resolved once with ``model.predict`` to seed the
+        entity index; subsequent :meth:`add_page` calls reuse the model's
+        fitted layers.
+
+        Args:
+            model: a fitted resolver model (e.g. ``ResolverModel.load``).
+            block: the initial page collection (labels not required).
+            features: extracted features for every page of the block.
+            model_block: reuse another name's fitted state (for names the
+                model was never fitted on).
+            graphs: precomputed similarity graphs for the block; pass the
+                same object ``fit`` ran on to skip the quadratic
+                similarity step entirely.
+
+        Raises:
+            ValueError: for model combiners without incremental support.
+            KeyError: when the model has no state for the block's name.
+        """
+        resolver = cls(model.config)
+        if graphs is None:
+            graphs = compute_similarity_graphs(
+                block, features, list(resolver._build_functions().values()))
+        prediction = model.predict_block(block, graphs=graphs,
+                                         model_block=model_block)
+        fitted = model.blocks[model_block or block.query_name]
+        resolver._adopt(fitted, prediction, features)
+        return resolver
+
     @property
     def is_fitted(self) -> bool:
         return self._state is not None
@@ -88,7 +132,11 @@ class IncrementalResolver:
     def fit(self, block: NameCollection,
             features: dict[str, PageFeatures],
             training_seed: int = 0) -> Clustering:
-        """Resolve the initial block and freeze the fitted machinery.
+        """Fit on an initial *labeled* block and freeze the machinery.
+
+        Convenience wrapper over ``EntityResolver.fit`` +
+        :meth:`from_model` for callers that start from labels rather than
+        a saved model.
 
         Args:
             block: the initial (labeled) page collection.
@@ -96,35 +144,38 @@ class IncrementalResolver:
             training_seed: training-sample seed.
         """
         resolver = EntityResolver(self.config)
-        functions = {name: function_by_name(name)
-                     for name in self.config.function_names}
         graphs = compute_similarity_graphs(
-            block, features, list(functions.values()))
-        training = TrainingSample.from_pairs(sample_training_pairs(
-            block, fraction=self.config.training_fraction,
-            seed=training_seed, mode=self.config.sampling_mode))
-        layers = resolver.build_layers(graphs, training)
-        combination = resolver._combiner.combine(layers, training)
+            block, features, resolver._functions)
+        model = resolver.fit(block, training_seed=training_seed,
+                             graphs=graphs)
+        prediction = model.predict_block(block, graphs=graphs)
+        self._adopt(model.blocks[block.query_name], prediction, features)
+        return prediction.predicted
 
+    def _build_functions(self) -> dict[str, SimilarityFunction]:
+        return {name: function_by_name(name)
+                for name in self.config.function_names}
+
+    def _adopt(self, fitted: FittedBlock, prediction: BlockPrediction,
+               features: dict[str, PageFeatures]) -> None:
+        """Freeze fitted state and the initial partition."""
         chosen = None
         weights: list[float] = []
         if self.config.combiner == "best_graph":
-            chosen = next(layer for layer in layers
-                          if layer.label == combination.chosen_layer)
+            chosen = next(layer for layer in fitted.layers
+                          if layer.label == prediction.chosen_layer)
         else:
-            weights = [max(layer.training_accuracy, 1e-9) for layer in layers]
-
+            weights = [max(layer.training_accuracy, 1e-9)
+                       for layer in fitted.layers]
         self._state = _FittedState(
-            layers=layers,
-            functions=functions,
+            layers=list(fitted.layers),
+            functions=self._build_functions(),
             chosen_layer=chosen,
-            combination_threshold=combination.threshold,
+            combination_threshold=prediction.combination.threshold,
             layer_weights=weights,
         )
         self._features = dict(features)
-        predicted = resolver._cluster(combination)
-        self._clusters = [set(cluster) for cluster in predicted]
-        return predicted
+        self._clusters = [set(cluster) for cluster in prediction.predicted]
 
     def link_probability(self, new: PageFeatures,
                          existing: PageFeatures) -> float:

@@ -1,0 +1,565 @@
+"""Fitted resolver models — the serve side of the fit → predict split.
+
+:meth:`repro.core.resolver.EntityResolver.fit` consumes ground-truth
+labels once and produces a :class:`ResolverModel`: the fitted
+per-(function, criterion) decisions, their accuracy estimates, and the
+combiner/clusterer parameters of every block.  The model then serves
+*unlabeled* pages — :meth:`ResolverModel.predict` never reads
+``person_id`` — and round-trips through JSON with :meth:`ResolverModel.save`
+/ :meth:`ResolverModel.load`, so the expensive learning step runs once and
+the model is reused across processes.
+
+Evaluation against ground truth is a separate, explicit path
+(:meth:`ResolverModel.evaluate`), which the legacy
+``EntityResolver.resolve_block`` / ``resolve_collection`` wrappers build
+on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.clusterers import cluster_combination
+from repro.core.combination import (
+    CombinationResult,
+    DecisionLayer,
+    build_combiner,
+)
+from repro.core.config import ResolverConfig
+from repro.core.decisions import FittedDecision
+from repro.corpus.documents import (
+    DocumentCollection,
+    NameCollection,
+    find_by_query_name,
+)
+from repro.corpus.vocabulary import build_vocabulary
+from repro.extraction.features import PageFeatures
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph, pair_key
+from repro.metrics.clusterings import Clustering, clustering_from_assignments
+from repro.metrics.report import MetricReport, evaluate_clustering, mean_report
+from repro.similarity.base import SimilarityFunction
+from repro.similarity.functions import functions_subset
+
+#: On-disk model format version.
+MODEL_FORMAT_VERSION = 1
+
+
+def compute_similarity_graphs(
+    block: NameCollection,
+    features: dict[str, PageFeatures],
+    functions: list[SimilarityFunction],
+) -> dict[str, WeightedPairGraph]:
+    """The complete weighted graph ``G_w^fi`` for every function.
+
+    This is the quadratic step; experiments precompute and cache these
+    graphs per dataset because similarity values do not depend on the
+    training sample.
+    """
+    ids = block.page_ids()
+    graphs = {
+        function.name: WeightedPairGraph(nodes=list(ids))
+        for function in functions
+    }
+    for i, left_id in enumerate(ids):
+        left = features[left_id]
+        for right_id in ids[i + 1:]:
+            right = features[right_id]
+            key = pair_key(left_id, right_id)
+            for function in functions:
+                graphs[function.name].weights[key] = function(left, right)
+    return graphs
+
+
+def resolve_extraction_pipeline(
+    collection: DocumentCollection,
+    pipeline: ExtractionPipeline | None = None,
+) -> ExtractionPipeline:
+    """The pipeline to extract ``collection`` with.
+
+    Raises:
+        ValueError: when no pipeline was supplied and the collection
+            carries no vocabulary metadata to rebuild one from.
+    """
+    if pipeline is not None:
+        return pipeline
+    seed = collection.metadata.get("vocabulary_seed")
+    if seed is None:
+        raise ValueError(
+            "collection has no vocabulary metadata; pass an ExtractionPipeline")
+    vocabulary = build_vocabulary(int(seed))
+    return ExtractionPipeline.from_vocabulary(
+        vocabulary, query_names=collection.query_names())
+
+
+@dataclass(frozen=True)
+class FittedLayer:
+    """One fitted (function, criterion) decision, detached from any graph.
+
+    This is the persistent core of a :class:`DecisionLayer`: everything
+    needed to re-decide arbitrary similarity values, but none of the
+    block-specific edges — those are recomputed at predict time.
+    """
+
+    function_name: str
+    criterion_name: str
+    fitted: FittedDecision
+    graph_accuracy: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.function_name}/{self.criterion_name}"
+
+    @property
+    def training_accuracy(self) -> float:
+        return self.fitted.training_accuracy
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "function_name": self.function_name,
+            "criterion_name": self.criterion_name,
+            "graph_accuracy": self.graph_accuracy,
+            "fitted": self.fitted.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "FittedLayer":
+        return cls(
+            function_name=str(payload["function_name"]),
+            criterion_name=str(payload["criterion_name"]),
+            graph_accuracy=float(payload["graph_accuracy"]),
+            fitted=FittedDecision.from_dict(payload["fitted"]),
+        )
+
+
+@dataclass
+class FittedBlock:
+    """Everything fitting learned for one name's block.
+
+    Attributes:
+        query_name: the block the state was fitted on.
+        layers: fitted decisions in (function-outer, criterion-inner)
+            order — the same order :meth:`EntityResolver.build_layers`
+            produces, which combiners rely on for determinism.
+        combiner_params: the combiner's :meth:`~Combiner.fit_params`
+            output (e.g. the chosen layer, the learned combination
+            threshold).
+        n_training: training-sample size, for diagnostics.
+    """
+
+    query_name: str
+    layers: list[FittedLayer]
+    combiner_params: dict[str, object] = field(default_factory=dict)
+    n_training: int = 0
+
+    def __post_init__(self) -> None:
+        # Decision layers are a pure function of (fitted decisions,
+        # similarity graphs); fitting seeds this one-shot hand-off so the
+        # immediate fit → predict pass (the resolve_* wrappers, the
+        # experiment runner) applies them once.  Identity-keyed with a
+        # strong reference — a recycled id can never alias a different
+        # graphs dict — and *consumed* on first use, so a model kept
+        # alive for serving does not pin the training dataset's quadratic
+        # similarity graphs in memory.
+        self._layer_cache: tuple[dict, list[DecisionLayer]] | None = None
+
+    def decision_layers(
+        self, graphs: dict[str, WeightedPairGraph],
+    ) -> list[DecisionLayer]:
+        """Decision layers over ``graphs`` (consumes the fit-time cache)."""
+        cache, self._layer_cache = self._layer_cache, None
+        if cache is not None and cache[0] is graphs:
+            return cache[1]
+        return build_decision_layers(self.layers, graphs)
+
+    def layer_accuracies(self) -> dict[str, float]:
+        """Per-layer training accuracy, keyed by layer label."""
+        return {layer.label: layer.training_accuracy for layer in self.layers}
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "query_name": self.query_name,
+            "n_training": self.n_training,
+            "combiner_params": self.combiner_params,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "FittedBlock":
+        return cls(
+            query_name=str(payload["query_name"]),
+            layers=[FittedLayer.from_dict(entry)
+                    for entry in payload["layers"]],
+            combiner_params=dict(payload["combiner_params"]),
+            n_training=int(payload["n_training"]),
+        )
+
+
+def apply_fitted_decision(
+    decision: FittedDecision,
+    graph: WeightedPairGraph,
+) -> tuple[DecisionGraph, dict]:
+    """One fitted decision over one similarity graph: edges + probabilities.
+
+    The single definition of the edge rule shared by fit-time layer
+    building (:meth:`EntityResolver.build_layers`) and predict-time
+    re-application, which keeps fit/predict bit-identical by construction.
+    """
+    decision_graph = DecisionGraph(nodes=list(graph.nodes))
+    probabilities = {}
+    for pair, value in graph.pairs():
+        probabilities[pair] = decision.link_probability(value)
+        if decision.decide(value):
+            decision_graph.edges.add(pair)
+    return decision_graph, probabilities
+
+
+def build_decision_layers(
+    fitted_layers: list[FittedLayer],
+    graphs: dict[str, WeightedPairGraph],
+) -> list[DecisionLayer]:
+    """Apply fitted decisions to similarity graphs, yielding decision layers.
+
+    This is the label-free half of :meth:`EntityResolver.build_layers`:
+    edges and probabilities come from the stored fitted decisions, and the
+    accuracy estimates are the stored training-time values.
+    """
+    layers: list[DecisionLayer] = []
+    for fitted_layer in fitted_layers:
+        graph = graphs[fitted_layer.function_name]
+        decision_graph, probabilities = apply_fitted_decision(
+            fitted_layer.fitted, graph)
+        layers.append(DecisionLayer(
+            function_name=fitted_layer.function_name,
+            criterion_name=fitted_layer.criterion_name,
+            graph=decision_graph,
+            probabilities=probabilities,
+            fitted=fitted_layer.fitted,
+            graph_accuracy=fitted_layer.graph_accuracy,
+        ))
+    return layers
+
+
+@dataclass
+class BlockPrediction:
+    """Predictions-only resolution of one block (no ground truth read)."""
+
+    query_name: str
+    predicted: Clustering
+    combination: CombinationResult
+    layer_accuracies: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chosen_layer(self) -> str | None:
+        """Winning layer under best-graph selection (else ``None``)."""
+        return self.combination.chosen_layer
+
+    def n_entities(self) -> int:
+        return len(self.predicted)
+
+
+@dataclass
+class CollectionPrediction:
+    """Predictions for a whole dataset (one entry per ambiguous name)."""
+
+    dataset: str
+    blocks: list[BlockPrediction]
+
+    def __post_init__(self) -> None:
+        self._index: tuple[int, dict[str, int]] | None = None
+
+    def by_name(self, query_name: str) -> BlockPrediction:
+        """Prediction for one name (lazy name→block index; amortized O(1)).
+
+        Raises:
+            KeyError: if the name is absent.
+        """
+        return find_by_query_name(self, self.blocks, query_name)
+
+    def n_entities(self) -> int:
+        """Total predicted entity count across all names."""
+        return sum(block.n_entities() for block in self.blocks)
+
+
+@dataclass
+class BlockResolution:
+    """Resolution output and diagnostics for one name's block."""
+
+    query_name: str
+    predicted: Clustering
+    truth: Clustering
+    report: MetricReport
+    combination: CombinationResult
+    layer_accuracies: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chosen_layer(self) -> str | None:
+        """Winning layer under best-graph selection (else ``None``)."""
+        return self.combination.chosen_layer
+
+
+@dataclass
+class CollectionResolution:
+    """Resolution of a whole dataset (one entry per ambiguous name)."""
+
+    dataset: str
+    blocks: list[BlockResolution]
+
+    def __post_init__(self) -> None:
+        self._index: tuple[int, dict[str, int]] | None = None
+
+    def mean_report(self) -> MetricReport:
+        """Macro-average of the per-name metric reports."""
+        return mean_report([block.report for block in self.blocks])
+
+    def by_name(self, query_name: str) -> BlockResolution:
+        """Result for one name (lazy name→block index; amortized O(1)).
+
+        Raises:
+            KeyError: if the name is absent.
+        """
+        return find_by_query_name(self, self.blocks, query_name)
+
+
+class ResolverModel:
+    """A fitted entity-resolution model, ready to serve unlabeled pages.
+
+    Produced by :meth:`EntityResolver.fit`; holds one :class:`FittedBlock`
+    per ambiguous name plus the configuration that fitting ran under.
+    ``predict`` resolves blocks without ground truth; ``evaluate`` scores
+    predictions against labels; ``save``/``load`` round-trip the fitted
+    state through JSON.
+
+    Args:
+        config: the resolver configuration fitting ran under.
+        blocks: fitted state per query name.
+        pipeline: optional extraction pipeline for predicting from raw
+            pages (not serialized — re-supply it after :meth:`load`, or
+            rely on collection vocabulary metadata).
+    """
+
+    def __init__(self, config: ResolverConfig,
+                 blocks: dict[str, FittedBlock],
+                 pipeline: ExtractionPipeline | None = None):
+        self.config = config
+        self.blocks = dict(blocks)
+        self.pipeline = pipeline
+        self._functions = functions_subset(config.function_names)
+        self._combiner = build_combiner(config.combiner)
+
+    def block_names(self) -> list[str]:
+        """Names the model holds fitted state for, in fit order."""
+        return list(self.blocks)
+
+    def release_fit_caches(self) -> None:
+        """Drop every block's fit-time layer cache.
+
+        Fitting seeds a one-shot cache per block so the immediate
+        fit → predict pass reuses the fit-time layers; the collection
+        predict/evaluate paths call this afterwards so blocks that were
+        never visited do not pin their training graphs.  Call it yourself
+        when keeping a directly-fitted model alive without predicting.
+        """
+        for fitted in self.blocks.values():
+            fitted._layer_cache = None
+
+    def __contains__(self, query_name: object) -> bool:
+        return query_name in self.blocks
+
+    def __repr__(self) -> str:
+        return (f"ResolverModel({len(self.blocks)} blocks, "
+                f"combiner={self.config.combiner!r}, "
+                f"clusterer={self.config.clusterer!r})")
+
+    # -- predict ---------------------------------------------------------
+
+    def predict(self, data: DocumentCollection | NameCollection, **kwargs):
+        """Resolve unlabeled data.
+
+        Dispatches to :meth:`predict_block` for a :class:`NameCollection`
+        and :meth:`predict_collection` for a :class:`DocumentCollection`.
+        Ground-truth labels, if present, are never read.
+        """
+        if isinstance(data, NameCollection):
+            return self.predict_block(data, **kwargs)
+        return self.predict_collection(data, **kwargs)
+
+    def predict_block(
+        self,
+        block: NameCollection,
+        pipeline: ExtractionPipeline | None = None,
+        features: dict[str, PageFeatures] | None = None,
+        graphs: dict[str, WeightedPairGraph] | None = None,
+        model_block: str | None = None,
+    ) -> BlockPrediction:
+        """Resolve one block with the fitted machinery — labels unused.
+
+        Args:
+            block: the pages to resolve (``person_id`` may be ``None``).
+            pipeline: extraction pipeline (defaults to the model's).
+            features: precomputed page features (skips extraction).
+            graphs: precomputed weighted graphs (skips extraction and
+                similarity computation).
+            model_block: reuse the fitted state of a *different* name —
+                how a model serves names it was never fitted on.
+
+        Raises:
+            KeyError: when no fitted state exists for the block's name.
+            ValueError: when no pipeline/features/graphs are available.
+        """
+        fitted = self._fitted_for(model_block or block.query_name)
+        if graphs is None:
+            if features is None:
+                pipeline = pipeline or self.pipeline
+                if pipeline is None:
+                    raise ValueError("need a pipeline, features, or graphs")
+                features = pipeline.extract_block(block)
+            graphs = compute_similarity_graphs(block, features, self._functions)
+
+        layers = fitted.decision_layers(graphs)
+        combination = self._combiner.apply(layers, fitted.combiner_params)
+        predicted = cluster_combination(
+            self.config.clusterer, combination,
+            seed=self.config.correlation_seed)
+        return BlockPrediction(
+            query_name=block.query_name,
+            predicted=predicted,
+            combination=combination,
+            layer_accuracies={layer.label: layer.training_accuracy
+                              for layer in layers},
+        )
+
+    def predict_collection(
+        self,
+        collection: DocumentCollection,
+        pipeline: ExtractionPipeline | None = None,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
+        model_block: str | None = None,
+    ) -> CollectionPrediction:
+        """Resolve every block of an unlabeled dataset.
+
+        The extraction pipeline is resolved lazily: blocks covered by
+        ``graphs_by_name`` never need one.  Names the model was never
+        fitted on fall back to ``model_block``'s fitted state when given
+        (fitted names always use their own state).
+        """
+        resolved_pipeline = pipeline or self.pipeline
+        blocks = []
+        for block in collection:
+            graphs = (graphs_by_name or {}).get(block.query_name)
+            if graphs is None and resolved_pipeline is None:
+                resolved_pipeline = resolve_extraction_pipeline(collection)
+            fallback = (model_block if block.query_name not in self.blocks
+                        else None)
+            blocks.append(self.predict_block(
+                block, pipeline=resolved_pipeline, graphs=graphs,
+                model_block=fallback))
+        self.release_fit_caches()
+        return CollectionPrediction(dataset=collection.name, blocks=blocks)
+
+    # -- evaluate --------------------------------------------------------
+
+    def evaluate(self, data: DocumentCollection | NameCollection, **kwargs):
+        """Predict, then score against ground truth (labels required).
+
+        Dispatches like :meth:`predict`; returns :class:`BlockResolution`
+        or :class:`CollectionResolution`.
+        """
+        if isinstance(data, NameCollection):
+            return self.evaluate_block(data, **kwargs)
+        return self.evaluate_collection(data, **kwargs)
+
+    def evaluate_block(self, block: NameCollection,
+                       **kwargs) -> BlockResolution:
+        """Predict one labeled block and score the prediction.
+
+        Raises:
+            ValueError: when any page lacks a ground-truth label.
+        """
+        prediction = self.predict_block(block, **kwargs)
+        truth = clustering_from_assignments(block.ground_truth())
+        report = evaluate_clustering(prediction.predicted, truth)
+        return BlockResolution(
+            query_name=block.query_name,
+            predicted=prediction.predicted,
+            truth=truth,
+            report=report,
+            combination=prediction.combination,
+            layer_accuracies=prediction.layer_accuracies,
+        )
+
+    def evaluate_collection(
+        self,
+        collection: DocumentCollection,
+        pipeline: ExtractionPipeline | None = None,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
+        model_block: str | None = None,
+    ) -> CollectionResolution:
+        """Predict a labeled dataset and score every block.
+
+        ``model_block`` serves unfitted names as in
+        :meth:`predict_collection`.
+        """
+        resolved_pipeline = pipeline or self.pipeline
+        blocks = []
+        for block in collection:
+            graphs = (graphs_by_name or {}).get(block.query_name)
+            if graphs is None and resolved_pipeline is None:
+                resolved_pipeline = resolve_extraction_pipeline(collection)
+            fallback = (model_block if block.query_name not in self.blocks
+                        else None)
+            blocks.append(self.evaluate_block(
+                block, pipeline=resolved_pipeline, graphs=graphs,
+                model_block=fallback))
+        self.release_fit_caches()
+        return CollectionResolution(dataset=collection.name, blocks=blocks)
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the fitted model to ``path`` as a single JSON document."""
+        payload = {
+            "format_version": MODEL_FORMAT_VERSION,
+            "config": self.config.to_dict(),
+            "blocks": {name: fitted.to_dict()
+                       for name, fitted in self.blocks.items()},
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str | Path,
+             pipeline: ExtractionPipeline | None = None) -> "ResolverModel":
+        """Read a model previously written by :meth:`save`.
+
+        Custom registry backends referenced by the stored config must be
+        registered (their modules imported) before loading.
+
+        Raises:
+            ValueError: for incompatible format versions or backends the
+                current process has not registered.
+        """
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("format_version")
+        if version != MODEL_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version: {version!r}")
+        config = ResolverConfig.from_dict(payload["config"])
+        blocks = {name: FittedBlock.from_dict(entry)
+                  for name, entry in payload["blocks"].items()}
+        return cls(config=config, blocks=blocks, pipeline=pipeline)
+
+    # -- internals -------------------------------------------------------
+
+    def _fitted_for(self, query_name: str) -> FittedBlock:
+        try:
+            return self.blocks[query_name]
+        except KeyError:
+            known = ", ".join(sorted(self.blocks)) or "<none>"
+            raise KeyError(
+                f"no fitted state for block {query_name!r}; fitted blocks "
+                f"are: {known} (reuse one via model_block= / "
+                f"--model-block)") from None

@@ -17,7 +17,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
-from repro.ml.kmeans import kmeans_1d
+from repro.ml.kmeans import KMeans1D, kmeans_1d
 
 
 class Regions(ABC):
@@ -39,6 +39,10 @@ class Regions(ABC):
     def describe(self) -> list[tuple[float, float]]:
         """Bounds of every region in index order."""
         return [self.bounds(region) for region in range(self.n_regions)]
+
+    @abstractmethod
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot, reloadable by :func:`regions_from_dict`."""
 
 
 class EqualWidthRegions(Regions):
@@ -69,6 +73,9 @@ class EqualWidthRegions(Regions):
         width = 1.0 / self.n_bins
         return (region * width, 1.0 if region == self.n_bins - 1 else (region + 1) * width)
 
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "equal_width", "n_bins": self.n_bins}
+
 
 class KMeansRegions(Regions):
     """Regions from 1-D k-means over training similarity values.
@@ -84,6 +91,13 @@ class KMeansRegions(Regions):
 
     def __init__(self, values: Sequence[float], k: int = 10):
         self._model = kmeans_1d(values, k)
+
+    @classmethod
+    def from_model(cls, model: KMeans1D) -> "KMeansRegions":
+        """Wrap an already-fitted model (model deserialization path)."""
+        regions = cls.__new__(cls)
+        regions._model = model
+        return regions
 
     @property
     def n_regions(self) -> int:
@@ -102,6 +116,13 @@ class KMeansRegions(Regions):
         low = 0.0 if region == 0 else boundaries[region - 1]
         high = 1.0 if region == self.n_regions - 1 else boundaries[region]
         return (low, high)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": "kmeans",
+            "centers": list(self._model.centers),
+            "boundaries": list(self._model.boundaries),
+        }
 
 
 class ThresholdRegions(Regions):
@@ -128,6 +149,9 @@ class ThresholdRegions(Regions):
             return (0.0, 1.0)
         return (0.0, self.threshold) if region == 0 else (self.threshold, 1.0)
 
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "threshold", "threshold": self.threshold}
+
 
 def fit_regions(method: str, values: Sequence[float], k: int = 10) -> Regions:
     """Region-scheme factory.
@@ -145,3 +169,21 @@ def fit_regions(method: str, values: Sequence[float], k: int = 10) -> Regions:
     if method == "kmeans":
         return KMeansRegions(values, k=k)
     raise ValueError(f"unknown region method: {method!r}")
+
+
+def regions_from_dict(payload: dict[str, object]) -> Regions:
+    """Rebuild a region scheme saved by :meth:`Regions.to_dict`.
+
+    Raises:
+        ValueError: for unknown region types.
+    """
+    kind = payload.get("type")
+    if kind == "equal_width":
+        return EqualWidthRegions(n_bins=int(payload["n_bins"]))
+    if kind == "kmeans":
+        return KMeansRegions.from_model(KMeans1D(
+            centers=tuple(float(c) for c in payload["centers"]),
+            boundaries=tuple(float(b) for b in payload["boundaries"])))
+    if kind == "threshold":
+        return ThresholdRegions(float(payload["threshold"]))
+    raise ValueError(f"unknown region type: {kind!r}")

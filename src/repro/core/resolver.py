@@ -8,32 +8,49 @@ Per block (one ambiguous name):
 3. apply each criterion to get decision graphs ``G^i_Dj`` with accuracy
    estimates;
 4. combine the layers into ``G_combined``;
-5. cluster (transitive closure or correlation clustering);
+5. cluster (via the clusterer registry: transitive closure, star or
+   correlation clustering);
 6. output the final partition.
+
+The public API splits this into train and serve:
+:meth:`EntityResolver.fit` runs steps 1–4's *learning* on labeled data and
+returns a :class:`~repro.core.model.ResolverModel`, whose ``predict``
+re-applies the fitted machinery to unlabeled pages and ``evaluate`` scores
+predictions against ground truth.  ``resolve_block`` /
+``resolve_collection`` remain as deprecated fit+predict+evaluate wrappers
+for the paper's fully-labeled workflow.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.combination import CombinationResult, DecisionLayer, build_combiner
+from repro.core.combination import DecisionLayer, build_combiner
 from repro.core.config import ResolverConfig
 from repro.core.decisions import build_criteria
 from repro.core.labels import TrainingSample
+from repro.core.model import (
+    BlockResolution,
+    CollectionResolution,
+    FittedBlock,
+    FittedLayer,
+    ResolverModel,
+    apply_fitted_decision,
+    compute_similarity_graphs,
+    resolve_extraction_pipeline,
+)
 from repro.corpus.documents import DocumentCollection, NameCollection
-from repro.corpus.vocabulary import build_vocabulary
 from repro.extraction.features import PageFeatures
 from repro.extraction.pipeline import ExtractionPipeline
 from repro.graph.components import UnionFind
-from repro.graph.correlation import correlation_cluster
-from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph, pair_key
-from repro.graph.star import star_cluster
-from repro.graph.transitive import transitive_closure_clusters
-from repro.metrics.clusterings import Clustering, clustering_from_assignments
-from repro.metrics.report import MetricReport, evaluate_clustering, mean_report
+from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph
 from repro.ml.sampling import sample_training_pairs
-from repro.similarity.base import SimilarityFunction
 from repro.similarity.functions import functions_subset
+
+__all__ = [
+    "BlockResolution",
+    "CollectionResolution",
+    "EntityResolver",
+    "compute_similarity_graphs",
+]
 
 
 def _graph_accuracy(graph: DecisionGraph, training: TrainingSample) -> float:
@@ -55,72 +72,6 @@ def _graph_accuracy(graph: DecisionGraph, training: TrainingSample) -> float:
         if forest.connected(left, right) == label
     )
     return correct / len(training.pairs)
-
-
-def compute_similarity_graphs(
-    block: NameCollection,
-    features: dict[str, PageFeatures],
-    functions: list[SimilarityFunction],
-) -> dict[str, WeightedPairGraph]:
-    """The complete weighted graph ``G_w^fi`` for every function.
-
-    This is the quadratic step; experiments precompute and cache these
-    graphs per dataset because similarity values do not depend on the
-    training sample.
-    """
-    ids = block.page_ids()
-    graphs = {
-        function.name: WeightedPairGraph(nodes=list(ids))
-        for function in functions
-    }
-    for i, left_id in enumerate(ids):
-        left = features[left_id]
-        for right_id in ids[i + 1:]:
-            right = features[right_id]
-            key = pair_key(left_id, right_id)
-            for function in functions:
-                graphs[function.name].weights[key] = function(left, right)
-    return graphs
-
-
-@dataclass
-class BlockResolution:
-    """Resolution output and diagnostics for one name's block."""
-
-    query_name: str
-    predicted: Clustering
-    truth: Clustering
-    report: MetricReport
-    combination: CombinationResult
-    layer_accuracies: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def chosen_layer(self) -> str | None:
-        """Winning layer under best-graph selection (else ``None``)."""
-        return self.combination.chosen_layer
-
-
-@dataclass
-class CollectionResolution:
-    """Resolution of a whole dataset (one entry per ambiguous name)."""
-
-    dataset: str
-    blocks: list[BlockResolution]
-
-    def mean_report(self) -> MetricReport:
-        """Macro-average of the per-name metric reports."""
-        return mean_report([block.report for block in self.blocks])
-
-    def by_name(self, query_name: str) -> BlockResolution:
-        """Result for one name.
-
-        Raises:
-            KeyError: if the name is absent.
-        """
-        for block in self.blocks:
-            if block.query_name == query_name:
-                return block
-        raise KeyError(query_name)
 
 
 class EntityResolver:
@@ -148,88 +99,134 @@ class EntityResolver:
             ValueError: when no pipeline was supplied and the collection
                 carries no vocabulary metadata to rebuild one from.
         """
-        if self._pipeline is not None:
-            return self._pipeline
-        seed = collection.metadata.get("vocabulary_seed")
-        if seed is None:
-            raise ValueError(
-                "collection has no vocabulary metadata; pass an ExtractionPipeline")
-        vocabulary = build_vocabulary(int(seed))
-        return ExtractionPipeline.from_vocabulary(
-            vocabulary, query_names=collection.query_names())
+        return resolve_extraction_pipeline(collection, self._pipeline)
 
-    def resolve_collection(
+    # -- fitting (the train side) ---------------------------------------
+
+    def fit(
         self,
-        collection: DocumentCollection,
-        training_seed: int = 0,
-        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
-    ) -> CollectionResolution:
-        """Resolve every block of a dataset.
-
-        Args:
-            collection: the dataset.
-            training_seed: seed of the per-block training-sample draw.
-            graphs_by_name: optional precomputed similarity graphs
-                (``query name -> function name -> graph``) to skip the
-                quadratic similarity step.
-        """
-        pipeline = self.pipeline_for(collection)
-        blocks = []
-        for block in collection:
-            graphs = (graphs_by_name or {}).get(block.query_name)
-            blocks.append(self.resolve_block(
-                block, training_seed=training_seed,
-                pipeline=pipeline, graphs=graphs))
-        return CollectionResolution(dataset=collection.name, blocks=blocks)
-
-    def resolve_block(
-        self,
-        block: NameCollection,
+        data: DocumentCollection | NameCollection,
         training_seed: int = 0,
         pipeline: ExtractionPipeline | None = None,
         features: dict[str, PageFeatures] | None = None,
         graphs: dict[str, WeightedPairGraph] | None = None,
-    ) -> BlockResolution:
-        """Run Algorithm 1 on one block.
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
+    ) -> ResolverModel:
+        """Learn decision criteria and combination parameters from labels.
+
+        This is the only step that reads ground truth: per block it draws
+        the training sample, fits every (function, criterion) decision
+        layer, estimates layer accuracies, and freezes the combiner's
+        learned parameters.  The returned
+        :class:`~repro.core.model.ResolverModel` predicts without labels
+        and serializes with ``save``/``load``.
+
+        Fitting also seeds a one-shot per-block layer cache (holding the
+        block's similarity graphs) for the immediate fit → predict pass;
+        when keeping a directly-fitted model alive and serving only
+        selected blocks, call ``model.release_fit_caches()`` to drop the
+        unconsumed ones.
 
         Args:
-            block: the name's page collection (fully labeled).
-            training_seed: training-sample seed for this run.
-            pipeline: extraction pipeline (required unless ``features`` or
-                ``graphs`` already cover the block).
-            features: precomputed page features (skips extraction).
-            graphs: precomputed weighted graphs (skips extraction *and*
-                similarity computation).
-        """
-        if graphs is None:
-            if features is None:
-                if pipeline is None:
-                    raise ValueError("need a pipeline, features, or graphs")
-                features = pipeline.extract_block(block)
-            graphs = compute_similarity_graphs(block, features, self._functions)
+            data: a labeled dataset, or a single labeled block.
+            training_seed: seed of the per-block training-sample draw.
+            pipeline: extraction pipeline (resolved lazily from collection
+                metadata when omitted; unused for blocks fully covered by
+                precomputed graphs).
+            features: precomputed features (single-block fitting only).
+            graphs: precomputed weighted graphs (single-block fitting
+                only).
+            graphs_by_name: precomputed similarity graphs per query name
+                (collection fitting only).
 
+        Raises:
+            ValueError: when a block's similarity graphs cannot be
+                computed for lack of a pipeline/features/graphs, or when
+                a kwarg does not apply to the input type (``features``/
+                ``graphs`` are single-block only, ``graphs_by_name`` is
+                collection only).
+        """
+        if isinstance(data, NameCollection):
+            if graphs_by_name is not None:
+                raise ValueError(
+                    "graphs_by_name applies to collection fitting; "
+                    "pass graphs= for a single block")
+            graphs = self._block_graphs(data, pipeline, features, graphs)
+            fitted = self._fit_block(data, graphs, training_seed)
+            return ResolverModel(
+                config=self.config,
+                blocks={data.query_name: fitted},
+                pipeline=pipeline or self._pipeline,
+            )
+
+        if features is not None or graphs is not None:
+            raise ValueError(
+                "features/graphs apply to single-block fitting; "
+                "pass graphs_by_name= for a collection")
+        resolved_pipeline = pipeline or self._pipeline
+        blocks: dict[str, FittedBlock] = {}
+        for block in data:
+            block_graphs = (graphs_by_name or {}).get(block.query_name)
+            if block_graphs is None:
+                if resolved_pipeline is None:
+                    resolved_pipeline = resolve_extraction_pipeline(data)
+                block_graphs = compute_similarity_graphs(
+                    block, resolved_pipeline.extract_block(block),
+                    self._functions)
+            blocks[block.query_name] = self._fit_block(
+                block, block_graphs, training_seed)
+        return ResolverModel(config=self.config, blocks=blocks,
+                             pipeline=resolved_pipeline)
+
+    def _block_graphs(
+        self,
+        block: NameCollection,
+        pipeline: ExtractionPipeline | None,
+        features: dict[str, PageFeatures] | None,
+        graphs: dict[str, WeightedPairGraph] | None,
+    ) -> dict[str, WeightedPairGraph]:
+        """Similarity graphs for one block, computing what is missing.
+
+        Raises:
+            ValueError: when neither graphs, features nor a pipeline are
+                available.
+        """
+        if graphs is not None:
+            return graphs
+        if features is None:
+            pipeline = pipeline or self._pipeline
+            if pipeline is None:
+                raise ValueError("need a pipeline, features, or graphs")
+            features = pipeline.extract_block(block)
+        return compute_similarity_graphs(block, features, self._functions)
+
+    def _fit_block(self, block: NameCollection,
+                   graphs: dict[str, WeightedPairGraph],
+                   training_seed: int) -> FittedBlock:
+        """Fit one block: training sample → layers → combiner parameters."""
         training = TrainingSample.from_pairs(sample_training_pairs(
             block,
             fraction=self.config.training_fraction,
             seed=training_seed,
             mode=self.config.sampling_mode,
         ))
-
         layers = self.build_layers(graphs, training)
         combination = self._combiner.combine(layers, training)
-        predicted = self._cluster(combination)
-
-        truth = clustering_from_assignments(block.ground_truth())
-        report = evaluate_clustering(predicted, truth)
-        return BlockResolution(
+        fitted = FittedBlock(
             query_name=block.query_name,
-            predicted=predicted,
-            truth=truth,
-            report=report,
-            combination=combination,
-            layer_accuracies={layer.label: layer.training_accuracy
-                              for layer in layers},
+            layers=[FittedLayer(
+                function_name=layer.function_name,
+                criterion_name=layer.criterion_name,
+                fitted=layer.fitted,
+                graph_accuracy=layer.graph_accuracy,
+            ) for layer in layers],
+            combiner_params=self._combiner.fit_params(combination),
+            n_training=len(training),
         )
+        # Fit-time layers are exactly what predict would rebuild over the
+        # same graphs; seed the cache so fit → predict applies them once.
+        fitted._layer_cache = (graphs, layers)
+        return fitted
 
     def build_layers(self, graphs: dict[str, WeightedPairGraph],
                      training: TrainingSample) -> list[DecisionLayer]:
@@ -244,12 +241,8 @@ class EntityResolver:
             labeled_values = training.labeled_values(graph)
             for criterion in self._criteria:
                 fitted = criterion.fit(labeled_values)
-                decision_graph = DecisionGraph(nodes=list(graph.nodes))
-                probabilities = {}
-                for pair, value in graph.pairs():
-                    probabilities[pair] = fitted.link_probability(value)
-                    if fitted.decide(value):
-                        decision_graph.edges.add(pair)
+                decision_graph, probabilities = apply_fitted_decision(
+                    fitted, graph)
                 layers.append(DecisionLayer(
                     function_name=function.name,
                     criterion_name=criterion.name,
@@ -260,14 +253,67 @@ class EntityResolver:
                 ))
         return layers
 
-    def _cluster(self, combination: CombinationResult) -> Clustering:
-        """Apply the configured clustering to the combined graph."""
-        if self.config.clusterer == "transitive":
-            clusters = transitive_closure_clusters(combination.graph)
-        elif self.config.clusterer == "star":
-            clusters = star_cluster(combination.graph,
-                                    weights=combination.probabilities)
-        else:
-            clusters = correlation_cluster(
-                combination.probabilities, seed=self.config.correlation_seed)
-        return Clustering(clusters)
+    # -- deprecated labeled-workflow wrappers ---------------------------
+
+    def resolve_collection(
+        self,
+        collection: DocumentCollection,
+        training_seed: int = 0,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
+    ) -> CollectionResolution:
+        """Resolve every block of a fully labeled dataset.
+
+        .. deprecated:: 1.1
+            Thin wrapper over ``fit(...)`` + ``ResolverModel.evaluate``;
+            prefer those directly — they separate the label-consuming
+            training step from label-free prediction.
+
+        Args:
+            collection: the dataset (every page labeled).
+            training_seed: seed of the per-block training-sample draw.
+            graphs_by_name: optional precomputed similarity graphs
+                (``query name -> function name -> graph``) to skip the
+                quadratic similarity step.
+        """
+        pipeline = self.pipeline_for(collection)
+        # Streamed per block: fitting is per-block, so fit + evaluate one
+        # block at a time — each block's graphs are computed once, shared
+        # between the two passes, and released before the next block
+        # (the legacy loop's memory profile).
+        blocks = []
+        for block in collection:
+            graphs = (graphs_by_name or {}).get(block.query_name)
+            if graphs is None:
+                graphs = compute_similarity_graphs(
+                    block, pipeline.extract_block(block), self._functions)
+            model = self.fit(block, training_seed=training_seed,
+                             graphs=graphs)
+            blocks.append(model.evaluate_block(block, graphs=graphs))
+        return CollectionResolution(dataset=collection.name, blocks=blocks)
+
+    def resolve_block(
+        self,
+        block: NameCollection,
+        training_seed: int = 0,
+        pipeline: ExtractionPipeline | None = None,
+        features: dict[str, PageFeatures] | None = None,
+        graphs: dict[str, WeightedPairGraph] | None = None,
+    ) -> BlockResolution:
+        """Run Algorithm 1 on one fully labeled block.
+
+        .. deprecated:: 1.1
+            Thin wrapper over ``fit(...)`` + ``ResolverModel.evaluate``;
+            prefer those directly.
+
+        Args:
+            block: the name's page collection (fully labeled).
+            training_seed: training-sample seed for this run.
+            pipeline: extraction pipeline (required unless ``features`` or
+                ``graphs`` already cover the block).
+            features: precomputed page features (skips extraction).
+            graphs: precomputed weighted graphs (skips extraction *and*
+                similarity computation).
+        """
+        graphs = self._block_graphs(block, pipeline, features, graphs)
+        model = self.fit(block, training_seed=training_seed, graphs=graphs)
+        return model.evaluate_block(block, graphs=graphs)

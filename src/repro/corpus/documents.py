@@ -9,8 +9,46 @@ one name's result list (which is also the paper's blocking unit), and
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+
+
+def find_by_query_name(owner, blocks: Sequence, query_name: str):
+    """Indexed first-match lookup over ``owner._index``.
+
+    Shared by every container of ``query_name``-carrying blocks (datasets
+    here, resolution/prediction results in :mod:`repro.core.model`).  The
+    lazy index is verified on hit and rebuilt once on miss, so the common
+    mutations (appends, same-length replacements) resolve correctly and a
+    returned block always carries the queried name.  Duplicate names keep
+    first-match semantics at index-build time; an in-place replacement
+    that *creates* a duplicate of an already-indexed name may resolve to
+    the indexed occurrence rather than the earlier position.
+
+    Raises:
+        KeyError: if no block carries ``query_name``.
+    """
+    cache = owner._index
+    rebuilt = cache is None or cache[0] != len(blocks)
+    if rebuilt:
+        cache = owner._index = _build_name_index(blocks)
+    position = cache[1].get(query_name)
+    if position is not None and blocks[position].query_name == query_name:
+        return blocks[position]
+    if not rebuilt:
+        cache = owner._index = _build_name_index(blocks)
+        position = cache[1].get(query_name)
+        if (position is not None
+                and blocks[position].query_name == query_name):
+            return blocks[position]
+    raise KeyError(query_name)
+
+
+def _build_name_index(blocks: Sequence) -> tuple[int, dict[str, int]]:
+    index: dict[str, int] = {}
+    for position, block in enumerate(blocks):
+        index.setdefault(block.query_name, position)  # first match wins
+    return (len(blocks), index)
 
 
 @dataclass(frozen=True)
@@ -95,6 +133,16 @@ class NameCollection:
             for right in self.pages[i + 1:]:
                 yield left, right
 
+    def without_labels(self) -> "NameCollection":
+        """A copy of this block with every ground-truth label removed.
+
+        The serve-side view: what a fitted model sees when resolving
+        pages no one has annotated.
+        """
+        return NameCollection(
+            query_name=self.query_name,
+            pages=[replace(page, person_id=None) for page in self.pages])
+
 
 @dataclass
 class DocumentCollection:
@@ -103,6 +151,9 @@ class DocumentCollection:
     name: str
     collections: list[NameCollection] = field(default_factory=list)
     metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._index: tuple[int, dict[str, int]] | None = None
 
     def __len__(self) -> int:
         return len(self.collections)
@@ -117,13 +168,13 @@ class DocumentCollection:
     def by_name(self, query_name: str) -> NameCollection:
         """Return the block for ``query_name``.
 
+        Backed by a lazy first-match name→block index (amortized O(1);
+        see :func:`find_by_query_name`).
+
         Raises:
             KeyError: if no block with that name exists.
         """
-        for collection in self.collections:
-            if collection.query_name == query_name:
-                return collection
-        raise KeyError(query_name)
+        return find_by_query_name(self, self.collections, query_name)
 
     def n_pages(self) -> int:
         """Total page count across all names."""
@@ -133,6 +184,14 @@ class DocumentCollection:
         """Iterate every page in the dataset."""
         for collection in self.collections:
             yield from collection.pages
+
+    def without_labels(self) -> "DocumentCollection":
+        """An unlabeled copy of the dataset (metadata preserved)."""
+        return DocumentCollection(
+            name=self.name,
+            collections=[block.without_labels()
+                         for block in self.collections],
+            metadata=dict(self.metadata))
 
     def summary(self) -> dict[str, object]:
         """Dataset shape statistics (names, pages, cluster counts)."""

@@ -93,17 +93,21 @@ class RunResult:
 
 def run_config(context: ExperimentContext, config: ResolverConfig,
                seeds: Sequence[int], label: str | None = None) -> RunResult:
-    """Evaluate a resolver configuration under the multi-run protocol."""
+    """Evaluate a resolver configuration under the multi-run protocol.
+
+    Each run fits a fresh :class:`~repro.core.model.ResolverModel` on its
+    training draw, then evaluates the model's (label-free) predictions —
+    the same fit → predict → score split the serving API uses.
+    """
     resolver = EntityResolver(config)
     result = RunResult(label=label or config.combiner)
     for seed in seeds:
-        reports: dict[str, MetricReport] = {}
-        for block in context.collection:
-            resolution = resolver.resolve_block(
-                block, training_seed=seed,
-                graphs=context.graphs_by_name[block.query_name])
-            reports[block.query_name] = resolution.report
-        result.per_seed_reports.append(reports)
+        model = resolver.fit(context.collection, training_seed=seed,
+                             graphs_by_name=context.graphs_by_name)
+        resolution = model.evaluate_collection(
+            context.collection, graphs_by_name=context.graphs_by_name)
+        result.per_seed_reports.append(
+            {block.query_name: block.report for block in resolution.blocks})
     return result
 
 

@@ -37,6 +37,41 @@ def all_labeled_pairs(block: NameCollection) -> list[LabeledPair]:
     return pairs
 
 
+def _sample_pair_mode(block: NameCollection, fraction: float,
+                      rng: random.Random) -> list[LabeledPair]:
+    """``"pairs"`` mode: sample a fraction of the labeled page pairs."""
+    pairs = all_labeled_pairs(block)
+    sample_size = max(1, math.ceil(fraction * len(pairs)))
+    if sample_size >= len(pairs):
+        return pairs
+    return rng.sample(pairs, sample_size)
+
+
+def _sample_document_mode(block: NameCollection, fraction: float,
+                          rng: random.Random) -> list[LabeledPair]:
+    """``"documents"`` mode: sample pages, keep all pairs among them."""
+    truth = block.ground_truth()
+    ids = block.page_ids()
+    sample_size = max(2, math.ceil(fraction * len(ids)))
+    chosen = rng.sample(ids, min(sample_size, len(ids)))
+    chosen.sort()
+    pairs = []
+    for i, left in enumerate(chosen):
+        for right in chosen[i + 1:]:
+            pairs.append((pair_key(left, right), truth[left] == truth[right]))
+    return pairs
+
+
+#: Built-in modes, bridged into :data:`repro.core.registry.SAMPLING_MODES`
+#: (this module cannot import ``repro.core`` at import time — the core
+#: package imports it back).  A mode is a callable
+#: ``(block, fraction, rng) -> list[LabeledPair]``.
+BUILTIN_SAMPLING_MODES = {
+    "pairs": _sample_pair_mode,
+    "documents": _sample_document_mode,
+}
+
+
 def sample_training_pairs(
     block: NameCollection,
     fraction: float = 0.1,
@@ -49,7 +84,9 @@ def sample_training_pairs(
         block: the name's page collection (must be fully labeled).
         fraction: fraction of the data to sample, in (0, 1].
         seed: sampling seed; each of the protocol's 5 runs uses its own.
-        mode: ``"pairs"`` or ``"documents"`` (see module docstring).
+        mode: ``"pairs"`` or ``"documents"`` (see module docstring), or any
+            mode added with
+            :func:`repro.core.registry.register_sampling_mode`.
 
     Raises:
         ValueError: for an invalid fraction or unknown mode.
@@ -57,27 +94,12 @@ def sample_training_pairs(
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
     rng = random.Random(seed)
-
-    if mode == "pairs":
-        pairs = all_labeled_pairs(block)
-        sample_size = max(1, math.ceil(fraction * len(pairs)))
-        if sample_size >= len(pairs):
-            return pairs
-        return rng.sample(pairs, sample_size)
-
-    if mode == "documents":
-        truth = block.ground_truth()
-        ids = block.page_ids()
-        sample_size = max(2, math.ceil(fraction * len(ids)))
-        chosen = rng.sample(ids, min(sample_size, len(ids)))
-        chosen.sort()
-        pairs = []
-        for i, left in enumerate(chosen):
-            for right in chosen[i + 1:]:
-                pairs.append((pair_key(left, right), truth[left] == truth[right]))
-        return pairs
-
-    raise ValueError(f"unknown sampling mode: {mode!r}")
+    # The registry is the single dispatch authority (it bridges the
+    # built-ins on first read), so replace=True overrides take effect
+    # here too.  Imported lazily: repro.core imports this module back.
+    from repro.core.registry import SAMPLING_MODES
+    sampler = SAMPLING_MODES.get(mode)
+    return sampler(block, fraction, rng)
 
 
 def training_runs(n_runs: int = 5, base_seed: int = 0) -> list[int]:

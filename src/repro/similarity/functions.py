@@ -102,18 +102,22 @@ def default_functions() -> list[SimilarityFunction]:
 
 
 def function_by_name(name: str) -> SimilarityFunction:
-    """Look up one function by its ``"F<k>"`` name.
+    """Look up one function by its name.
 
-    Names beyond Table I (F11–F14) resolve through the extended registry
-    in :mod:`repro.similarity.extended`.
+    Resolves through :data:`repro.core.registry.SIMILARITIES`, which
+    bridges the Table I built-ins and the extended battery (F11–F14) on
+    first read and also holds anything added with
+    :func:`repro.core.registry.register_similarity` — including
+    ``replace=True`` overrides of built-ins.  The registry is imported
+    lazily because ``repro.core`` imports this module back.
 
     Raises:
         KeyError: for unknown names.
     """
-    if name in _REGISTRY:
-        return _REGISTRY[name]
-    from repro.similarity.extended import EXTENDED_REGISTRY
-    return EXTENDED_REGISTRY[name]
+    from repro.core.registry import SIMILARITIES
+    if name in SIMILARITIES:
+        return SIMILARITIES.get(name)
+    raise KeyError(name)
 
 
 def functions_subset(names: tuple[str, ...] | list[str]) -> list[SimilarityFunction]:

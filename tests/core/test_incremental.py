@@ -41,6 +41,37 @@ class TestFit:
         with pytest.raises(ValueError, match="combiner"):
             IncrementalResolver(ResolverConfig(combiner="majority"))
 
+    def test_from_model_matches_fit(self, split_block):
+        """Adopting a fitted model equals fitting in-place."""
+        base, base_features, _, held_features = split_block
+        fitted_inplace = IncrementalResolver(ResolverConfig())
+        fitted_inplace.fit(base, base_features, training_seed=0)
+
+        model = EntityResolver(ResolverConfig()).fit(
+            base, training_seed=0, features=base_features)
+        adopted = IncrementalResolver.from_model(model, base, base_features)
+
+        assert adopted.clusters() == fitted_inplace.clusters()
+        adopted.add_pages(held_features)
+        fitted_inplace.add_pages(held_features)
+        assert adopted.clusters() == fitted_inplace.clusters()
+
+    def test_from_loaded_model(self, split_block, tmp_path):
+        """A saved model serves the incremental path without labels."""
+        from repro.core.model import ResolverModel
+
+        base, base_features, _, held_features = split_block
+        model = EntityResolver(ResolverConfig()).fit(
+            base, training_seed=0, features=base_features)
+        path = tmp_path / "model.json"
+        model.save(path)
+
+        served = IncrementalResolver.from_model(
+            ResolverModel.load(path), base, base_features)
+        assert served.is_fitted
+        assignments = served.add_pages(held_features)
+        assert len(assignments) == len(held_features)
+
     def test_use_before_fit(self):
         resolver = IncrementalResolver()
         with pytest.raises(RuntimeError, match="before fit"):

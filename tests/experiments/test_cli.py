@@ -32,6 +32,30 @@ class TestCommands:
         assert "Resolution" in captured.out
         assert "Cohen" in captured.out
 
+    def test_fit_and_predict(self, tmp_path, capsys):
+        data = tmp_path / "data.json"
+        model = tmp_path / "model.json"
+        assert main(FAST + ["generate", "--out", str(data)]) == 0
+        capsys.readouterr()
+
+        assert main(FAST + ["fit", "--in", str(data),
+                            "--model", str(model)]) == 0
+        assert model.exists()
+        captured = capsys.readouterr()
+        assert "Fitted model" in captured.out
+        assert "Cohen" in captured.out
+
+        assert main(FAST + ["predict", "--in", str(data),
+                            "--model", str(model)]) == 0
+        captured = capsys.readouterr()
+        assert "ground truth unused" in captured.out
+        assert "Cohen" in captured.out
+
+        assert main(FAST + ["predict", "--in", str(data),
+                            "--model", str(model), "--evaluate"]) == 0
+        captured = capsys.readouterr()
+        assert "mean Fp" in captured.out
+
     def test_figure1(self, capsys):
         assert main(FAST + ["figure1", "--name", "Cohen"]) == 0
         captured = capsys.readouterr()
