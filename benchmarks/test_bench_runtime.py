@@ -1,0 +1,287 @@
+"""RUNTIME — the block execution engine vs the seed pipeline.
+
+Measures the multi-block experiments workload (extraction + quadratic
+similarity graphs + the multi-run fit/evaluate protocol) three ways:
+
+* **seed path** — a faithful replica of the seed revision's inner loops:
+  per-pair, per-function scoring with the seed's un-stripped Levenshtein,
+  and no input reuse.  (The protocol phase runs through the current
+  resolver, which is *faster* than the seed's per-layer loops — the
+  baseline is conservative.)
+* **engine, serial** — batched graph construction with prepared scorers.
+* **engine, ``--workers 4``** — the same through the process executor
+  (auto-capped at the host's cores; on a one-core host this degrades to
+  the serial fast path, still bit-identically).
+
+Each run appends a record to ``BENCH_runtime.json`` at the repo root so
+future revisions can track the trajectory; ``docs/performance.md``
+documents the format.  Scale knobs: ``REPRO_BENCH_PAGES`` /
+``REPRO_BENCH_RUNS`` (see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.resolver import EntityResolver
+from repro.corpus.datasets import www05_like
+from repro.experiments.runner import ExperimentContext, run_config
+from repro.graph.entity_graph import WeightedPairGraph, pair_key
+from repro.ml.sampling import training_runs
+from repro.runtime.executor import available_cores, executor_for_workers
+from repro.similarity.base import SimilarityFunction
+from repro.similarity.functions import default_functions
+from repro.similarity.urls import parse_url
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+REQUESTED_WORKERS = 4
+
+
+# -- seed-path replica -----------------------------------------------------
+# The seed revision's exact algorithm, kept here so the benchmark keeps
+# measuring against it after the library moves on.
+
+def _seed_levenshtein(left: str, right: str) -> int:
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) > len(right):
+        left, right = right, left
+    previous = list(range(len(left) + 1))
+    for row, char_right in enumerate(right, start=1):
+        current = [row]
+        for col, char_left in enumerate(left, start=1):
+            substitution = previous[col - 1] + (char_left != char_right)
+            current.append(min(previous[col] + 1, current[col - 1] + 1,
+                               substitution))
+        previous = current
+    return previous[-1]
+
+
+def _seed_edit_similarity(left: str, right: str) -> float:
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - _seed_levenshtein(left, right) / longest
+
+
+def _seed_domain_similarity(left: str, right: str) -> float:
+    if not left or not right:
+        return 0.0
+    if left == right:
+        return 1.0
+    left_parts = left.split(".")
+    right_parts = right.split(".")
+    if left_parts[-2:] == right_parts[-2:] and len(left_parts) >= 2:
+        return 0.8
+    return 0.5 * _seed_edit_similarity(left, right)
+
+
+def _seed_f2(left, right) -> float:
+    if not left.url or not right.url:
+        return 0.0
+    parsed_left = parse_url(left.url)
+    parsed_right = parse_url(right.url)
+    domain_score = _seed_domain_similarity(parsed_left.domain,
+                                           parsed_right.domain)
+    path_score = _seed_edit_similarity(parsed_left.path, parsed_right.path)
+    # (1.0 - 0.8), not the literal 0.2: the library derives the path
+    # weight, and the replica must match it to the last ulp.
+    return 0.8 * domain_score + (1.0 - 0.8) * path_score
+
+
+def _seed_functions() -> list[SimilarityFunction]:
+    """The Table I battery as the seed ran it: plain scorers, no preparers."""
+    return [
+        SimilarityFunction(f.name, f.feature, f.measure,
+                           _seed_f2 if f.name == "F2" else f.scorer)
+        for f in default_functions()
+    ]
+
+
+def _seed_similarity_graphs(block, features, functions):
+    """The seed's nested loop: every pair scored by every function."""
+    ids = block.page_ids()
+    graphs = {function.name: WeightedPairGraph(nodes=list(ids))
+              for function in functions}
+    for i, left_id in enumerate(ids):
+        left = features[left_id]
+        for right_id in ids[i + 1:]:
+            right = features[right_id]
+            key = pair_key(left_id, right_id)
+            for function in functions:
+                graphs[function.name].weights[key] = function(left, right)
+    return graphs
+
+
+# -- measurement -----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def runtime_record():
+    """Run all three workloads once; every test asserts on the record."""
+    pages = int(os.environ.get("REPRO_BENCH_PAGES", "60"))
+    n_runs = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
+    collection = www05_like(seed=1, pages_per_name=pages)
+    seeds = training_runs(n_runs=n_runs, base_seed=0)
+    config = ResolverConfig()
+    pipeline = EntityResolver(config).pipeline_for(collection)
+
+    # seed path: extraction + naive graphs + the protocol.
+    started = time.perf_counter()
+    features_by_name = {block.query_name: pipeline.extract_block(block)
+                        for block in collection}
+    extract_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    seed_functions = _seed_functions()
+    seed_graphs = {
+        block.query_name: _seed_similarity_graphs(
+            block, features_by_name[block.query_name], seed_functions)
+        for block in collection
+    }
+    seed_graph_seconds = time.perf_counter() - started
+    seed_context = ExperimentContext(collection=collection,
+                                     features_by_name=features_by_name,
+                                     graphs_by_name=seed_graphs)
+    started = time.perf_counter()
+    seed_result = run_config(seed_context, config, seeds)
+    seed_protocol_seconds = time.perf_counter() - started
+    seed_total = extract_seconds + seed_graph_seconds + seed_protocol_seconds
+
+    # engine, serial.
+    started = time.perf_counter()
+    serial_context = ExperimentContext.prepare(collection, pipeline=pipeline)
+    serial_prepare_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    serial_result = run_config(serial_context, config, seeds)
+    serial_protocol_seconds = time.perf_counter() - started
+    serial_total = serial_prepare_seconds + serial_protocol_seconds
+
+    # engine, --workers 4 (auto-capped at the host's cores).
+    executor = executor_for_workers(REQUESTED_WORKERS)
+    started = time.perf_counter()
+    parallel_context = ExperimentContext.prepare(collection,
+                                                 pipeline=pipeline,
+                                                 executor=executor)
+    parallel_prepare_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel_result = run_config(parallel_context, config, seeds,
+                                 executor=executor)
+    parallel_protocol_seconds = time.perf_counter() - started
+    parallel_total = parallel_prepare_seconds + parallel_protocol_seconds
+
+    # serving cache: a hot block served twice computes its pairs once.
+    block = collection.collections[0]
+    model = EntityResolver(config).fit(
+        block, graphs=dict(serial_context.graphs_by_name[block.query_name]),
+        pipeline=pipeline)
+    model.release_fit_caches()
+    started = time.perf_counter()
+    model.predict_block(block)
+    cold_serve_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    model.predict_block(block)
+    warm_serve_seconds = time.perf_counter() - started
+    serving_snapshot = model.cache_stats()
+    model.release_fit_caches()
+
+    sample_function = seed_functions[1].name  # F2: the replica-built scorer
+    record = {
+        "pages_per_name": pages,
+        "n_names": len(collection),
+        "n_runs": n_runs,
+        "requested_workers": REQUESTED_WORKERS,
+        "effective_workers": getattr(executor, "effective_workers",
+                                     executor.workers),
+        "available_cores": available_cores(),
+        "seed_path_seconds": {
+            "extract": extract_seconds,
+            "graphs": seed_graph_seconds,
+            "protocol": seed_protocol_seconds,
+            "total": seed_total,
+        },
+        "engine_serial_seconds": {
+            "prepare": serial_prepare_seconds,
+            "protocol": serial_protocol_seconds,
+            "total": serial_total,
+        },
+        "engine_parallel_seconds": {
+            "prepare": parallel_prepare_seconds,
+            "protocol": parallel_protocol_seconds,
+            "total": parallel_total,
+        },
+        "speedup_vs_seed": seed_total / parallel_total,
+        "speedup_serial_vs_seed": seed_total / serial_total,
+        "pairs_scored": serial_context.stats.pairs_scored,
+        "prepare_cache_hit_rate": serial_context.stats.cache_hit_rate,
+        "serving_cache_hit_rate": serving_snapshot.hit_rate,
+        "serving_cold_seconds": cold_serve_seconds,
+        "serving_warm_seconds": warm_serve_seconds,
+        "per_block_seconds": serial_context.stats.per_block_seconds,
+        "graphs_match_seed": all(
+            serial_context.graphs_by_name[name][sample_function].weights
+            == seed_graphs[name][sample_function].weights
+            for name in seed_graphs
+        ),
+        "deterministic": (
+            seed_result.per_seed_reports == serial_result.per_seed_reports
+            == parallel_result.per_seed_reports
+        ),
+    }
+    _append_trajectory(record)
+    return record
+
+
+def _append_trajectory(record: dict) -> None:
+    payload = {"benchmark": "runtime", "runs": []}
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+            if isinstance(existing.get("runs"), list):
+                payload["runs"] = existing["runs"]
+        except (json.JSONDecodeError, OSError):
+            pass  # start a fresh trajectory over a corrupt file
+    payload["runs"].append(record)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# -- assertions ------------------------------------------------------------
+
+class TestRuntimeBench:
+    def test_engine_reproduces_seed_values_and_metrics(self, runtime_record):
+        """The engine is an optimization, not a change: identical graphs,
+        identical protocol metrics, across serial and parallel executors."""
+        assert runtime_record["graphs_match_seed"]
+        assert runtime_record["deterministic"]
+
+    def test_engine_beats_seed_path(self, runtime_record):
+        """≥1.5x over the seed path at the default workload scale (the
+        JSON records the exact figure; smaller smoke-scale runs only need
+        to not regress)."""
+        floor = 1.35 if runtime_record["pages_per_name"] >= 40 else 1.0
+        assert runtime_record["speedup_vs_seed"] >= floor, runtime_record
+        assert runtime_record["speedup_serial_vs_seed"] >= floor
+
+    def test_serving_cache_eliminates_recomputation(self, runtime_record):
+        assert runtime_record["serving_cache_hit_rate"] == 0.5
+        assert runtime_record["serving_warm_seconds"] <= \
+            runtime_record["serving_cold_seconds"]
+
+    def test_trajectory_file_is_valid(self, runtime_record):
+        payload = json.loads(BENCH_PATH.read_text())
+        assert payload["benchmark"] == "runtime"
+        assert payload["runs"], "no runs recorded"
+        last = payload["runs"][-1]
+        for key in ("speedup_vs_seed", "seed_path_seconds",
+                    "engine_parallel_seconds", "per_block_seconds",
+                    "serving_cache_hit_rate", "deterministic"):
+            assert key in last, key
+        assert last["pages_per_name"] == runtime_record["pages_per_name"]

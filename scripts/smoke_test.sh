@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Smoke test: generate a tiny dataset, fit a resolver model, predict with
-# it (labels unused), and score the predictions.  Exercises the full
-# fit -> save -> predict lifecycle through the CLI in a few seconds.
+# it (labels unused), and score the predictions — serially and through
+# the process-pool executor (--workers 2), which must agree.  Then run
+# the runtime benchmark at smoke scale and verify it emits a well-formed
+# BENCH_runtime.json.  Exercises the full fit -> save -> predict
+# lifecycle plus the execution engine through the CLI in under a minute.
 #
 # Usage: sh scripts/smoke_test.sh
 set -eu
@@ -26,5 +29,53 @@ run predict --in "$workdir/data.json" --model "$workdir/model.json"
 
 echo "== predict --evaluate =="
 run predict --in "$workdir/data.json" --model "$workdir/model.json" --evaluate
+
+echo "== fit/predict --workers 2 (engine parity) =="
+# Comparing fits across *separate interpreter processes* needs a pinned
+# hash seed: Pearson similarity sums over set unions, and per-process
+# hash randomization permutes the float additions in the last ulp.
+# (Within one process, serial vs parallel is bit-identical without this —
+# pool workers fork and inherit the parent's hash seed.)
+( export PYTHONHASHSEED=0
+  run fit --in "$workdir/data.json" --model "$workdir/model_serial.json"
+  run --workers 2 fit --in "$workdir/data.json" \
+      --model "$workdir/model_workers2.json" )
+run --workers 2 predict --in "$workdir/data.json" \
+    --model "$workdir/model_workers2.json" --evaluate
+# Parallel fitting must learn exactly the serial model (fitted state is
+# JSON, so byte-compare the block payloads).
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$workdir" <<'PY'
+import json, sys
+serial = json.load(open(sys.argv[1] + "/model_serial.json"))
+parallel = json.load(open(sys.argv[1] + "/model_workers2.json"))
+assert serial["blocks"] == parallel["blocks"], \
+    "serial and --workers 2 fits diverged"
+print("serial and --workers 2 fitted state identical")
+PY
+
+echo "== runtime benchmark emits BENCH_runtime.json =="
+REPRO_BENCH_PAGES=16 REPRO_BENCH_RUNS=2 \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/test_bench_runtime.py -q
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY'
+import json, sys
+try:
+    payload = json.load(open("BENCH_runtime.json"))
+except (OSError, json.JSONDecodeError) as error:
+    sys.exit(f"BENCH_runtime.json missing or malformed: {error}")
+runs = payload.get("runs")
+if payload.get("benchmark") != "runtime" or not runs:
+    sys.exit("BENCH_runtime.json has no runtime runs")
+last = runs[-1]
+for key in ("speedup_vs_seed", "seed_path_seconds",
+            "engine_parallel_seconds", "serving_cache_hit_rate",
+            "deterministic"):
+    if key not in last:
+        sys.exit(f"BENCH_runtime.json record lacks {key!r}")
+if not last["deterministic"]:
+    sys.exit("runtime bench recorded a non-deterministic run")
+print(f"BENCH_runtime.json OK: {len(runs)} run(s), last speedup "
+      f"{last['speedup_vs_seed']:.2f}x")
+PY
 
 echo "smoke test OK"

@@ -16,7 +16,11 @@ model; ``predict`` loads that model and resolves pages *without reading
 labels* (add ``--evaluate`` to also score against labels when present).
 
 Common options: ``--pages`` (pages per name), ``--runs`` (protocol runs),
-``--seed`` (corpus seed).  All output is plain text on stdout.
+``--seed`` (corpus seed), ``--workers`` (block-executor fan-out: ``N > 1``
+schedules per-block work on an ``N``-process pool with bit-identical
+results — applies to fitting, prediction and context preparation; the
+resolve/figure/table protocol loops stay serial; see
+``docs/performance.md``).  All output is plain text on stdout.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from repro.experiments.reporting import (
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.tables import TABLE2_COLUMNS, table2, table3
 from repro.metrics.report import PAPER_METRICS
+from repro.runtime.executor import executor_for_workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="protocol runs to average (default 3; paper: 5)")
     parser.add_argument("--seed", type=int, default=1,
                         help="corpus seed (default 1)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for per-block work in fit, "
+                             "predict, and context preparation (resolve/"
+                             "figure/table protocol loops stay serial); "
+                             "default 1 = serial; parallel runs are "
+                             "bit-identical to serial")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -132,7 +143,14 @@ def _context(args: argparse.Namespace, which: str | None = None,
         collection = load_collection(input_path)
     else:
         collection = _dataset(args, which)
-    return ExperimentContext.prepare(collection)
+    return ExperimentContext.prepare(collection,
+                                     workers=getattr(args, "workers", 1))
+
+
+def _print_stats(stats) -> None:
+    """Engine stats line (skipped when a path produced none)."""
+    if stats is not None:
+        print(stats.summary())
 
 
 def _seeds(args: argparse.Namespace, context: ExperimentContext) -> list[int]:
@@ -158,9 +176,14 @@ def cmd_fit(args: argparse.Namespace) -> int:
     collection = _load_or_generate(args)
     config = (ResolverConfig() if args.column == "default"
               else table2_config(args.column))
-    model = EntityResolver(config).fit(collection,
-                                       training_seed=args.train_seed)
+    # --workers is a runtime choice of *this* process, passed as an
+    # explicit executor so it is never baked into the saved artifact — a
+    # model fitted with --workers 4 must not make later loaders fan out.
+    model = EntityResolver(config).fit(
+        collection, training_seed=args.train_seed,
+        executor=executor_for_workers(args.workers))
     model.save(args.model)
+    _print_stats(model.fit_stats)
     rows = [[surname(name), len(fitted.layers), fitted.n_training,
              fitted.combiner_params.get("chosen_layer", "-")]
             for name, fitted in model.blocks.items()]
@@ -173,6 +196,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
 def cmd_predict(args: argparse.Namespace) -> int:
     model = ResolverModel.load(args.model)
     collection = _load_or_generate(args)
+    executor = executor_for_workers(args.workers)
     if args.evaluate:
         unlabeled = [page.doc_id for page in collection.all_pages()
                      if page.person_id is None]
@@ -183,7 +207,8 @@ def cmd_predict(args: argparse.Namespace) -> int:
             return 2
         try:
             resolution = model.evaluate(collection,
-                                        model_block=args.model_block)
+                                        model_block=args.model_block,
+                                        executor=executor)
         except KeyError as error:
             print(f"cannot predict: {error.args[0]}", file=sys.stderr)
             return 2
@@ -194,10 +219,12 @@ def cmd_predict(args: argparse.Namespace) -> int:
                            title="Predictions (scored against labels)"))
         mean = resolution.mean_report()
         print(f"mean Fp = {mean.fp:.4f}, F = {mean.f1:.4f}")
+        _print_stats(resolution.stats)
     else:
         try:
             prediction = model.predict(collection,
-                                       model_block=args.model_block)
+                                       model_block=args.model_block,
+                                       executor=executor)
         except KeyError as error:
             print(f"cannot predict: {error.args[0]}", file=sys.stderr)
             return 2
@@ -207,6 +234,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
                 for block in prediction.blocks]
         print(format_table(["name", "pages", "entities", "layer"], rows,
                            title="Predictions (ground truth unused)"))
+        _print_stats(prediction.stats)
     return 0
 
 
@@ -232,6 +260,7 @@ def cmd_resolve(args: argparse.Namespace) -> int:
                      chosen or "-"])
     print(format_table(["name", "Fp", "F", "Rand", "layer (last run)"], rows,
                        title=f"Resolution ({args.column}, {args.runs} runs)"))
+    _print_stats(context.stats)
     return 0
 
 

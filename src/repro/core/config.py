@@ -8,6 +8,7 @@ from repro.core.registry import (
     CLUSTERERS,
     COMBINERS,
     CRITERIA,
+    EXECUTORS,
     SAMPLING_MODES,
     SIMILARITIES,
 )
@@ -32,6 +33,13 @@ class ResolverConfig:
         sampling_mode: ``"pairs"`` or ``"documents"``
             (see :mod:`repro.ml.sampling`).
         correlation_seed: RNG seed of the correlation clusterer.
+        executor: block-executor backend scheduling per-block work —
+            ``"serial"`` (default) or ``"process"``
+            (see :mod:`repro.runtime.executor`).  Serial and parallel
+            backends produce bit-identical results at fixed seeds.
+        workers: worker count for parallel executors (ignored by
+            ``"serial"``); the CLI's ``--workers N`` maps onto these two
+            fields.
     """
 
     function_names: tuple[str, ...] = ALL_FUNCTION_NAMES
@@ -42,6 +50,8 @@ class ResolverConfig:
     training_fraction: float = 0.1
     sampling_mode: str = "pairs"
     correlation_seed: int = 0
+    executor: str = "serial"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not self.function_names:
@@ -58,9 +68,12 @@ class ResolverConfig:
             CRITERIA.validate(criterion)
         CLUSTERERS.validate(self.clusterer)
         SAMPLING_MODES.validate(self.sampling_mode)
+        EXECUTORS.validate(self.executor)
         if not 0.0 < self.training_fraction <= 1.0:
             raise ValueError(
                 f"training_fraction must be in (0, 1], got {self.training_fraction}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     def to_dict(self) -> dict[str, object]:
         """JSON-serializable snapshot (tuples become lists)."""
@@ -73,11 +86,17 @@ class ResolverConfig:
             "training_fraction": self.training_fraction,
             "sampling_mode": self.sampling_mode,
             "correlation_seed": self.correlation_seed,
+            "executor": self.executor,
+            "workers": self.workers,
         }
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "ResolverConfig":
-        """Rebuild (and re-validate) a config saved by :meth:`to_dict`."""
+        """Rebuild (and re-validate) a config saved by :meth:`to_dict`.
+
+        Runtime fields default when absent, so models saved before the
+        execution engine existed still load.
+        """
         return cls(
             function_names=tuple(payload["function_names"]),
             criteria=tuple(payload["criteria"]),
@@ -87,6 +106,8 @@ class ResolverConfig:
             training_fraction=float(payload["training_fraction"]),
             sampling_mode=str(payload["sampling_mode"]),
             correlation_seed=int(payload["correlation_seed"]),
+            executor=str(payload.get("executor", "serial")),
+            workers=int(payload.get("workers", 1)),
         )
 
 

@@ -18,6 +18,8 @@ on.
 from __future__ import annotations
 
 import json
+import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -37,9 +39,13 @@ from repro.corpus.documents import (
 from repro.corpus.vocabulary import build_vocabulary
 from repro.extraction.features import PageFeatures
 from repro.extraction.pipeline import ExtractionPipeline
-from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph, pair_key
+from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph
 from repro.metrics.clusterings import Clustering, clustering_from_assignments
 from repro.metrics.report import MetricReport, evaluate_clustering, mean_report
+from repro.runtime.batch import batched_similarity_graphs
+from repro.runtime.cache import SimilarityCache
+from repro.runtime.executor import BlockExecutor, executor_from_config
+from repro.runtime.stats import RunStats
 from repro.similarity.base import SimilarityFunction
 from repro.similarity.functions import functions_subset
 
@@ -51,26 +57,23 @@ def compute_similarity_graphs(
     block: NameCollection,
     features: dict[str, PageFeatures],
     functions: list[SimilarityFunction],
+    cache: SimilarityCache | None = None,
 ) -> dict[str, WeightedPairGraph]:
     """The complete weighted graph ``G_w^fi`` for every function.
 
     This is the quadratic step; experiments precompute and cache these
     graphs per dataset because similarity values do not depend on the
-    training sample.
+    training sample.  Delegates to the runtime engine's batched builder
+    (:func:`~repro.runtime.batch.batched_similarity_graphs`): one pass
+    over the block's pairs fills every function's graph from prepared
+    scorers, with identical values to scoring each pair naively.
+
+    Args:
+        cache: optional :class:`~repro.runtime.cache.SimilarityCache`;
+            (block, function) graphs already stored there are reused and
+            fresh ones stored back.
     """
-    ids = block.page_ids()
-    graphs = {
-        function.name: WeightedPairGraph(nodes=list(ids))
-        for function in functions
-    }
-    for i, left_id in enumerate(ids):
-        left = features[left_id]
-        for right_id in ids[i + 1:]:
-            right = features[right_id]
-            key = pair_key(left_id, right_id)
-            for function in functions:
-                graphs[function.name].weights[key] = function(left, right)
-    return graphs
+    return batched_similarity_graphs(block, features, functions, cache=cache)
 
 
 def resolve_extraction_pipeline(
@@ -197,6 +200,56 @@ class FittedBlock:
         )
 
 
+def detach_fitted(fitted: FittedBlock) -> FittedBlock:
+    """A copy of ``fitted`` without the fit-time layer cache.
+
+    Executor payloads pickle the fitted state into worker processes; the
+    one-shot layer cache pins the training block's quadratic similarity
+    graphs and must never ride along.  Layers are immutable and shared.
+    """
+    return FittedBlock(
+        query_name=fitted.query_name,
+        layers=list(fitted.layers),
+        combiner_params=dict(fitted.combiner_params),
+        n_training=fitted.n_training,
+    )
+
+
+def apply_fitted_decisions(
+    decisions: Sequence[FittedDecision],
+    graph: WeightedPairGraph,
+) -> list[tuple[DecisionGraph, dict]]:
+    """Several fitted decisions over one similarity graph, in one pass.
+
+    The function × criterion grid applies every criterion of a function to
+    the *same* weighted graph; materializing all of them in a single pair
+    sweep avoids re-iterating the quadratic pair set per layer.  Decision
+    outcomes are memoized per distinct similarity value (decisions are
+    pure functions of the value, and blocks repeat values heavily — every
+    no-evidence pair scores 0.0), which cuts the per-pair criterion cost
+    without changing any outcome.
+
+    Per decision, edges and probabilities are inserted in the graph's pair
+    order — exactly the order a one-decision loop would produce, which
+    keeps this path bit-identical to the seed implementation.
+    """
+    results = [(DecisionGraph(nodes=list(graph.nodes)), {})
+               for _ in decisions]
+    memo: list[dict[float, tuple[float, bool]]] = [{} for _ in decisions]
+    for pair, value in graph.pairs():
+        for index, decision in enumerate(decisions):
+            outcome = memo[index].get(value)
+            if outcome is None:
+                outcome = (decision.link_probability(value),
+                           decision.decide(value))
+                memo[index][value] = outcome
+            decision_graph, probabilities = results[index]
+            probabilities[pair] = outcome[0]
+            if outcome[1]:
+                decision_graph.edges.add(pair)
+    return results
+
+
 def apply_fitted_decision(
     decision: FittedDecision,
     graph: WeightedPairGraph,
@@ -206,14 +259,10 @@ def apply_fitted_decision(
     The single definition of the edge rule shared by fit-time layer
     building (:meth:`EntityResolver.build_layers`) and predict-time
     re-application, which keeps fit/predict bit-identical by construction.
+    Grid callers batch several decisions per graph with
+    :func:`apply_fitted_decisions`.
     """
-    decision_graph = DecisionGraph(nodes=list(graph.nodes))
-    probabilities = {}
-    for pair, value in graph.pairs():
-        probabilities[pair] = decision.link_probability(value)
-        if decision.decide(value):
-            decision_graph.edges.add(pair)
-    return decision_graph, probabilities
+    return apply_fitted_decisions([decision], graph)[0]
 
 
 def build_decision_layers(
@@ -224,21 +273,29 @@ def build_decision_layers(
 
     This is the label-free half of :meth:`EntityResolver.build_layers`:
     edges and probabilities come from the stored fitted decisions, and the
-    accuracy estimates are the stored training-time values.
+    accuracy estimates are the stored training-time values.  Layers
+    sharing a function are applied to that function's graph in one batched
+    pair sweep; output order matches ``fitted_layers`` exactly.
     """
-    layers: list[DecisionLayer] = []
-    for fitted_layer in fitted_layers:
-        graph = graphs[fitted_layer.function_name]
-        decision_graph, probabilities = apply_fitted_decision(
-            fitted_layer.fitted, graph)
-        layers.append(DecisionLayer(
-            function_name=fitted_layer.function_name,
-            criterion_name=fitted_layer.criterion_name,
-            graph=decision_graph,
-            probabilities=probabilities,
-            fitted=fitted_layer.fitted,
-            graph_accuracy=fitted_layer.graph_accuracy,
-        ))
+    grouped: dict[str, list[int]] = {}
+    for index, fitted_layer in enumerate(fitted_layers):
+        grouped.setdefault(fitted_layer.function_name, []).append(index)
+
+    layers: list[DecisionLayer | None] = [None] * len(fitted_layers)
+    for function_name, indices in grouped.items():
+        graph = graphs[function_name]
+        applied = apply_fitted_decisions(
+            [fitted_layers[index].fitted for index in indices], graph)
+        for index, (decision_graph, probabilities) in zip(indices, applied):
+            fitted_layer = fitted_layers[index]
+            layers[index] = DecisionLayer(
+                function_name=fitted_layer.function_name,
+                criterion_name=fitted_layer.criterion_name,
+                graph=decision_graph,
+                probabilities=probabilities,
+                fitted=fitted_layer.fitted,
+                graph_accuracy=fitted_layer.graph_accuracy,
+            )
     return layers
 
 
@@ -262,10 +319,17 @@ class BlockPrediction:
 
 @dataclass
 class CollectionPrediction:
-    """Predictions for a whole dataset (one entry per ambiguous name)."""
+    """Predictions for a whole dataset (one entry per ambiguous name).
+
+    Attributes:
+        stats: the engine's :class:`~repro.runtime.stats.RunStats` for the
+            pass that produced these predictions (``None`` for results
+            assembled outside the collection paths).
+    """
 
     dataset: str
     blocks: list[BlockPrediction]
+    stats: RunStats | None = None
 
     def __post_init__(self) -> None:
         self._index: tuple[int, dict[str, int]] | None = None
@@ -302,10 +366,17 @@ class BlockResolution:
 
 @dataclass
 class CollectionResolution:
-    """Resolution of a whole dataset (one entry per ambiguous name)."""
+    """Resolution of a whole dataset (one entry per ambiguous name).
+
+    Attributes:
+        stats: the engine's :class:`~repro.runtime.stats.RunStats` for the
+            pass that produced these resolutions (``None`` for results
+            assembled outside the collection paths).
+    """
 
     dataset: str
     blocks: list[BlockResolution]
+    stats: RunStats | None = None
 
     def __post_init__(self) -> None:
         self._index: tuple[int, dict[str, int]] | None = None
@@ -326,11 +397,38 @@ class CollectionResolution:
 class ResolverModel:
     """A fitted entity-resolution model, ready to serve unlabeled pages.
 
-    Produced by :meth:`EntityResolver.fit`; holds one :class:`FittedBlock`
-    per ambiguous name plus the configuration that fitting ran under.
-    ``predict`` resolves blocks without ground truth; ``evaluate`` scores
-    predictions against labels; ``save``/``load`` round-trip the fitted
-    state through JSON.
+    The model is the serve-side artifact of a four-stage lifecycle:
+
+    1. **fit** — :meth:`EntityResolver.fit` consumes ground-truth labels
+       once and returns a model holding one :class:`FittedBlock` per
+       ambiguous name plus the configuration fitting ran under.
+    2. **save / load** — :meth:`save` writes the fitted state as a single
+       JSON document; :meth:`load` rebuilds it in any process.  Custom
+       registry backends named by the stored config (combiner, clusterer,
+       similarity functions, executor) must have their modules imported
+       before :meth:`load` — see :mod:`repro.core.registry` for the
+       plugin walkthrough.  The extraction pipeline is deliberately *not*
+       serialized: re-supply it at load time, or rely on collection
+       vocabulary metadata.
+    3. **predict** — :meth:`predict` (and :meth:`predict_block` /
+       :meth:`predict_collection`) resolves pages *without reading
+       labels*; ``person_id`` may be absent.  Collection passes are
+       scheduled by the runtime engine: the config's executor (or an
+       explicit ``executor=`` argument) fans blocks out, a shared
+       :class:`~repro.runtime.cache.SimilarityCache` reuses features and
+       pairwise similarity values across passes, and the resulting
+       :class:`~repro.runtime.stats.RunStats` is attached to the returned
+       collection result.  Serial and parallel execution produce
+       bit-identical predictions at fixed seeds.
+    4. **evaluate** — :meth:`evaluate` predicts and then scores against
+       ground truth (which must be present); it shares every serving code
+       path with predict, so reported metrics measure exactly what
+       serving would produce.
+
+    A long-lived serving process should call :meth:`release_fit_caches`
+    after fit-and-predict bursts: it drops the fit-time layer hand-off
+    and the similarity cache's quadratic per-block state (the collection
+    paths do this automatically).
 
     Args:
         config: the resolver configuration fitting ran under.
@@ -348,22 +446,42 @@ class ResolverModel:
         self.pipeline = pipeline
         self._functions = functions_subset(config.function_names)
         self._combiner = build_combiner(config.combiner)
+        self._similarity_cache = SimilarityCache()
+        #: RunStats of the fit pass that produced this model (set by
+        #: collection fitting; None for hand-assembled or loaded models).
+        self.fit_stats: RunStats | None = None
 
     def block_names(self) -> list[str]:
         """Names the model holds fitted state for, in fit order."""
         return list(self.blocks)
 
     def release_fit_caches(self) -> None:
-        """Drop every block's fit-time layer cache.
+        """Drop every block's fit-time layer cache and the similarity cache.
 
         Fitting seeds a one-shot cache per block so the immediate
-        fit → predict pass reuses the fit-time layers; the collection
-        predict/evaluate paths call this afterwards so blocks that were
-        never visited do not pin their training graphs.  Call it yourself
-        when keeping a directly-fitted model alive without predicting.
+        fit → predict pass reuses the fit-time layers, and serving fills
+        the model's :class:`~repro.runtime.cache.SimilarityCache` with
+        per-block features and pairwise values; both are quadratic in
+        block size.  The collection predict/evaluate paths call this
+        afterwards so a long-lived process does not retain per-block
+        state for blocks it already served.  Call it yourself when
+        keeping a directly-fitted model alive without predicting, or
+        between serving bursts.  Cache hit/miss counters survive, so
+        :class:`~repro.runtime.stats.RunStats` stays meaningful.
         """
         for fitted in self.blocks.values():
             fitted._layer_cache = None
+        self._similarity_cache.clear()
+
+    def cache_stats(self):
+        """Counter snapshot of the model's similarity cache.
+
+        Returns a :class:`~repro.runtime.cache.CacheStats` — pair/feature
+        hit and miss totals plus the number of currently cached blocks.
+        Counters survive :meth:`release_fit_caches`, so the snapshot
+        reflects the process lifetime, not just the current entries.
+        """
+        return self._similarity_cache.stats()
 
     def __contains__(self, query_name: object) -> bool:
         return query_name in self.blocks
@@ -411,12 +529,23 @@ class ResolverModel:
         """
         fitted = self._fitted_for(model_block or block.query_name)
         if graphs is None:
+            # The similarity cache is keyed by block content only, so it
+            # must not serve a call that supplies its own features or
+            # pipeline — those may score differently than the model's
+            # defaults that populated the cache.
+            cache = (self._similarity_cache
+                     if features is None and pipeline is None else None)
             if features is None:
                 pipeline = pipeline or self.pipeline
                 if pipeline is None:
                     raise ValueError("need a pipeline, features, or graphs")
-                features = pipeline.extract_block(block)
-            graphs = compute_similarity_graphs(block, features, self._functions)
+                if cache is not None:
+                    features = cache.features_for(block,
+                                                  pipeline.extract_block)
+                else:
+                    features = pipeline.extract_block(block)
+            graphs = compute_similarity_graphs(
+                block, features, self._functions, cache=cache)
 
         layers = fitted.decision_layers(graphs)
         combination = self._combiner.apply(layers, fitted.combiner_params)
@@ -437,6 +566,7 @@ class ResolverModel:
         pipeline: ExtractionPipeline | None = None,
         graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
         model_block: str | None = None,
+        executor: BlockExecutor | None = None,
     ) -> CollectionPrediction:
         """Resolve every block of an unlabeled dataset.
 
@@ -444,20 +574,17 @@ class ResolverModel:
         ``graphs_by_name`` never need one.  Names the model was never
         fitted on fall back to ``model_block``'s fitted state when given
         (fitted names always use their own state).
+
+        Blocks are scheduled through ``executor`` (default: the backend
+        the model's config selects); parallel backends produce the same
+        predictions as serial execution, and the pass's
+        :class:`~repro.runtime.stats.RunStats` is attached to the result.
         """
-        resolved_pipeline = pipeline or self.pipeline
-        blocks = []
-        for block in collection:
-            graphs = (graphs_by_name or {}).get(block.query_name)
-            if graphs is None and resolved_pipeline is None:
-                resolved_pipeline = resolve_extraction_pipeline(collection)
-            fallback = (model_block if block.query_name not in self.blocks
-                        else None)
-            blocks.append(self.predict_block(
-                block, pipeline=resolved_pipeline, graphs=graphs,
-                model_block=fallback))
-        self.release_fit_caches()
-        return CollectionPrediction(dataset=collection.name, blocks=blocks)
+        blocks, stats = self._run_collection(
+            collection, pipeline, graphs_by_name, model_block, executor,
+            evaluate=False)
+        return CollectionPrediction(dataset=collection.name, blocks=blocks,
+                                    stats=stats)
 
     # -- evaluate --------------------------------------------------------
 
@@ -496,25 +623,136 @@ class ResolverModel:
         pipeline: ExtractionPipeline | None = None,
         graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
         model_block: str | None = None,
+        executor: BlockExecutor | None = None,
     ) -> CollectionResolution:
         """Predict a labeled dataset and score every block.
 
-        ``model_block`` serves unfitted names as in
-        :meth:`predict_collection`.
+        ``model_block`` serves unfitted names and ``executor`` schedules
+        blocks as in :meth:`predict_collection`.
         """
+        blocks, stats = self._run_collection(
+            collection, pipeline, graphs_by_name, model_block, executor,
+            evaluate=True)
+        return CollectionResolution(dataset=collection.name, blocks=blocks,
+                                    stats=stats)
+
+    # -- collection scheduling -------------------------------------------
+
+    def _run_collection(
+        self,
+        collection: DocumentCollection,
+        pipeline: ExtractionPipeline | None,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
+        model_block: str | None,
+        executor: BlockExecutor | None,
+        evaluate: bool,
+    ) -> tuple[list, RunStats]:
+        """Serve every block through the engine; results in block order."""
+        executor = executor or executor_from_config(self.config)
+        started = time.perf_counter()
+        if executor.is_serial:
+            stats = RunStats(phase="evaluate" if evaluate else "predict",
+                             executor=executor.name, workers=executor.workers)
+            blocks = self._run_collection_serial(
+                collection, pipeline, graphs_by_name, model_block, evaluate,
+                stats)
+        else:
+            blocks, stats = self._run_collection_parallel(
+                collection, pipeline, graphs_by_name, model_block, evaluate,
+                executor)
+        self.release_fit_caches()
+        stats.wall_seconds = time.perf_counter() - started
+        return blocks, stats
+
+    def _run_collection_serial(
+        self,
+        collection: DocumentCollection,
+        pipeline: ExtractionPipeline | None,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
+        model_block: str | None,
+        evaluate: bool,
+        stats: RunStats,
+    ) -> list:
+        from repro.runtime.stats import TaskStats
+
         resolved_pipeline = pipeline or self.pipeline
+        serve = self.evaluate_block if evaluate else self.predict_block
+        # An explicit pipeline= must never be served stale values another
+        # pipeline put into the model's cache (same invariant as
+        # predict_block); a pass-local cache keeps the accounting and
+        # streaming behavior without that risk.
+        cache = (SimilarityCache() if pipeline is not None
+                 else self._similarity_cache)
         blocks = []
+        for block in collection:
+            block_started = time.perf_counter()
+            hits_before = cache.pair_hits
+            misses_before = cache.pair_misses
+            graphs = (graphs_by_name or {}).get(block.query_name)
+            if graphs is None:
+                # Computed here (not inside predict_block) so the pass
+                # runs through the shared cache even when the caller
+                # supplied an explicit pipeline — per-call overrides only
+                # bypass the cache on the single-block API.
+                if resolved_pipeline is None:
+                    resolved_pipeline = resolve_extraction_pipeline(collection)
+                features = cache.features_for(block,
+                                              resolved_pipeline.extract_block)
+                graphs = compute_similarity_graphs(
+                    block, features, self._functions, cache=cache)
+            fallback = (model_block if block.query_name not in self.blocks
+                        else None)
+            blocks.append(serve(block, graphs=graphs, model_block=fallback))
+            stats.add_task(TaskStats(
+                query_name=block.query_name,
+                seconds=time.perf_counter() - block_started,
+                pairs_scored=cache.pair_misses - misses_before,
+                cache_hits=cache.pair_hits - hits_before,
+                cache_misses=cache.pair_misses - misses_before,
+            ))
+            # Streamed memory profile: a served block's quadratic cache
+            # entries are dropped before the next block is touched.
+            cache.drop_block(block)
+        return blocks
+
+    def _run_collection_parallel(
+        self,
+        collection: DocumentCollection,
+        pipeline: ExtractionPipeline | None,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
+        model_block: str | None,
+        evaluate: bool,
+        executor: BlockExecutor,
+    ) -> tuple[list, RunStats]:
+        from repro.runtime.tasks import PredictBlockTask, run_predict_block
+
+        stats = RunStats(phase="evaluate" if evaluate else "predict",
+                         executor=executor.name, workers=executor.workers)
+        resolved_pipeline = pipeline or self.pipeline
+        payloads = []
         for block in collection:
             graphs = (graphs_by_name or {}).get(block.query_name)
             if graphs is None and resolved_pipeline is None:
                 resolved_pipeline = resolve_extraction_pipeline(collection)
+            # Resolving fitted state here (not in the worker) keeps the
+            # unknown-name error identical to the serial path's.
             fallback = (model_block if block.query_name not in self.blocks
                         else None)
-            blocks.append(self.evaluate_block(
-                block, pipeline=resolved_pipeline, graphs=graphs,
-                model_block=fallback))
-        self.release_fit_caches()
-        return CollectionResolution(dataset=collection.name, blocks=blocks)
+            fitted = self._fitted_for(fallback or block.query_name)
+            payloads.append(PredictBlockTask(
+                config=self.config,
+                fitted=detach_fitted(fitted),
+                block=block,
+                graphs=graphs,
+                pipeline=None if graphs is not None else resolved_pipeline,
+                evaluate=evaluate,
+            ))
+        results = executor.run(run_predict_block, payloads)
+        blocks = []
+        for _, result, task_stats in results:
+            blocks.append(result)
+            stats.add_task(task_stats)
+        return blocks, stats
 
     # -- persistence -----------------------------------------------------
 

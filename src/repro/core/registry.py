@@ -1,31 +1,76 @@
 """Plugin registries for the resolver's pluggable backends.
 
-The framework has four extension axes — combiners (§IV-B), decision
-criteria (§IV-A), clusterers (§IV-C) and similarity functions (Table I) —
-plus the training-sampling mode of the evaluation protocol.  Each axis is
-a :class:`Registry`: a named map from config strings to factories, so new
-backends register themselves instead of editing if-chains in ``repro.core``.
+The framework has five extension axes — combiners (§IV-B), decision
+criteria (§IV-A), clusterers (§IV-C), similarity functions (Table I) and
+block executors (the runtime engine) — plus the training-sampling mode of
+the evaluation protocol.  Each axis is a :class:`Registry`: a named map
+from config strings to factories, so new backends register themselves
+instead of editing if-chains in ``repro.core``.
 
-Registering a backend::
+After registration, ``ResolverConfig`` validates the backend's name and
+``EntityResolver``/``ResolverModel`` build it through the registry;
+nothing in ``repro.core`` needs to change.  ``ResolverModel.load``
+resolves backends the same way, so a process that loads a saved model
+only needs the backend's module imported first.
 
-    from repro.core.registry import register_combiner
+Writing your own backend — a combiner and a similarity function
+---------------------------------------------------------------
 
-    @register_combiner("noisy_or")
-    class NoisyOrCombiner(Combiner):
-        name = "noisy_or"
-        ...
+A combiner subclasses :class:`~repro.core.combination.Combiner` and must
+be constructible with no arguments; a similarity function is a
+:class:`~repro.similarity.base.SimilarityFunction` instance.  This is a
+complete, runnable plugin module::
 
-After registration, ``ResolverConfig(combiner="noisy_or")`` validates and
-``EntityResolver`` builds the backend through the registry; nothing in
-``repro.core`` needs to change.  ``ResolverModel.load`` resolves backends
-the same way, so a process that loads a saved model only needs the
-backend's module imported.
+    from repro.core.combination import (
+        Combiner, DecisionGraph, CombinationResult, WeightedPairGraph)
+    from repro.core.registry import register_combiner, register_similarity
+    from repro.similarity.base import SimilarityFunction
+    from repro.similarity.measures import jaccard
+
+    @register_combiner("union")
+    class UnionCombiner(Combiner):
+        '''Edge iff any layer asserts it (maximal recall).'''
+        name = "union"
+
+        def combine(self, layers, training):
+            return self.apply(layers, {})
+
+        def apply(self, layers, params):
+            # Label-free: predict-time serving re-runs this from params.
+            nodes = list(layers[0].graph.nodes)
+            edges = set().union(*(layer.graph.edges for layer in layers))
+            probabilities = {pair: 1.0 for pair in edges}
+            return CombinationResult(
+                graph=DecisionGraph(nodes=nodes, edges=edges),
+                probabilities=WeightedPairGraph(nodes=nodes,
+                                                weights=probabilities))
+
+    register_similarity("F_url_tokens")(SimilarityFunction(
+        "F_url_tokens", "URL tokens", "jaccard",
+        lambda left, right: jaccard(set(left.url.split("/")),
+                                    set(right.url.split("/")))))
+
+Then ``ResolverConfig(combiner="union")`` or
+``ResolverConfig(function_names=(..., "F_url_tokens"))`` validates, fitting
+uses the plugin, and models fitted with it load back in any process that
+imports the plugin module before :meth:`ResolverModel.load`.  Combiners
+must implement ``apply`` (label-free re-combination from stored
+``fit_params``) for models to serve predictions; see
+:class:`~repro.core.combination.Combiner` for the contract.  Similarity
+functions may additionally carry a ``preparer`` for the batched engine
+path (see :mod:`repro.similarity.base`) — optional, the plain scorer is
+used otherwise.
+
+Executor backends (the ``EXECUTORS`` axis) are factories
+``(workers: int) -> BlockExecutor``; see :mod:`repro.runtime.executor`
+for the scheduling contract and determinism requirements.
 
 The built-in backends live in ordinary modules (``repro.core.combination``,
 ``repro.core.decisions``, ``repro.core.clusterers``,
-``repro.similarity.functions``/``extended``, ``repro.ml.sampling``) and are
-loaded lazily on first registry read, which keeps this module import-cycle
-free: it depends on nothing inside ``repro``.
+``repro.runtime.executor``, ``repro.similarity.functions``/``extended``,
+``repro.ml.sampling``) and are loaded lazily on first registry read, which
+keeps this module import-cycle free: it depends on nothing inside
+``repro``.
 """
 
 from __future__ import annotations
@@ -43,6 +88,7 @@ _BUILTIN_MODULES = (
     "repro.core.decisions",
     "repro.core.combination",
     "repro.core.clusterers",
+    "repro.runtime.executor",
 )
 
 _builtins_loaded = False
@@ -190,6 +236,10 @@ SIMILARITIES = Registry("similarity function")
 #: name -> callable ``(block, fraction, rng) -> list[LabeledPair]``.
 SAMPLING_MODES = Registry("sampling mode")
 
+#: name -> factory ``(workers: int) ->
+#: :class:`~repro.runtime.executor.BlockExecutor`` scheduling block tasks.
+EXECUTORS = Registry("executor")
+
 
 def register_combiner(name: str | None = None, replace: bool = False):
     """Class decorator registering a no-arg-constructible combiner."""
@@ -214,3 +264,8 @@ def register_similarity(name: str | None = None, replace: bool = False):
 def register_sampling_mode(name: str | None = None, replace: bool = False):
     """Decorator registering a training-sampling mode."""
     return SAMPLING_MODES.register(name, replace=replace)
+
+
+def register_executor(name: str | None = None, replace: bool = False):
+    """Decorator registering a block-executor factory ``(workers) -> BlockExecutor``."""
+    return EXECUTORS.register(name, replace=replace)

@@ -23,6 +23,8 @@ for the paper's fully-labeled workflow.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.combination import DecisionLayer, build_combiner
 from repro.core.config import ResolverConfig
 from repro.core.decisions import build_criteria
@@ -34,6 +36,7 @@ from repro.core.model import (
     FittedLayer,
     ResolverModel,
     apply_fitted_decision,
+    apply_fitted_decisions,
     compute_similarity_graphs,
     resolve_extraction_pipeline,
 )
@@ -43,6 +46,9 @@ from repro.extraction.pipeline import ExtractionPipeline
 from repro.graph.components import UnionFind
 from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph
 from repro.ml.sampling import sample_training_pairs
+from repro.runtime.cache import SimilarityCache
+from repro.runtime.executor import BlockExecutor, executor_from_config
+from repro.runtime.stats import RunStats, TaskStats
 from repro.similarity.functions import functions_subset
 
 __all__ = [
@@ -92,6 +98,11 @@ class EntityResolver:
         self._criteria = build_criteria(self.config.criteria, k=self.config.region_k)
         self._combiner = build_combiner(self.config.combiner)
 
+    @property
+    def functions(self) -> list:
+        """The configured similarity functions, in config order."""
+        return list(self._functions)
+
     def pipeline_for(self, collection: DocumentCollection) -> ExtractionPipeline:
         """The extraction pipeline to use for ``collection``.
 
@@ -111,6 +122,7 @@ class EntityResolver:
         features: dict[str, PageFeatures] | None = None,
         graphs: dict[str, WeightedPairGraph] | None = None,
         graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
+        executor: BlockExecutor | None = None,
     ) -> ResolverModel:
         """Learn decision criteria and combination parameters from labels.
 
@@ -138,6 +150,11 @@ class EntityResolver:
                 only).
             graphs_by_name: precomputed similarity graphs per query name
                 (collection fitting only).
+            executor: block executor scheduling per-block fitting for
+                collections (default: the backend the config selects).
+                Serial and parallel fitting produce identical models; the
+                pass's :class:`~repro.runtime.stats.RunStats` lands on
+                the returned model's ``fit_stats``.
 
         Raises:
             ValueError: when a block's similarity graphs cannot be
@@ -152,7 +169,7 @@ class EntityResolver:
                     "graphs_by_name applies to collection fitting; "
                     "pass graphs= for a single block")
             graphs = self._block_graphs(data, pipeline, features, graphs)
-            fitted = self._fit_block(data, graphs, training_seed)
+            fitted = self.fit_block(data, graphs, training_seed)
             return ResolverModel(
                 config=self.config,
                 blocks={data.query_name: fitted},
@@ -163,20 +180,90 @@ class EntityResolver:
             raise ValueError(
                 "features/graphs apply to single-block fitting; "
                 "pass graphs_by_name= for a collection")
+        executor = executor or executor_from_config(self.config)
+        started = time.perf_counter()
         resolved_pipeline = pipeline or self._pipeline
+        stats = RunStats(phase="fit", executor=executor.name,
+                         workers=executor.workers)
+        if executor.is_serial:
+            blocks, resolved_pipeline = self._fit_collection_serial(
+                data, resolved_pipeline, graphs_by_name, training_seed, stats)
+        else:
+            blocks, resolved_pipeline = self._fit_collection_parallel(
+                data, resolved_pipeline, graphs_by_name, training_seed, stats,
+                executor)
+        stats.wall_seconds = time.perf_counter() - started
+        model = ResolverModel(config=self.config, blocks=blocks,
+                              pipeline=resolved_pipeline)
+        model.fit_stats = stats
+        return model
+
+    def _fit_collection_serial(
+        self,
+        data: DocumentCollection,
+        resolved_pipeline: ExtractionPipeline | None,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
+        training_seed: int,
+        stats: RunStats,
+    ) -> tuple[dict[str, FittedBlock], ExtractionPipeline | None]:
+        # The cache lives for this fit pass only: it counts scored pairs
+        # for RunStats and dedups graph work, without retaining quadratic
+        # state past the pass.
+        cache = SimilarityCache()
         blocks: dict[str, FittedBlock] = {}
         for block in data:
+            block_started = time.perf_counter()
+            misses_before = cache.pair_misses
+            hits_before = cache.pair_hits
             block_graphs = (graphs_by_name or {}).get(block.query_name)
             if block_graphs is None:
                 if resolved_pipeline is None:
                     resolved_pipeline = resolve_extraction_pipeline(data)
                 block_graphs = compute_similarity_graphs(
                     block, resolved_pipeline.extract_block(block),
-                    self._functions)
-            blocks[block.query_name] = self._fit_block(
+                    self._functions, cache=cache)
+            blocks[block.query_name] = self.fit_block(
                 block, block_graphs, training_seed)
-        return ResolverModel(config=self.config, blocks=blocks,
-                             pipeline=resolved_pipeline)
+            stats.add_task(TaskStats(
+                query_name=block.query_name,
+                seconds=time.perf_counter() - block_started,
+                pairs_scored=cache.pair_misses - misses_before,
+                cache_hits=cache.pair_hits - hits_before,
+                cache_misses=cache.pair_misses - misses_before,
+            ))
+            cache.drop_block(block)
+        return blocks, resolved_pipeline
+
+    def _fit_collection_parallel(
+        self,
+        data: DocumentCollection,
+        resolved_pipeline: ExtractionPipeline | None,
+        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
+        training_seed: int,
+        stats: RunStats,
+        executor: BlockExecutor,
+    ) -> tuple[dict[str, FittedBlock], ExtractionPipeline | None]:
+        from repro.runtime.tasks import FitBlockTask, run_fit_block
+
+        payloads = []
+        for block in data:
+            block_graphs = (graphs_by_name or {}).get(block.query_name)
+            if block_graphs is None and resolved_pipeline is None:
+                resolved_pipeline = resolve_extraction_pipeline(data)
+            payloads.append(FitBlockTask(
+                config=self.config,
+                block=block,
+                graphs=block_graphs,
+                pipeline=(None if block_graphs is not None
+                          else resolved_pipeline),
+                training_seed=training_seed,
+            ))
+        blocks: dict[str, FittedBlock] = {}
+        for query_name, fitted, task_stats in executor.run(run_fit_block,
+                                                           payloads):
+            blocks[query_name] = fitted
+            stats.add_task(task_stats)
+        return blocks, resolved_pipeline
 
     def _block_graphs(
         self,
@@ -200,10 +287,16 @@ class EntityResolver:
             features = pipeline.extract_block(block)
         return compute_similarity_graphs(block, features, self._functions)
 
-    def _fit_block(self, block: NameCollection,
-                   graphs: dict[str, WeightedPairGraph],
-                   training_seed: int) -> FittedBlock:
-        """Fit one block: training sample → layers → combiner parameters."""
+    def fit_block(self, block: NameCollection,
+                  graphs: dict[str, WeightedPairGraph],
+                  training_seed: int = 0) -> FittedBlock:
+        """Fit one block: training sample → layers → combiner parameters.
+
+        The unit of work the block executors schedule (see
+        :mod:`repro.runtime.tasks`); exposed so custom schedulers can fit
+        blocks independently and assemble their own
+        :class:`~repro.core.model.ResolverModel`.
+        """
         training = TrainingSample.from_pairs(sample_training_pairs(
             block,
             fraction=self.config.training_fraction,
@@ -233,16 +326,20 @@ class EntityResolver:
         """Fit every (function, criterion) decision layer.
 
         Exposed for experiments that inspect or recombine layers directly
-        (Figure 1, the combiner ablation).
+        (Figure 1, the combiner ablation).  All criteria of one function
+        are applied to its graph in a single batched pair sweep
+        (:func:`~repro.core.model.apply_fitted_decisions`); layer order
+        stays function-outer, criterion-inner.
         """
         layers: list[DecisionLayer] = []
         for function in self._functions:
             graph = graphs[function.name]
             labeled_values = training.labeled_values(graph)
-            for criterion in self._criteria:
-                fitted = criterion.fit(labeled_values)
-                decision_graph, probabilities = apply_fitted_decision(
-                    fitted, graph)
+            fitted_criteria = [criterion.fit(labeled_values)
+                               for criterion in self._criteria]
+            applied = apply_fitted_decisions(fitted_criteria, graph)
+            for criterion, fitted, (decision_graph, probabilities) in zip(
+                    self._criteria, fitted_criteria, applied):
                 layers.append(DecisionLayer(
                     function_name=function.name,
                     criterion_name=criterion.name,

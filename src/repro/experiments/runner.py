@@ -5,10 +5,17 @@ runs, draw a fresh 10 % training sample per name, resolve, score against
 ground truth, and average.  Similarity graphs are computed once per
 dataset and shared across configurations, runs and baselines — they do not
 depend on the training sample.
+
+Preparation and the per-run fit/evaluate passes are scheduled by the
+runtime engine (:mod:`repro.runtime`): ``prepare(..., workers=4)`` fans
+the per-block extraction + similarity step out to a process pool, and
+every pass reports a :class:`~repro.runtime.stats.RunStats` — see
+``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -23,41 +30,87 @@ from repro.graph.entity_graph import WeightedPairGraph
 from repro.metrics.clusterings import clustering_from_assignments
 from repro.metrics.report import MetricReport, evaluate_clustering, mean_report
 from repro.ml.sampling import sample_training_pairs, training_runs
+from repro.runtime.cache import SimilarityCache
+from repro.runtime.executor import BlockExecutor, executor_for_workers
+from repro.runtime.stats import RunStats, TaskStats
 from repro.similarity.functions import default_functions
 
 
 @dataclass
 class ExperimentContext:
-    """A dataset with its precomputed features and similarity graphs."""
+    """A dataset with its precomputed features and similarity graphs.
+
+    Attributes:
+        stats: the engine's record of the preparation pass (wall time,
+            pairs scored, per-block timings).
+    """
 
     collection: DocumentCollection
     features_by_name: dict[str, dict[str, PageFeatures]]
     graphs_by_name: dict[str, dict[str, WeightedPairGraph]]
+    stats: RunStats | None = None
 
     @classmethod
     def prepare(cls, collection: DocumentCollection,
                 pipeline: ExtractionPipeline | None = None,
-                functions: list | None = None) -> "ExperimentContext":
+                functions: list | None = None,
+                workers: int = 1,
+                executor: BlockExecutor | None = None) -> "ExperimentContext":
         """Run extraction and the quadratic similarity step once.
 
         All ten Table I functions are computed by default so every
         configuration (any subset) can reuse the same graphs; pass
         ``functions`` (e.g. ``repro.similarity.extended.full_battery()``)
         to precompute a different battery.
+
+        Blocks are independent, so preparation parallelizes perfectly:
+        ``workers=N`` (or an explicit ``executor``) fans the per-block
+        work out to a process pool; results are merged in block order and
+        are identical to a serial run.
         """
         if pipeline is None:
             pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
         functions = functions if functions is not None else default_functions()
+        executor = executor or executor_for_workers(workers)
+        started = time.perf_counter()
+        stats = RunStats(phase="prepare", executor=executor.name,
+                         workers=executor.workers)
         features_by_name = {}
         graphs_by_name = {}
-        for block in collection:
-            features = pipeline.extract_block(block)
-            features_by_name[block.query_name] = features
-            graphs_by_name[block.query_name] = compute_similarity_graphs(
-                block, features, functions)
+        if executor.is_serial:
+            cache = SimilarityCache()
+            for block in collection:
+                block_started = time.perf_counter()
+                misses_before = cache.pair_misses
+                hits_before = cache.pair_hits
+                features = pipeline.extract_block(block)
+                features_by_name[block.query_name] = features
+                graphs_by_name[block.query_name] = compute_similarity_graphs(
+                    block, features, functions, cache=cache)
+                stats.add_task(TaskStats(
+                    query_name=block.query_name,
+                    seconds=time.perf_counter() - block_started,
+                    pairs_scored=cache.pair_misses - misses_before,
+                    cache_hits=cache.pair_hits - hits_before,
+                    cache_misses=cache.pair_misses - misses_before,
+                ))
+                cache.drop_block(block)
+        else:
+            from repro.runtime.tasks import PrepareBlockTask, run_prepare_block
+
+            payloads = [PrepareBlockTask(pipeline=pipeline, block=block,
+                                         functions=tuple(functions))
+                        for block in collection]
+            for name, features, graphs, task_stats in executor.run(
+                    run_prepare_block, payloads):
+                features_by_name[name] = features
+                graphs_by_name[name] = graphs
+                stats.add_task(task_stats)
+        stats.wall_seconds = time.perf_counter() - started
         return cls(collection=collection,
                    features_by_name=features_by_name,
-                   graphs_by_name=graphs_by_name)
+                   graphs_by_name=graphs_by_name,
+                   stats=stats)
 
     def seeds(self, n_runs: int = 5, base_seed: int = 0) -> list[int]:
         """The protocol's per-run training seeds."""
@@ -66,11 +119,17 @@ class ExperimentContext:
 
 @dataclass
 class RunResult:
-    """Per-run, per-name metric reports for one strategy."""
+    """Per-run, per-name metric reports for one strategy.
+
+    Attributes:
+        stats: aggregated engine stats across the runs (fit + evaluate
+            passes), when the strategy ran through the engine.
+    """
 
     label: str
     #: one entry per run: query name -> metric report
     per_seed_reports: list[dict[str, MetricReport]] = field(default_factory=list)
+    stats: RunStats | None = None
 
     def names(self) -> list[str]:
         return list(self.per_seed_reports[0]) if self.per_seed_reports else []
@@ -92,22 +151,32 @@ class RunResult:
 
 
 def run_config(context: ExperimentContext, config: ResolverConfig,
-               seeds: Sequence[int], label: str | None = None) -> RunResult:
+               seeds: Sequence[int], label: str | None = None,
+               executor: BlockExecutor | None = None) -> RunResult:
     """Evaluate a resolver configuration under the multi-run protocol.
 
     Each run fits a fresh :class:`~repro.core.model.ResolverModel` on its
     training draw, then evaluates the model's (label-free) predictions —
-    the same fit → predict → score split the serving API uses.
+    the same fit → predict → score split the serving API uses.  ``executor``
+    (default: the config's) schedules the per-block work of both passes;
+    per-run engine stats accumulate on the result.
     """
     resolver = EntityResolver(config)
     result = RunResult(label=label or config.combiner)
     for seed in seeds:
         model = resolver.fit(context.collection, training_seed=seed,
-                             graphs_by_name=context.graphs_by_name)
+                             graphs_by_name=context.graphs_by_name,
+                             executor=executor)
         resolution = model.evaluate_collection(
-            context.collection, graphs_by_name=context.graphs_by_name)
+            context.collection, graphs_by_name=context.graphs_by_name,
+            executor=executor)
         result.per_seed_reports.append(
             {block.query_name: block.report for block in resolution.blocks})
+        for stats in (model.fit_stats, resolution.stats):
+            if stats is None:
+                continue
+            result.stats = (stats if result.stats is None
+                            else result.stats.merged(stats, phase="protocol"))
     return result
 
 

@@ -1,0 +1,76 @@
+"""Batched similarity-graph construction.
+
+One pass over a block's page pairs fills every similarity function's
+weighted graph, using each function's *prepared* scorer
+(:meth:`~repro.similarity.base.SimilarityFunction.prepared`) so per-page
+inputs — vector norms, parsed URLs, name forms, key sets — are derived
+once per page instead of once per pair.  Prepared scorers are bit-identical
+to the plain per-pair scorers, so this path produces exactly the graphs
+the naive loop would; ``tests/runtime/test_batch.py`` enforces it.
+
+With a :class:`~repro.runtime.cache.SimilarityCache`, graphs already
+computed for the same (block, function) are reused instead of rescored,
+which collapses the fit → predict → evaluate flows to one quadratic pass
+per block.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.corpus.documents import NameCollection
+from repro.extraction.features import PageFeatures
+from repro.graph.entity_graph import WeightedPairGraph, pair_key
+from repro.runtime.cache import SimilarityCache, block_fingerprint
+from repro.similarity.base import SimilarityFunction
+
+
+def batched_similarity_graphs(
+    block: NameCollection,
+    features: dict[str, PageFeatures],
+    functions: Sequence[SimilarityFunction],
+    cache: SimilarityCache | None = None,
+) -> dict[str, WeightedPairGraph]:
+    """The complete weighted graph ``G_w^fi`` for every function.
+
+    Identical output to scoring each pair with ``function(left, right)``
+    in a nested loop (the seed implementation), but with per-page input
+    reuse and optional cross-pass caching.
+
+    Args:
+        block: the pages to score (the blocking unit).
+        features: extracted features per ``doc_id``; must cover the block.
+        functions: the similarity battery; graphs keep its order.
+        cache: optional shared cache — functions whose graph for this
+            block is already stored are reused, freshly scored ones are
+            stored back.
+    """
+    ids = block.page_ids()
+    graphs: dict[str, WeightedPairGraph] = {}
+    pending: list[SimilarityFunction] = []
+    fingerprint = block_fingerprint(block) if cache is not None else None
+    for function in functions:
+        cached = (cache.get_weights(fingerprint, function.name)
+                  if cache is not None else None)
+        if cached is not None:
+            graphs[function.name] = WeightedPairGraph(nodes=list(ids),
+                                                      weights=cached)
+        else:
+            graphs[function.name] = WeightedPairGraph(nodes=list(ids))
+            pending.append(function)
+
+    if pending:
+        scorers = [(graphs[function.name].weights,
+                    function.prepared(features)) for function in pending]
+        for i, left_id in enumerate(ids):
+            left = features[left_id]
+            for right_id in ids[i + 1:]:
+                right = features[right_id]
+                key = pair_key(left_id, right_id)
+                for weights, scorer in scorers:
+                    weights[key] = scorer(left, right)
+        if cache is not None:
+            for function in pending:
+                cache.put_weights(fingerprint, function.name,
+                                  graphs[function.name].weights)
+    return graphs

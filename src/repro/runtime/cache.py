@@ -1,0 +1,157 @@
+"""Shared per-block similarity cache.
+
+The quadratic pairwise-similarity step is the pipeline's dominant cost.
+:class:`SimilarityCache` memoizes, per block fingerprint,
+
+* the extracted :class:`~repro.extraction.features.PageFeatures` (so
+  tokenization/NER/TF-IDF run once per block), and
+* the pairwise similarity values of every function's weighted graph.
+
+Where hits actually occur: repeated serving of a hot block through
+``ResolverModel.predict_block`` / ``evaluate_block`` (the second and
+later serves cost zero similarity computations — the benchmark's
+``serving_cache_hit_rate`` case), and any caller that keeps one cache
+across several ``compute_similarity_graphs`` calls for the same block.
+The *collection* passes intentionally do not accumulate entries: they
+run each block once, use the cache for pair-granular accounting (feeding
+:class:`~repro.runtime.stats.RunStats`), and drop the block's entries
+before the next block — the quadratic reuse across a single pass's
+function × criterion grid comes from batched one-sweep construction
+(:mod:`repro.runtime.batch`), not from cache round-trips.
+
+Entries are dropped per block (:meth:`SimilarityCache.drop_block`) or
+wholesale (:meth:`clear`) — ``ResolverModel.release_fit_caches`` clears
+the model's cache so long-lived serving processes do not retain
+quadratic per-block state.  Counters survive eviction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.corpus.documents import NameCollection
+from repro.extraction.features import PageFeatures
+from repro.graph.entity_graph import PairKey
+
+#: A block's cache identity: the query name plus the exact page-id tuple,
+#: so two different page sets for the same name never alias.
+BlockFingerprint = tuple[str, tuple[str, ...]]
+
+
+def block_fingerprint(block: NameCollection) -> BlockFingerprint:
+    """The cache key for one block."""
+    return (block.query_name, tuple(block.page_ids()))
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot (hit/miss totals survive entry eviction)."""
+
+    pair_hits: int
+    pair_misses: int
+    feature_hits: int
+    feature_misses: int
+    n_blocks: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pair-value lookups served from the cache."""
+        total = self.pair_hits + self.pair_misses
+        if total == 0:
+            return 0.0
+        return self.pair_hits / total
+
+
+class SimilarityCache:
+    """Memo of per-block features and pairwise similarity values.
+
+    Not thread-safe; process-pool workers each build their own transient
+    cache and report counters back through
+    :class:`~repro.runtime.stats.TaskStats`.
+    """
+
+    def __init__(self) -> None:
+        self._features: dict[BlockFingerprint, dict[str, PageFeatures]] = {}
+        self._weights: dict[BlockFingerprint,
+                            dict[str, dict[PairKey, float]]] = {}
+        self.pair_hits = 0
+        self.pair_misses = 0
+        self.feature_hits = 0
+        self.feature_misses = 0
+
+    # -- features --------------------------------------------------------
+
+    def features_for(
+        self,
+        block: NameCollection,
+        compute: Callable[[NameCollection], dict[str, PageFeatures]],
+    ) -> dict[str, PageFeatures]:
+        """The block's extracted features, computing them on first miss."""
+        fingerprint = block_fingerprint(block)
+        features = self._features.get(fingerprint)
+        if features is not None:
+            self.feature_hits += 1
+            return features
+        self.feature_misses += 1
+        features = compute(block)
+        self._features[fingerprint] = features
+        return features
+
+    # -- pairwise weights ------------------------------------------------
+
+    def get_weights(self, fingerprint: BlockFingerprint,
+                    function_name: str) -> dict[PairKey, float] | None:
+        """Stored pair weights for one function, or ``None`` on miss.
+
+        A hit counts every stored pair as served-from-cache.  The caller
+        receives a copy, so downstream mutation (sparsification, edge
+        edits) can never corrupt cached values.
+        """
+        per_function = self._weights.get(fingerprint)
+        if per_function is None:
+            return None
+        weights = per_function.get(function_name)
+        if weights is None:
+            return None
+        self.pair_hits += len(weights)
+        return dict(weights)
+
+    def put_weights(self, fingerprint: BlockFingerprint, function_name: str,
+                    weights: dict[PairKey, float]) -> None:
+        """Store one function's freshly computed pair weights."""
+        self.pair_misses += len(weights)
+        self._weights.setdefault(fingerprint, {})[function_name] = \
+            dict(weights)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def drop_block(self, block: NameCollection) -> None:
+        """Drop one block's entries (counters are kept)."""
+        fingerprint = block_fingerprint(block)
+        self._features.pop(fingerprint, None)
+        self._weights.pop(fingerprint, None)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._features.clear()
+        self._weights.clear()
+
+    def __len__(self) -> int:
+        """Number of blocks with at least one cached entry."""
+        return len(self._features.keys() | self._weights.keys())
+
+    def stats(self) -> CacheStats:
+        """Current counter snapshot."""
+        return CacheStats(
+            pair_hits=self.pair_hits,
+            pair_misses=self.pair_misses,
+            feature_hits=self.feature_hits,
+            feature_misses=self.feature_misses,
+            n_blocks=len(self),
+        )
+
+    def __repr__(self) -> str:
+        snapshot = self.stats()
+        return (f"SimilarityCache({snapshot.n_blocks} blocks, "
+                f"hit_rate={snapshot.hit_rate:.0%})")

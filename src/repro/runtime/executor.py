@@ -1,0 +1,178 @@
+"""Block executors — how per-block work is scheduled.
+
+Blocking makes the pipeline embarrassingly parallel: blocks never share
+pairs, so fitting, predicting and context preparation are independent
+per-block tasks.  A :class:`BlockExecutor` runs a picklable task function
+over a sequence of payloads and returns results *in payload order*, which
+is what keeps parallel runs bit-identical to serial ones — merge order
+never depends on completion order.
+
+Backends register in :data:`repro.core.registry.EXECUTORS` and are
+selected by ``ResolverConfig.executor`` / ``workers`` or the CLI's
+``--workers``:
+
+* ``"serial"`` — plain in-process loop, the default.
+* ``"process"`` — a ``concurrent.futures`` process pool using the
+  **fork** start method.  Fork is required, not merely preferred: workers
+  inherit the parent's string-hash seed, so set/dict iteration orders —
+  and therefore every float accumulation order — match the serial path
+  exactly.  On platforms without fork the backend degrades to an
+  in-process loop rather than silently losing the determinism guarantee.
+
+New backends (e.g. a cluster scheduler) plug in with
+:func:`~repro.core.registry.register_executor`; see the registry module's
+walkthrough.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.core.registry import register_executor
+
+#: A block task: a module-level (picklable) function of one payload.
+BlockTask = Callable[[Any], Any]
+
+
+class BlockExecutor(ABC):
+    """Schedules independent block-level tasks.
+
+    Attributes:
+        name: the registry/config string of the backend.
+        workers: configured worker count (1 for serial).
+    """
+
+    name: str = "?"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def is_serial(self) -> bool:
+        """True when tasks run in the calling process, one at a time."""
+        return self.workers <= 1
+
+    @abstractmethod
+    def run(self, task: BlockTask, payloads: Sequence[Any]) -> list[Any]:
+        """Run ``task`` over every payload, results in payload order.
+
+        ``task`` must be picklable (a module-level function, or a
+        ``functools.partial`` of one) for the process backend; payloads
+        and results likewise.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+@register_executor("serial")
+class SerialExecutor(BlockExecutor):
+    """Run every task inline, in payload order (the reference backend)."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1):
+        # A worker count > 1 is meaningless here; normalize so stats and
+        # is_serial stay truthful.
+        super().__init__(workers=1)
+
+    def run(self, task: BlockTask, payloads: Sequence[Any]) -> list[Any]:
+        return [task(payload) for payload in payloads]
+
+
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    """The fork multiprocessing context, or ``None`` where unsupported."""
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform quirk
+        pass
+    return None
+
+
+def available_cores() -> int:
+    """CPU cores this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@register_executor("process")
+class ProcessPoolBlockExecutor(BlockExecutor):
+    """Fan block tasks out to a pool of forked worker processes.
+
+    The pool is created per :meth:`run` call — block tasks are seconds of
+    work, so pool start-up is noise, and a fresh pool keeps worker state
+    (loaded registries, caches) from leaking between passes.  Results come
+    from ``pool.map``, which preserves payload order regardless of
+    completion order.
+
+    Block tasks are CPU-bound, so scheduling more workers than the host
+    has cores only adds pickling and context-switch overhead; the
+    effective worker count is therefore capped at the core count unless
+    ``oversubscribe=True``.  When the cap leaves a single effective
+    worker (a one-core host), :attr:`is_serial` turns true and callers
+    take their serial fast path — ``--workers 4`` is then simply the
+    fastest correct execution for the machine, still bit-identical.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, oversubscribe: bool = False):
+        super().__init__(workers=workers)
+        self.oversubscribe = oversubscribe
+
+    @property
+    def effective_workers(self) -> int:
+        """Workers actually scheduled (requested, capped at cores)."""
+        if self.oversubscribe:
+            return self.workers
+        return min(self.workers, available_cores())
+
+    @property
+    def is_serial(self) -> bool:
+        return self.effective_workers <= 1
+
+    def run(self, task: BlockTask, payloads: Sequence[Any]) -> list[Any]:
+        max_workers = min(self.effective_workers, len(payloads))
+        if max_workers <= 1:
+            return [task(payload) for payload in payloads]
+        context = _fork_context()
+        if context is None:  # pragma: no cover - non-fork platforms
+            # Without fork, children would re-randomize string hashing and
+            # the bit-identical guarantee breaks; degrade to in-process.
+            return [task(payload) for payload in payloads]
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 mp_context=context) as pool:
+            return list(pool.map(task, payloads))
+
+
+def build_executor(name: str = "serial", workers: int = 1) -> BlockExecutor:
+    """Instantiate a registered executor backend.
+
+    Raises:
+        ValueError: for unknown backend names (lists the known ones).
+    """
+    from repro.core.registry import EXECUTORS
+    factory = EXECUTORS.get(name)
+    return factory(workers=workers)
+
+
+def executor_for_workers(workers: int) -> BlockExecutor:
+    """The natural backend for a ``--workers N`` request."""
+    if workers <= 1:
+        return build_executor("serial", workers=1)
+    return build_executor("process", workers=workers)
+
+
+def executor_from_config(config) -> BlockExecutor:
+    """The executor a :class:`~repro.core.config.ResolverConfig` selects."""
+    return build_executor(config.executor, workers=config.workers)

@@ -1,0 +1,118 @@
+"""Observability records for the block execution engine.
+
+Every engine-driven pass (context preparation, fitting, prediction,
+evaluation) produces a :class:`RunStats`: wall time, pairs scored, cache
+hit/miss counts and per-block timings.  The record is JSON-serializable so
+the experiments runner, the CLI and ``benchmarks/test_bench_runtime.py``
+can all surface the same numbers, and ``BENCH_runtime.json`` can track
+them across revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskStats:
+    """Cost of one block-level task, reported by executor workers.
+
+    Worker processes cannot update the parent's caches or counters, so
+    each task measures itself and the scheduling side aggregates the
+    results into a :class:`RunStats`.
+    """
+
+    query_name: str
+    seconds: float = 0.0
+    pairs_scored: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class RunStats:
+    """Aggregate cost of one engine pass over a collection's blocks.
+
+    Attributes:
+        phase: what the pass did — ``"prepare"``, ``"fit"``, ``"predict"``
+            or ``"evaluate"``.
+        executor: executor backend name the pass ran under.
+        workers: worker count the executor was configured with.
+        wall_seconds: end-to-end wall time of the pass.
+        n_blocks: number of blocks scheduled.
+        pairs_scored: pairwise similarity values actually computed (cache
+            misses; reused values count as hits instead).
+        cache_hits: pair values served from a :class:`SimilarityCache`.
+        cache_misses: pair values that had to be computed.
+        per_block_seconds: wall time per query name (in the parallel
+            backends this is each task's own clock, so the sum can exceed
+            ``wall_seconds``).
+    """
+
+    phase: str
+    executor: str = "serial"
+    workers: int = 1
+    wall_seconds: float = 0.0
+    n_blocks: int = 0
+    pairs_scored: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    per_block_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of pair lookups served from cache (0.0 when unused)."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def add_task(self, task: TaskStats) -> None:
+        """Fold one block task's numbers into the aggregate."""
+        self.n_blocks += 1
+        self.pairs_scored += task.pairs_scored
+        self.cache_hits += task.cache_hits
+        self.cache_misses += task.cache_misses
+        self.per_block_seconds[task.query_name] = (
+            self.per_block_seconds.get(task.query_name, 0.0) + task.seconds)
+
+    def merged(self, other: "RunStats", phase: str | None = None) -> "RunStats":
+        """A new record combining two passes (wall times and counters add)."""
+        combined = RunStats(
+            phase=phase or self.phase,
+            executor=self.executor,
+            workers=self.workers,
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            n_blocks=self.n_blocks + other.n_blocks,
+            pairs_scored=self.pairs_scored + other.pairs_scored,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            per_block_seconds=dict(self.per_block_seconds),
+        )
+        for name, seconds in other.per_block_seconds.items():
+            combined.per_block_seconds[name] = (
+                combined.per_block_seconds.get(name, 0.0) + seconds)
+        return combined
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot (used by benchmarks and the CLI)."""
+        return {
+            "phase": self.phase,
+            "executor": self.executor,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "n_blocks": self.n_blocks,
+            "pairs_scored": self.pairs_scored,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "per_block_seconds": dict(self.per_block_seconds),
+        }
+
+    def summary(self) -> str:
+        """One line for CLI output."""
+        return (f"[{self.phase}] {self.n_blocks} blocks in "
+                f"{self.wall_seconds:.2f}s via {self.executor}"
+                f"(workers={self.workers}); "
+                f"{self.pairs_scored} pairs scored, "
+                f"cache hit rate {self.cache_hit_rate:.0%}")

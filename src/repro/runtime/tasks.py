@@ -1,0 +1,153 @@
+"""Picklable block-level task functions for the executors.
+
+Process-pool workers can only run module-level functions over picklable
+payloads, so every parallelizable pass (context preparation, fitting,
+prediction, evaluation) has its payload dataclass and task function here.
+Each task measures itself and returns a
+:class:`~repro.runtime.stats.TaskStats` alongside its result — worker
+processes cannot touch the parent's caches or counters.
+
+``repro.core`` modules are imported inside the task bodies: the core
+imports the runtime package, so importing it back at module level would
+cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.corpus.documents import NameCollection
+from repro.runtime.batch import batched_similarity_graphs
+from repro.runtime.cache import SimilarityCache
+from repro.runtime.stats import TaskStats
+from repro.similarity.base import SimilarityFunction
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.config import ResolverConfig
+    from repro.core.model import FittedBlock
+    from repro.extraction.pipeline import ExtractionPipeline
+    from repro.graph.entity_graph import WeightedPairGraph
+
+
+def _block_graphs(
+    block: NameCollection,
+    graphs: dict[str, "WeightedPairGraph"] | None,
+    pipeline: "ExtractionPipeline | None",
+    functions: list[SimilarityFunction],
+    cache: SimilarityCache,
+) -> dict[str, "WeightedPairGraph"]:
+    """Shipped graphs, or a fresh cached computation in this worker."""
+    if graphs is not None:
+        return graphs
+    if pipeline is None:
+        raise ValueError(
+            f"block {block.query_name!r} has neither precomputed graphs "
+            f"nor a pipeline to extract with")
+    features = cache.features_for(block, pipeline.extract_block)
+    return batched_similarity_graphs(block, features, functions, cache=cache)
+
+
+def _task_stats(query_name: str, seconds: float,
+                cache: SimilarityCache) -> TaskStats:
+    snapshot = cache.stats()
+    return TaskStats(
+        query_name=query_name,
+        seconds=seconds,
+        pairs_scored=snapshot.pair_misses,
+        cache_hits=snapshot.pair_hits,
+        cache_misses=snapshot.pair_misses,
+    )
+
+
+@dataclass(frozen=True)
+class PrepareBlockTask:
+    """Extract one block and compute its similarity graphs."""
+
+    pipeline: "ExtractionPipeline"
+    block: NameCollection
+    functions: tuple[SimilarityFunction, ...]
+
+
+def run_prepare_block(payload: PrepareBlockTask) -> tuple[str, Any, Any, TaskStats]:
+    """Worker body for :meth:`ExperimentContext.prepare` fan-out."""
+    started = time.perf_counter()
+    cache = SimilarityCache()
+    features = cache.features_for(payload.block,
+                                  payload.pipeline.extract_block)
+    graphs = batched_similarity_graphs(payload.block, features,
+                                       list(payload.functions), cache=cache)
+    stats = _task_stats(payload.block.query_name,
+                        time.perf_counter() - started, cache)
+    return (payload.block.query_name, features, graphs, stats)
+
+
+@dataclass(frozen=True)
+class FitBlockTask:
+    """Fit one block's decisions and combiner parameters."""
+
+    config: "ResolverConfig"
+    block: NameCollection
+    graphs: dict[str, "WeightedPairGraph"] | None
+    pipeline: "ExtractionPipeline | None"
+    training_seed: int
+
+
+def run_fit_block(payload: FitBlockTask) -> tuple[str, Any, TaskStats]:
+    """Worker body for parallel :meth:`EntityResolver.fit`.
+
+    The fit-time layer cache is dropped before returning: the hand-off
+    only pays off inside one process, and shipping the quadratic graphs
+    back to the parent would dwarf the fitted state.
+    """
+    from repro.core.resolver import EntityResolver
+
+    started = time.perf_counter()
+    cache = SimilarityCache()
+    resolver = EntityResolver(payload.config)
+    graphs = _block_graphs(payload.block, payload.graphs, payload.pipeline,
+                           resolver.functions, cache)
+    fitted = resolver.fit_block(payload.block, graphs,
+                                training_seed=payload.training_seed)
+    fitted._layer_cache = None
+    stats = _task_stats(payload.block.query_name,
+                        time.perf_counter() - started, cache)
+    return (payload.block.query_name, fitted, stats)
+
+
+@dataclass(frozen=True)
+class PredictBlockTask:
+    """Predict (and optionally score) one block with shipped fitted state."""
+
+    config: "ResolverConfig"
+    fitted: "FittedBlock"
+    block: NameCollection
+    graphs: dict[str, "WeightedPairGraph"] | None
+    pipeline: "ExtractionPipeline | None"
+    evaluate: bool
+
+
+def run_predict_block(payload: PredictBlockTask) -> tuple[str, Any, TaskStats]:
+    """Worker body for parallel predict/evaluate over a collection.
+
+    Rebuilds a single-block :class:`~repro.core.model.ResolverModel` in
+    the worker and serves the payload block through the shipped fitted
+    state (``model_block`` handles serving under a different name).
+    """
+    from repro.core.model import ResolverModel
+
+    started = time.perf_counter()
+    model = ResolverModel(config=payload.config,
+                          blocks={payload.fitted.query_name: payload.fitted},
+                          pipeline=payload.pipeline)
+    kwargs = {"graphs": payload.graphs,
+              "model_block": payload.fitted.query_name}
+    if payload.evaluate:
+        result = model.evaluate_block(payload.block, **kwargs)
+    else:
+        result = model.predict_block(payload.block, **kwargs)
+    stats = _task_stats(payload.block.query_name,
+                        time.perf_counter() - started,
+                        model._similarity_cache)
+    return (payload.block.query_name, result, stats)

@@ -15,6 +15,13 @@ from repro.extraction.features import PageFeatures
 
 PairScorer = Callable[[PageFeatures, PageFeatures], float]
 
+#: A preparer turns one block's extracted features into a specialized pair
+#: scorer.  It may precompute per-page inputs (vector norms, parsed URLs,
+#: name forms) once instead of once per pair, and memoize value-level
+#: repeats — but it MUST return bit-identical scores to the plain scorer;
+#: the runtime engine's serial/parallel determinism guarantee rests on it.
+Preparer = Callable[[dict[str, PageFeatures]], PairScorer]
+
 
 @dataclass(frozen=True)
 class SimilarityFunction:
@@ -25,12 +32,16 @@ class SimilarityFunction:
         feature: the page feature compared (paper Table I wording).
         measure: the similarity measure applied (paper Table I wording).
         scorer: the actual pair function.
+        preparer: optional block-level fast path (see :data:`Preparer`);
+            batched graph construction uses it when present, per-pair
+            callers are unaffected.
     """
 
     name: str
     feature: str
     measure: str
     scorer: PairScorer
+    preparer: Preparer | None = None
 
     def __call__(self, left: PageFeatures, right: PageFeatures) -> float:
         """Score a pair; result is clamped to [0, 1]."""
@@ -40,6 +51,27 @@ class SimilarityFunction:
         if value > 1.0:
             return 1.0
         return value
+
+    def prepared(self, features: dict[str, PageFeatures]) -> PairScorer:
+        """A scorer specialized to one block's features, clamped to [0, 1].
+
+        Falls back to the plain per-pair scorer when the function has no
+        preparer, so arbitrary registered functions keep working in the
+        batched engine path.  Pages scored through the returned callable
+        must come from ``features`` (preparers index per-page state by
+        ``doc_id``).
+        """
+        scorer = self.preparer(features) if self.preparer else self.scorer
+
+        def clamped(left: PageFeatures, right: PageFeatures) -> float:
+            value = scorer(left, right)
+            if value < 0.0:
+                return 0.0
+            if value > 1.0:
+                return 1.0
+            return value
+
+        return clamped
 
     def __repr__(self) -> str:  # concise in experiment logs
         return f"SimilarityFunction({self.name}: {self.feature} / {self.measure})"

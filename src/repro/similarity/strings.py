@@ -9,21 +9,101 @@ from __future__ import annotations
 
 
 def levenshtein(left: str, right: str) -> int:
-    """Edit distance with unit insert/delete/substitute costs."""
+    """Edit distance with unit insert/delete/substitute costs.
+
+    This is the pipeline's hottest comparison (URL paths and domains for
+    F2), so two exact optimizations apply — both provably
+    distance-preserving, and checked against the reference dynamic
+    program by ``tests/properties/test_string_properties.py``:
+
+    * a shared prefix or suffix never participates in an optimal edit
+      script under unit costs and is stripped first (URLs share schemes,
+      domains and file extensions);
+    * the remainder runs Myers' bit-parallel algorithm
+      (:func:`_bitparallel_distance`) — O(n) big-integer column updates
+      instead of the O(m·n) cell-by-cell table.
+    """
     if left == right:
         return 0
+    # Strip the common prefix and suffix; the distance is unchanged.
+    limit = min(len(left), len(right))
+    start = 0
+    while start < limit and left[start] == right[start]:
+        start += 1
+    end_left, end_right = len(left), len(right)
+    while end_left > start and end_right > start \
+            and left[end_left - 1] == right[end_right - 1]:
+        end_left -= 1
+        end_right -= 1
+    left = left[start:end_left]
+    right = right[start:end_right]
     if not left:
         return len(right)
     if not right:
         return len(left)
     if len(left) > len(right):
         left, right = right, left
+    return _bitparallel_distance(left, right)
+
+
+def _bitparallel_distance(pattern: str, text: str) -> int:
+    """Myers' bit-parallel Levenshtein distance (Hyyrö's formulation).
+
+    Encodes one column of the classic DP table as two bit vectors
+    (positive/negative deltas between adjacent cells) and advances a
+    whole column per text character with word operations.  Python
+    integers are arbitrary-width, so any pattern length works; all
+    vectors are masked to ``len(pattern)`` bits to emulate a fixed word.
+
+    Both arguments must be non-empty.  Exactly equivalent to the
+    reference DP (:func:`_reference_distance`).
+    """
+    length = len(pattern)
+    positions: dict[str, int] = {}
+    bit = 1
+    for char in pattern:
+        positions[char] = positions.get(char, 0) | bit
+        bit <<= 1
+    mask = (1 << length) - 1
+    high = 1 << (length - 1)
+    vertical_positive = mask
+    vertical_negative = 0
+    score = length
+    get_positions = positions.get
+    for char in text:
+        matches = get_positions(char, 0)
+        diagonal_zero = ((((matches & vertical_positive) + vertical_positive)
+                          & mask)
+                         ^ vertical_positive) | matches | vertical_negative
+        horizontal_positive = (
+            vertical_negative | ~(diagonal_zero | vertical_positive)) & mask
+        horizontal_negative = vertical_positive & diagonal_zero
+        if horizontal_positive & high:
+            score += 1
+        elif horizontal_negative & high:
+            score -= 1
+        shifted_positive = ((horizontal_positive << 1) | 1) & mask
+        shifted_negative = (horizontal_negative << 1) & mask
+        vertical_positive = (
+            shifted_negative | ~(diagonal_zero | shifted_positive)) & mask
+        vertical_negative = shifted_positive & diagonal_zero
+    return score
+
+
+def _reference_distance(left: str, right: str) -> int:
+    """The classic O(m·n) dynamic program — the spec the fast paths must
+    match; kept for the property tests."""
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
     previous = list(range(len(left) + 1))
     for row, char_right in enumerate(right, start=1):
         current = [row]
         for col, char_left in enumerate(left, start=1):
             substitution = previous[col - 1] + (char_left != char_right)
-            current.append(min(previous[col] + 1, current[col - 1] + 1, substitution))
+            current.append(min(previous[col] + 1, current[col - 1] + 1,
+                               substitution))
         previous = current
     return previous[-1]
 

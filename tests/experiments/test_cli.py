@@ -56,6 +56,23 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "mean Fp" in captured.out
 
+    def test_fit_with_workers_keeps_saved_config_serial(self, tmp_path,
+                                                        capsys):
+        """--workers is a runtime choice; the artifact must not make
+        later loaders fan out to a process pool."""
+        import json
+
+        data = tmp_path / "data.json"
+        model = tmp_path / "model.json"
+        assert main(FAST + ["generate", "--out", str(data)]) == 0
+        assert main(FAST + ["--workers", "2", "fit", "--in", str(data),
+                            "--model", str(model)]) == 0
+        payload = json.loads(model.read_text())
+        assert payload["config"]["executor"] == "serial"
+        assert payload["config"]["workers"] == 1
+        captured = capsys.readouterr()
+        assert "process" in captured.out  # the fit itself reported the pool
+
     def test_figure1(self, capsys):
         assert main(FAST + ["figure1", "--name", "Cohen"]) == 0
         captured = capsys.readouterr()

@@ -4,6 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.similarity.strings import (
+    _reference_distance,
     jaro,
     jaro_winkler,
     levenshtein,
@@ -18,6 +19,14 @@ class TestLevenshteinProperties:
     @given(words, words)
     def test_symmetric(self, left, right):
         assert levenshtein(left, right) == levenshtein(right, left)
+
+    @given(st.text(min_size=0, max_size=80), st.text(min_size=0, max_size=80))
+    @settings(max_examples=300)
+    def test_fast_path_matches_reference_dp(self, left, right):
+        # The production path (prefix/suffix stripping + Myers'
+        # bit-parallel column updates) must equal the O(m*n) dynamic
+        # program on arbitrary unicode, including long repeats.
+        assert levenshtein(left, right) == _reference_distance(left, right)
 
     @given(words)
     def test_identity(self, word):

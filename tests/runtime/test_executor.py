@@ -1,0 +1,118 @@
+"""Block executor backends and their registry wiring."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.registry import EXECUTORS
+from repro.runtime.executor import (
+    ProcessPoolBlockExecutor,
+    SerialExecutor,
+    available_cores,
+    build_executor,
+    executor_for_workers,
+)
+
+
+def _square(value: int) -> int:
+    """Module-level so the process backend can pickle it."""
+    return value * value
+
+
+def _worker_pid(_: object) -> int:
+    return os.getpid()
+
+
+class TestRegistry:
+    def test_builtin_backends_are_registered(self):
+        assert "serial" in EXECUTORS
+        assert "process" in EXECUTORS
+
+    def test_build_executor_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="serial"):
+            build_executor("distributed")
+
+    def test_config_validates_executor_and_workers(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            ResolverConfig(executor="warp-drive")
+        with pytest.raises(ValueError, match="workers"):
+            ResolverConfig(workers=0)
+
+    def test_config_roundtrips_runtime_fields(self):
+        config = ResolverConfig(executor="process", workers=3)
+        rebuilt = ResolverConfig.from_dict(config.to_dict())
+        assert (rebuilt.executor, rebuilt.workers) == ("process", 3)
+
+    def test_config_defaults_runtime_fields_for_old_payloads(self):
+        payload = ResolverConfig().to_dict()
+        del payload["executor"]
+        del payload["workers"]
+        rebuilt = ResolverConfig.from_dict(payload)
+        assert (rebuilt.executor, rebuilt.workers) == ("serial", 1)
+
+
+class TestSerialExecutor:
+    def test_runs_in_payload_order(self):
+        executor = SerialExecutor()
+        assert executor.run(_square, [3, 1, 2]) == [9, 1, 4]
+        assert executor.is_serial
+
+    def test_worker_count_normalized_to_one(self):
+        assert SerialExecutor(workers=8).workers == 1
+
+
+class TestProcessExecutor:
+    def test_results_in_payload_order(self):
+        executor = ProcessPoolBlockExecutor(workers=3, oversubscribe=True)
+        assert executor.run(_square, list(range(10))) == [
+            value * value for value in range(10)]
+        assert not executor.is_serial
+
+    def test_actually_fans_out_to_other_processes(self):
+        executor = ProcessPoolBlockExecutor(workers=2, oversubscribe=True)
+        pids = executor.run(_worker_pid, [None, None, None, None])
+        assert os.getpid() not in pids
+
+    def test_single_payload_short_circuits_inline(self):
+        executor = ProcessPoolBlockExecutor(workers=4, oversubscribe=True)
+        assert executor.run(_worker_pid, [None]) == [os.getpid()]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessPoolBlockExecutor(workers=0)
+
+    def test_effective_workers_capped_at_available_cores(self):
+        executor = ProcessPoolBlockExecutor(workers=4096)
+        assert executor.effective_workers == min(4096, available_cores())
+
+    def test_oversubscribe_lifts_the_core_cap(self):
+        executor = ProcessPoolBlockExecutor(workers=4096, oversubscribe=True)
+        assert executor.effective_workers == 4096
+
+    def test_capped_to_one_core_reports_serial(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.executor.available_cores",
+                            lambda: 1)
+        executor = ProcessPoolBlockExecutor(workers=4)
+        assert executor.is_serial
+        assert executor.run(_worker_pid, [None, None]) == [os.getpid()] * 2
+
+
+class TestSelection:
+    def test_executor_for_workers_picks_backend(self):
+        assert executor_for_workers(1).name == "serial"
+        parallel = executor_for_workers(4)
+        assert (parallel.name, parallel.workers) == ("process", 4)
+
+    def test_custom_backend_registers_and_builds(self):
+        class RecordingExecutor(SerialExecutor):
+            name = "recording"
+
+        EXECUTORS.add("recording", RecordingExecutor)
+        try:
+            assert isinstance(build_executor("recording"), RecordingExecutor)
+            ResolverConfig(executor="recording")  # validates
+        finally:
+            EXECUTORS._entries.pop("recording", None)

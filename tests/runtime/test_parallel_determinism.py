@@ -1,0 +1,126 @@
+"""Serial and process-pool execution must be bit-identical.
+
+The engine's core guarantee: scheduling is an implementation detail —
+fitting, predicting and evaluating through the process pool produces
+exactly the serial results at fixed seeds.  Checked across training seeds
+(the protocol's randomness) on every surface a caller can observe:
+fitted state, predictions, combination probabilities and metric reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.resolver import EntityResolver
+from repro.experiments.runner import ExperimentContext, run_config
+from repro.runtime.executor import ProcessPoolBlockExecutor
+
+SEEDS = [0, 1, 2]
+
+
+@pytest.fixture(scope="module")
+def context(small_dataset):
+    return ExperimentContext.prepare(small_dataset)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    # Oversubscribed so a genuine multi-process pool runs even on hosts
+    # with a single available core — this suite exists to prove the pool
+    # path is bit-identical, not to be fast.
+    return ProcessPoolBlockExecutor(workers=2, oversubscribe=True)
+
+
+class TestFitDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fitted_state_identical(self, context, parallel, seed):
+        resolver = EntityResolver(ResolverConfig())
+        serial_model = resolver.fit(context.collection, training_seed=seed,
+                                    graphs_by_name=context.graphs_by_name)
+        parallel_model = resolver.fit(context.collection, training_seed=seed,
+                                      graphs_by_name=context.graphs_by_name,
+                                      executor=parallel)
+        # The serialized form covers every learned number: thresholds,
+        # region profiles, accuracies, combiner parameters.
+        for name in serial_model.blocks:
+            assert (serial_model.blocks[name].to_dict()
+                    == parallel_model.blocks[name].to_dict()), name
+
+
+class TestPredictDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_predictions_bit_identical(self, context, parallel, seed):
+        resolver = EntityResolver(ResolverConfig())
+        model = resolver.fit(context.collection, training_seed=seed,
+                             graphs_by_name=context.graphs_by_name)
+        unlabeled = context.collection.without_labels()
+
+        serial = model.predict_collection(
+            unlabeled, graphs_by_name=context.graphs_by_name)
+        parallel_run = model.predict_collection(
+            unlabeled, graphs_by_name=context.graphs_by_name,
+            executor=parallel)
+
+        assert [b.query_name for b in serial.blocks] == \
+            [b.query_name for b in parallel_run.blocks]
+        for left, right in zip(serial.blocks, parallel_run.blocks):
+            assert left.predicted == right.predicted
+            assert left.chosen_layer == right.chosen_layer
+            assert left.layer_accuracies == right.layer_accuracies
+            assert (left.combination.probabilities.weights
+                    == right.combination.probabilities.weights)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_evaluate_metrics_bit_identical(self, context, parallel, seed):
+        resolver = EntityResolver(ResolverConfig())
+        model = resolver.fit(context.collection, training_seed=seed,
+                             graphs_by_name=context.graphs_by_name)
+
+        serial = model.evaluate_collection(
+            context.collection, graphs_by_name=context.graphs_by_name)
+        parallel_run = model.evaluate_collection(
+            context.collection, graphs_by_name=context.graphs_by_name,
+            executor=parallel)
+
+        for left, right in zip(serial.blocks, parallel_run.blocks):
+            assert left.report == right.report
+            assert left.predicted == right.predicted
+        assert serial.mean_report() == parallel_run.mean_report()
+
+
+class TestEndToEndDeterminism:
+    def test_parallel_fit_then_serial_predict_matches_serial_fit(
+            self, context, parallel):
+        """Cross modes: a pool-fitted model serves like a serially fitted one."""
+        resolver = EntityResolver(ResolverConfig())
+        serial_model = resolver.fit(context.collection, training_seed=0,
+                                    graphs_by_name=context.graphs_by_name)
+        parallel_model = resolver.fit(context.collection, training_seed=0,
+                                      graphs_by_name=context.graphs_by_name,
+                                      executor=parallel)
+        serial_result = serial_model.evaluate_collection(
+            context.collection, graphs_by_name=context.graphs_by_name)
+        crossed_result = parallel_model.evaluate_collection(
+            context.collection, graphs_by_name=context.graphs_by_name)
+        for left, right in zip(serial_result.blocks, crossed_result.blocks):
+            assert left.report == right.report
+
+    def test_run_config_reports_identical_across_executors(self, context,
+                                                           parallel):
+        serial = run_config(context, ResolverConfig(), seeds=SEEDS)
+        pooled = run_config(context, ResolverConfig(), seeds=SEEDS,
+                            executor=parallel)
+        assert serial.per_seed_reports == pooled.per_seed_reports
+        assert pooled.stats is not None
+        assert pooled.stats.executor == "process"
+
+    def test_prepare_identical_across_executors(self, small_dataset, context,
+                                                parallel):
+        pooled = ExperimentContext.prepare(small_dataset, executor=parallel)
+        for name, graphs in context.graphs_by_name.items():
+            for function_name, graph in graphs.items():
+                assert (pooled.graphs_by_name[name][function_name].weights
+                        == graph.weights)
+        assert pooled.stats.executor == "process"
+        assert pooled.stats.pairs_scored == context.stats.pairs_scored
