@@ -13,6 +13,13 @@ similarity graphs + the multi-run fit/evaluate protocol) three ways:
   (auto-capped at the host's cores; on a one-core host this degrades to
   the serial fast path, still bit-identically).
 
+It additionally records the cost of the stage-plan redesign: the staged
+fit/evaluate drivers vs a direct replica of the pre-pipeline loops
+(``pipeline_overhead_ratio``, asserted ≤ 1.05 at default scale), and the
+online request path — mean single-page latency through a warmed
+:class:`~repro.pipeline.session.ResolutionSession`
+(``session_request_seconds``).
+
 Each run appends a record to ``BENCH_runtime.json`` at the repo root so
 future revisions can track the trajectory; ``docs/performance.md``
 documents the format.  Scale knobs: ``REPRO_BENCH_PAGES`` /
@@ -178,6 +185,47 @@ def runtime_record():
     parallel_protocol_seconds = time.perf_counter() - started
     parallel_total = parallel_prepare_seconds + parallel_protocol_seconds
 
+    # pipeline overhead: the staged drivers (fit/evaluate over stage
+    # plans) vs a direct replica of the pre-redesign loops doing the
+    # identical work without Pipeline/PipelineContext dispatch.  Both
+    # run over the precomputed graphs; interleaved best-of-two runs
+    # decorrelate clock drift.
+    def _direct_fit_evaluate():
+        resolver = EntityResolver(config)
+        for seed in seeds:
+            fitted = {}
+            for block in collection:
+                fitted[block.query_name] = resolver.fit_block(
+                    block, serial_context.graphs_by_name[block.query_name],
+                    seed)
+            from repro.core.model import ResolverModel
+            direct_model = ResolverModel(config=config, blocks=fitted)
+            for block in collection:
+                direct_model.evaluate_block(
+                    block,
+                    graphs=serial_context.graphs_by_name[block.query_name])
+            direct_model.release_fit_caches()
+
+    def _staged_fit_evaluate():
+        resolver = EntityResolver(config)
+        for seed in seeds:
+            staged_model = resolver.fit(
+                collection, training_seed=seed,
+                graphs_by_name=serial_context.graphs_by_name)
+            staged_model.evaluate_collection(
+                collection, graphs_by_name=serial_context.graphs_by_name)
+
+    def _best_of(workload, repeats=2):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            workload()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    direct_seconds = _best_of(_direct_fit_evaluate)
+    staged_seconds = _best_of(_staged_fit_evaluate)
+
     # serving cache: a hot block served twice computes its pairs once.
     block = collection.collections[0]
     model = EntityResolver(config).fit(
@@ -192,6 +240,30 @@ def runtime_record():
     warm_serve_seconds = time.perf_counter() - started
     serving_snapshot = model.cache_stats()
     model.release_fit_caches()
+
+    # online request path: warm a ResolutionSession on most of the hot
+    # block, then time single-page requests through the incremental
+    # assignment path (features precomputed, as a deployment's feature
+    # store would).
+    from repro.pipeline.session import ResolutionSession
+    from repro.corpus.documents import NameCollection
+
+    block_features = features_by_name[block.query_name]
+    stream_count = max(1, min(20, len(block.pages) // 3))
+    block_pages = list(block.pages)
+    base = NameCollection(query_name=block.query_name,
+                          pages=block_pages[:-stream_count])
+    stream = block_pages[-stream_count:]
+    session = ResolutionSession(model, pipeline=pipeline)
+    session.warm(base, features={page.doc_id: block_features[page.doc_id]
+                                 for page in base.pages})
+    request_seconds = []
+    for page in stream:
+        started = time.perf_counter()
+        session.resolve(page,
+                        features={page.doc_id: block_features[page.doc_id]})
+        request_seconds.append(time.perf_counter() - started)
+    session_mean_seconds = sum(request_seconds) / len(request_seconds)
 
     sample_function = seed_functions[1].name  # F2: the replica-built scorer
     record = {
@@ -225,6 +297,11 @@ def runtime_record():
         "serving_cache_hit_rate": serving_snapshot.hit_rate,
         "serving_cold_seconds": cold_serve_seconds,
         "serving_warm_seconds": warm_serve_seconds,
+        "direct_fit_predict_seconds": direct_seconds,
+        "staged_fit_predict_seconds": staged_seconds,
+        "pipeline_overhead_ratio": staged_seconds / direct_seconds,
+        "session_requests": stream_count,
+        "session_request_seconds": session_mean_seconds,
         "per_block_seconds": serial_context.stats.per_block_seconds,
         "graphs_match_seed": all(
             serial_context.graphs_by_name[name][sample_function].weights
@@ -275,6 +352,22 @@ class TestRuntimeBench:
         assert runtime_record["serving_warm_seconds"] <= \
             runtime_record["serving_cold_seconds"]
 
+    def test_pipeline_overhead_within_5_percent(self, runtime_record):
+        """The stage-plan drivers do the identical work of the direct
+        loops; the abstraction may cost at most 5% at the default scale
+        (smoke-scale runs get timing-noise slack)."""
+        ceiling = 1.05 if runtime_record["pages_per_name"] >= 40 else 1.75
+        assert runtime_record["pipeline_overhead_ratio"] <= ceiling, \
+            runtime_record
+
+    def test_session_request_path_beats_batch_reserve(self, runtime_record):
+        """A single-page request through the session's incremental path
+        must be cheaper than cold-serving the whole block again."""
+        assert runtime_record["session_requests"] >= 1
+        assert runtime_record["session_request_seconds"] > 0.0
+        assert runtime_record["session_request_seconds"] <= \
+            runtime_record["serving_cold_seconds"]
+
     def test_trajectory_file_is_valid(self, runtime_record):
         payload = json.loads(BENCH_PATH.read_text())
         assert payload["benchmark"] == "runtime"
@@ -282,6 +375,7 @@ class TestRuntimeBench:
         last = payload["runs"][-1]
         for key in ("speedup_vs_seed", "seed_path_seconds",
                     "engine_parallel_seconds", "per_block_seconds",
-                    "serving_cache_hit_rate", "deterministic"):
+                    "serving_cache_hit_rate", "deterministic",
+                    "pipeline_overhead_ratio", "session_request_seconds"):
             assert key in last, key
         assert last["pages_per_name"] == runtime_record["pages_per_name"]

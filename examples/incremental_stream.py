@@ -81,8 +81,9 @@ def main() -> None:
     print(f"Final index quality: Fp = {report.fp:.4f}, "
           f"F = {report.f1:.4f}, Rand = {report.rand:.4f}")
 
-    batch = EntityResolver(ResolverConfig()).resolve_block(
+    batch_model = EntityResolver(ResolverConfig()).fit(
         block, training_seed=0, features=all_features)
+    batch = batch_model.evaluate_block(block, features=all_features)
     print(f"Full batch re-resolution for comparison: "
           f"Fp = {batch.report.fp:.4f}")
 

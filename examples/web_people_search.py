@@ -66,7 +66,8 @@ def main() -> None:
     print(format_region_series(
         points, title="Region accuracies of F3 (k-means regions)"))
 
-    resolution = resolver.resolve_block(block, training_seed=0, graphs=graphs)
+    model = resolver.fit(block, training_seed=0, graphs=graphs)
+    resolution = model.evaluate_block(block, graphs=graphs)
     truth = clustering_from_assignments(block.ground_truth())
     print(f"\nWinning layer: {resolution.chosen_layer}")
     print(f"Found {len(resolution.predicted)} groups "

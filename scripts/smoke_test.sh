@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Smoke test: generate a tiny dataset, fit a resolver model, predict with
 # it (labels unused), and score the predictions — serially and through
-# the process-pool executor (--workers 2), which must agree.  Then run
-# the runtime benchmark at smoke scale and verify it emits a well-formed
-# BENCH_runtime.json.  Exercises the full fit -> save -> predict
-# lifecycle plus the execution engine through the CLI in under a minute.
+# the process-pool executor (--workers 2), which must agree.  Inspect
+# the stage plans (pipeline explain) and run the online serving demo
+# loop (serve).  Then run the runtime benchmark at smoke scale and
+# verify it emits a well-formed BENCH_runtime.json.  Exercises the full
+# fit -> save -> predict -> serve lifecycle plus the execution engine
+# through the CLI in under a minute.
 #
 # Usage: sh scripts/smoke_test.sh
 set -eu
@@ -29,6 +31,17 @@ run predict --in "$workdir/data.json" --model "$workdir/model.json"
 
 echo "== predict --evaluate =="
 run predict --in "$workdir/data.json" --model "$workdir/model.json" --evaluate
+
+echo "== pipeline explain =="
+run pipeline explain | grep -q "Corpus" || {
+    echo "pipeline explain did not print the artifact chain" >&2; exit 1; }
+run pipeline explain
+
+echo "== serve (ResolutionSession demo loop) =="
+run serve --in "$workdir/data.json" --model "$workdir/model.json" \
+    --requests 6 | tee "$workdir/serve.out"
+grep -q "\[session\]" "$workdir/serve.out" || {
+    echo "serve did not print a session summary" >&2; exit 1; }
 
 echo "== fit/predict --workers 2 (engine parity) =="
 # Comparing fits across *separate interpreter processes* needs a pinned

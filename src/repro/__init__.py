@@ -11,19 +11,38 @@ Quickstart — fit once on labels, predict on unlabeled pages::
     print(model.evaluate(dataset).mean_report().fp)
     model.save("resolver.json")                # reuse without refitting
 
-See README.md for the fit → save → predict lifecycle, the registry
-extension points, and migration notes from ``resolve_collection``.
+Both passes run over composable stage plans (:mod:`repro.pipeline`);
+serve online single-page traffic with
+:class:`~repro.pipeline.session.ResolutionSession` (models never
+serialize an extraction pipeline — supply one for raw pages)::
+
+    from repro import ResolutionSession
+
+    pipeline = EntityResolver(ResolverConfig()).pipeline_for(dataset)
+    session = ResolutionSession.open("resolver.json", pipeline=pipeline)
+    pages = dataset.by_name("William Cohen").without_labels().pages
+    assignments = session.resolve(list(pages))  # incremental, per request
+
+See README.md for the fit → save → predict lifecycle, the stage/plan
+API, the registry extension points, and migration notes from
+``resolve_collection``.
 """
 
 from repro.corpus import weps2_like, www05_like
 from repro.core import EntityResolver, ResolverConfig, ResolverModel
+from repro.pipeline import Pipeline, fit_plan, predict_plan
+from repro.pipeline.session import ResolutionSession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EntityResolver",
+    "Pipeline",
+    "ResolutionSession",
     "ResolverConfig",
     "ResolverModel",
+    "fit_plan",
+    "predict_plan",
     "www05_like",
     "weps2_like",
     "__version__",

@@ -5,6 +5,8 @@ Subcommands::
     python -m repro.cli generate --dataset www05 --out data.json
     python -m repro.cli fit      --model model.json [--in data.json]
     python -m repro.cli predict  --model model.json [--in data.json]
+    python -m repro.cli serve    --model model.json [--requests 20]
+    python -m repro.cli pipeline explain [--column C10]
     python -m repro.cli resolve  --dataset www05 [--in data.json]
     python -m repro.cli figure1  [--function F3] [--name Cohen]
     python -m repro.cli figure2 | figure3
@@ -14,6 +16,10 @@ Subcommands::
 ``fit`` consumes ground-truth labels once and writes a reusable JSON
 model; ``predict`` loads that model and resolves pages *without reading
 labels* (add ``--evaluate`` to also score against labels when present).
+``pipeline explain`` prints the stage plans a configuration resolves to
+(artifact types included); ``serve`` demos the online request path — it
+loads a model once and streams simulated single-page requests through a
+:class:`~repro.pipeline.session.ResolutionSession`.
 
 Common options: ``--pages`` (pages per name), ``--runs`` (protocol runs),
 ``--seed`` (corpus seed), ``--workers`` (block-executor fan-out: ``N > 1``
@@ -102,6 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fitted block whose state serves names the "
                               "model was never fitted on")
 
+    serve = commands.add_parser(
+        "serve", help="demo the online serving loop (ResolutionSession)")
+    serve.add_argument("--dataset", choices=("www05", "weps2"),
+                       default="www05")
+    serve.add_argument("--in", dest="input_path", default=None,
+                       help="serve pages of a previously generated JSON "
+                            "dataset")
+    serve.add_argument("--model", required=True,
+                       help="path of a fitted model written by 'fit'")
+    serve.add_argument("--requests", type=int, default=20,
+                       help="simulated single-page requests (default 20)")
+    serve.add_argument("--max-blocks", type=int, default=32,
+                       help="LRU bound on prepared name blocks (default 32)")
+    serve.add_argument("--model-block", default=None,
+                       help="fitted block whose state serves names the "
+                            "model was never fitted on")
+
+    pipeline_cmd = commands.add_parser(
+        "pipeline", help="inspect the resolver's stage plans")
+    pipeline_cmd.add_argument("action", choices=("explain",),
+                              help="'explain' prints the resolved plans "
+                                   "with artifact types")
+    pipeline_cmd.add_argument("--column", default="default",
+                              help="Table II column preset, or 'default'")
+
     resolve = commands.add_parser("resolve", help="run Algorithm 1")
     resolve.add_argument("--dataset", choices=("www05", "weps2"),
                          default="www05")
@@ -153,6 +184,13 @@ def _print_stats(stats) -> None:
         print(stats.summary())
 
 
+def _print_stage_stats(stage_stats) -> None:
+    """Per-stage timing line (skipped when a path ran no plan)."""
+    if stage_stats:
+        from repro.pipeline.stage import format_stage_stats
+        print(format_stage_stats(stage_stats))
+
+
 def _seeds(args: argparse.Namespace, context: ExperimentContext) -> list[int]:
     return context.seeds(n_runs=args.runs, base_seed=0)
 
@@ -184,6 +222,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
         executor=executor_for_workers(args.workers))
     model.save(args.model)
     _print_stats(model.fit_stats)
+    _print_stage_stats(model.fit_stage_stats)
     rows = [[surname(name), len(fitted.layers), fitted.n_training,
              fitted.combiner_params.get("chosen_layer", "-")]
             for name, fitted in model.blocks.items()]
@@ -220,6 +259,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
         mean = resolution.mean_report()
         print(f"mean Fp = {mean.fp:.4f}, F = {mean.f1:.4f}")
         _print_stats(resolution.stats)
+        _print_stage_stats(resolution.stage_stats)
     else:
         try:
             prediction = model.predict(collection,
@@ -235,6 +275,84 @@ def cmd_predict(args: argparse.Namespace) -> int:
         print(format_table(["name", "pages", "entities", "layer"], rows,
                            title="Predictions (ground truth unused)"))
         _print_stats(prediction.stats)
+        _print_stage_stats(prediction.stage_stats)
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.pipeline.plan import fit_plan, predict_plan
+
+    config = (ResolverConfig() if args.column == "default"
+              else table2_config(args.column))
+    print(f"stage plans for config: column={args.column}, "
+          f"combiner={config.combiner!r}, clusterer={config.clusterer!r}, "
+          f"functions={len(config.function_names)}")
+    print()
+    print(fit_plan(config).explain())
+    print()
+    print(predict_plan(config).explain())
+    print()
+    print(predict_plan(config, evaluate=True).explain())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.model import resolve_extraction_pipeline
+    from repro.pipeline.session import ResolutionSession
+
+    model = ResolverModel.load(args.model)
+    collection = _load_or_generate(args)
+    try:
+        pipeline = resolve_extraction_pipeline(collection)
+    except ValueError as error:
+        print(f"cannot serve: {error}", file=sys.stderr)
+        return 2
+    session = ResolutionSession(model, pipeline=pipeline,
+                                max_blocks=args.max_blocks,
+                                model_block=args.model_block)
+
+    # Warm every block with the first half of its pages (the "initial
+    # crawl"), then stream the rest as single-page requests round-robin
+    # — the shape of live traffic over an existing index.
+    streams: list[list] = []
+    try:
+        for block in collection:
+            pages = list(block.pages)
+            warm_count = max(1, len(pages) // 2)
+            session.resolve(pages[:warm_count])
+            streams.append(pages[warm_count:])
+    except KeyError as error:
+        print(f"cannot serve: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    print(f"warmed {len(streams)} blocks "
+          f"({session.stats.pages} pages); streaming up to "
+          f"{args.requests} single-page requests")
+    rows = []
+    served = 0
+    position = 0
+    while served < args.requests and any(streams):
+        stream = streams[position % len(streams)]
+        position += 1
+        if not stream:
+            continue
+        page = stream.pop(0)
+        started = time.perf_counter()
+        assignment = session.resolve(page)[0]
+        latency_ms = (time.perf_counter() - started) * 1000
+        rows.append([
+            surname(page.query_name), page.doc_id,
+            "new entity" if assignment.created_new_cluster
+            else f"entity #{assignment.cluster_index}",
+            f"{assignment.link_probability:.3f}", f"{latency_ms:.1f}",
+        ])
+        served += 1
+    print(format_table(
+        ["name", "page", "decision", "P(link)", "ms"], rows,
+        title=f"Served {served} requests"))
+    print(session.stats.summary())
     return 0
 
 
@@ -248,10 +366,12 @@ def cmd_resolve(args: argparse.Namespace) -> int:
     for block in context.collection:
         reports = []
         chosen = None
+        block_graphs = context.graphs_by_name[block.query_name]
         for seed in seeds:
-            resolution = resolver.resolve_block(
-                block, training_seed=seed,
-                graphs=context.graphs_by_name[block.query_name])
+            block_model = resolver.fit(block, training_seed=seed,
+                                       graphs=block_graphs)
+            resolution = block_model.evaluate_block(block,
+                                                    graphs=block_graphs)
             reports.append(resolution.report)
             chosen = resolution.chosen_layer
         from repro.metrics.report import mean_report
@@ -350,6 +470,8 @@ _COMMANDS = {
     "generate": cmd_generate,
     "fit": cmd_fit,
     "predict": cmd_predict,
+    "serve": cmd_serve,
+    "pipeline": cmd_pipeline,
     "resolve": cmd_resolve,
     "figure1": cmd_figure1,
     "figure2": cmd_figure2,

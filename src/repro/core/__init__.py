@@ -20,12 +20,14 @@ from repro.core.registry import (
     CRITERIA,
     SAMPLING_MODES,
     SIMILARITIES,
+    STAGES,
     Registry,
     register_clusterer,
     register_combiner,
     register_criterion,
     register_sampling_mode,
     register_similarity,
+    register_stage,
 )
 from repro.core.thresholds import LearnedThreshold, learn_threshold
 from repro.core.regions import (
@@ -121,9 +123,11 @@ __all__ = [
     "CLUSTERERS",
     "SIMILARITIES",
     "SAMPLING_MODES",
+    "STAGES",
     "register_combiner",
     "register_criterion",
     "register_clusterer",
     "register_similarity",
     "register_sampling_mode",
+    "register_stage",
 ]

@@ -35,6 +35,12 @@ from repro.similarity.base import SimilarityFunction
 from repro.similarity.functions import function_by_name
 
 
+#: Combiners whose stored parameters suffice to decide single links —
+#: the modes the incremental request path (and ``ResolutionSession``)
+#: can serve.
+INCREMENTAL_COMBINERS = ("best_graph", "weighted_average")
+
+
 @dataclass
 class Assignment:
     """Outcome of adding one page incrementally."""
@@ -69,7 +75,7 @@ class IncrementalResolver:
 
     def __init__(self, config: ResolverConfig | None = None):
         self.config = config or ResolverConfig()
-        if self.config.combiner not in ("best_graph", "weighted_average"):
+        if self.config.combiner not in INCREMENTAL_COMBINERS:
             raise ValueError(
                 f"incremental mode does not support combiner "
                 f"{self.config.combiner!r}")
@@ -114,6 +120,65 @@ class IncrementalResolver:
                                          model_block=model_block)
         fitted = model.blocks[model_block or block.query_name]
         resolver._adopt(fitted, prediction, features)
+        return resolver
+
+    @classmethod
+    def from_fitted(
+        cls,
+        config: ResolverConfig,
+        fitted: FittedBlock,
+        features: dict[str, PageFeatures] | None = None,
+        clusters: list[set[str]] | None = None,
+    ) -> "IncrementalResolver":
+        """Adopt fitted state directly, without a seeding prediction.
+
+        Unlike :meth:`from_model` this never resolves an initial block:
+        the entity index starts from ``clusters`` (empty by default) and
+        every page arrives through :meth:`add_page`.  This is the
+        request-path constructor
+        :class:`~repro.pipeline.session.ResolutionSession` uses when the
+        first page of a never-served name shows up.
+
+        The combination machinery comes from the fitted block's stored
+        ``combiner_params``: the chosen layer under best-graph selection
+        (falling back to the highest stored graph accuracy when the
+        stored winner is absent, matching
+        :meth:`BestGraphSelector.apply`), the learned threshold under
+        weighted averaging.
+
+        Args:
+            config: the configuration the state was fitted under.
+            fitted: one block's fitted state (e.g. from a loaded model).
+            features: features of the pages already in ``clusters``.
+            clusters: initial entity partition over those pages.
+
+        Raises:
+            ValueError: for unsupported combiners.
+        """
+        resolver = cls(config)
+        chosen = None
+        weights: list[float] = []
+        if config.combiner == "best_graph":
+            label = fitted.combiner_params.get("chosen_layer")
+            chosen = next((layer for layer in fitted.layers
+                           if layer.label == label), None)
+            if chosen is None:
+                chosen = max(fitted.layers,
+                             key=lambda layer: layer.graph_accuracy)
+        else:
+            weights = [max(layer.training_accuracy, 1e-9)
+                       for layer in fitted.layers]
+        threshold = fitted.combiner_params.get("threshold")
+        resolver._state = _FittedState(
+            layers=list(fitted.layers),
+            functions=resolver._build_functions(),
+            chosen_layer=chosen,
+            combination_threshold=(float(threshold)
+                                   if threshold is not None else None),
+            layer_weights=weights,
+        )
+        resolver._features = dict(features or {})
+        resolver._clusters = [set(cluster) for cluster in (clusters or [])]
         return resolver
 
     @property

@@ -325,11 +325,15 @@ class CollectionPrediction:
         stats: the engine's :class:`~repro.runtime.stats.RunStats` for the
             pass that produced these predictions (``None`` for results
             assembled outside the collection paths).
+        stage_stats: per-stage :class:`~repro.pipeline.stage.StageStats`
+            of the plan run that produced these predictions (``None``
+            outside the collection paths).
     """
 
     dataset: str
     blocks: list[BlockPrediction]
     stats: RunStats | None = None
+    stage_stats: list | None = None
 
     def __post_init__(self) -> None:
         self._index: tuple[int, dict[str, int]] | None = None
@@ -372,11 +376,15 @@ class CollectionResolution:
         stats: the engine's :class:`~repro.runtime.stats.RunStats` for the
             pass that produced these resolutions (``None`` for results
             assembled outside the collection paths).
+        stage_stats: per-stage :class:`~repro.pipeline.stage.StageStats`
+            of the plan run that produced these resolutions (``None``
+            outside the collection paths).
     """
 
     dataset: str
     blocks: list[BlockResolution]
     stats: RunStats | None = None
+    stage_stats: list | None = None
 
     def __post_init__(self) -> None:
         self._index: tuple[int, dict[str, int]] | None = None
@@ -450,6 +458,9 @@ class ResolverModel:
         #: RunStats of the fit pass that produced this model (set by
         #: collection fitting; None for hand-assembled or loaded models).
         self.fit_stats: RunStats | None = None
+        #: per-stage StageStats of the fit plan run (set by collection
+        #: fitting; None for hand-assembled or loaded models).
+        self.fit_stage_stats: list | None = None
 
     def block_names(self) -> list[str]:
         """Names the model holds fitted state for, in fit order."""
@@ -528,6 +539,24 @@ class ResolverModel:
             ValueError: when no pipeline/features/graphs are available.
         """
         fitted = self._fitted_for(model_block or block.query_name)
+        return self.predict_fitted(fitted, block, pipeline=pipeline,
+                                   features=features, graphs=graphs)
+
+    def predict_fitted(
+        self,
+        fitted: FittedBlock,
+        block: NameCollection,
+        pipeline: ExtractionPipeline | None = None,
+        features: dict[str, PageFeatures] | None = None,
+        graphs: dict[str, WeightedPairGraph] | None = None,
+    ) -> BlockPrediction:
+        """Resolve one block with explicitly supplied fitted state.
+
+        The core of :meth:`predict_block`, exposed for pipeline stages
+        and custom schedulers that resolve fitted state themselves (the
+        cluster stage serves each block through this method).  The
+        fitted state need not live in ``self.blocks``.
+        """
         if graphs is None:
             # The similarity cache is keyed by block content only, so it
             # must not serve a call that supplies its own features or
@@ -567,6 +596,7 @@ class ResolverModel:
         graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
         model_block: str | None = None,
         executor: BlockExecutor | None = None,
+        plan=None,
     ) -> CollectionPrediction:
         """Resolve every block of an unlabeled dataset.
 
@@ -575,16 +605,20 @@ class ResolverModel:
         fitted on fall back to ``model_block``'s fitted state when given
         (fitted names always use their own state).
 
-        Blocks are scheduled through ``executor`` (default: the backend
-        the model's config selects); parallel backends produce the same
-        predictions as serial execution, and the pass's
-        :class:`~repro.runtime.stats.RunStats` is attached to the result.
+        The pass is a thin driver over a stage plan (default:
+        :func:`~repro.pipeline.plan.predict_plan`; override via
+        ``plan=``).  Blocks are scheduled through ``executor`` (default:
+        the backend the model's config selects); parallel backends
+        produce the same predictions as serial execution, and the pass's
+        :class:`~repro.runtime.stats.RunStats` and per-stage
+        :class:`~repro.pipeline.stage.StageStats` are attached to the
+        result.
         """
-        blocks, stats = self._run_collection(
+        blocks, stats, stage_stats = self._run_collection(
             collection, pipeline, graphs_by_name, model_block, executor,
-            evaluate=False)
+            evaluate=False, plan=plan)
         return CollectionPrediction(dataset=collection.name, blocks=blocks,
-                                    stats=stats)
+                                    stats=stats, stage_stats=stage_stats)
 
     # -- evaluate --------------------------------------------------------
 
@@ -606,6 +640,22 @@ class ResolverModel:
             ValueError: when any page lacks a ground-truth label.
         """
         prediction = self.predict_block(block, **kwargs)
+        return self._score_prediction(block, prediction)
+
+    def evaluate_fitted(self, fitted: FittedBlock, block: NameCollection,
+                        **kwargs) -> BlockResolution:
+        """Predict with explicit fitted state, then score the prediction.
+
+        The evaluate counterpart of :meth:`predict_fitted`.
+
+        Raises:
+            ValueError: when any page lacks a ground-truth label.
+        """
+        prediction = self.predict_fitted(fitted, block, **kwargs)
+        return self._score_prediction(block, prediction)
+
+    def _score_prediction(self, block: NameCollection,
+                          prediction: BlockPrediction) -> BlockResolution:
         truth = clustering_from_assignments(block.ground_truth())
         report = evaluate_clustering(prediction.predicted, truth)
         return BlockResolution(
@@ -624,17 +674,19 @@ class ResolverModel:
         graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
         model_block: str | None = None,
         executor: BlockExecutor | None = None,
+        plan=None,
     ) -> CollectionResolution:
         """Predict a labeled dataset and score every block.
 
-        ``model_block`` serves unfitted names and ``executor`` schedules
-        blocks as in :meth:`predict_collection`.
+        ``model_block`` serves unfitted names, ``executor`` schedules
+        blocks, and ``plan`` overrides the stage plan as in
+        :meth:`predict_collection`.
         """
-        blocks, stats = self._run_collection(
+        blocks, stats, stage_stats = self._run_collection(
             collection, pipeline, graphs_by_name, model_block, executor,
-            evaluate=True)
+            evaluate=True, plan=plan)
         return CollectionResolution(dataset=collection.name, blocks=blocks,
-                                    stats=stats)
+                                    stats=stats, stage_stats=stage_stats)
 
     # -- collection scheduling -------------------------------------------
 
@@ -646,113 +698,49 @@ class ResolverModel:
         model_block: str | None,
         executor: BlockExecutor | None,
         evaluate: bool,
-    ) -> tuple[list, RunStats]:
-        """Serve every block through the engine; results in block order."""
+        plan=None,
+    ) -> tuple[list, RunStats, list]:
+        """Serve every block through a stage plan; results in block order.
+
+        The default :func:`~repro.pipeline.plan.predict_plan` runs
+        ``block → extract → similarity → decide → cluster``; a custom
+        ``plan`` producing a
+        :class:`~repro.pipeline.artifacts.Resolution` swaps any stage.
+        Returns the block results, the engine pass's
+        :class:`~repro.runtime.stats.RunStats`, and the per-stage
+        :class:`~repro.pipeline.stage.StageStats` records.
+        """
+        from repro.pipeline.artifacts import Corpus, Resolution
+        from repro.pipeline.plan import predict_plan
+        from repro.pipeline.stage import PipelineContext
+
         executor = executor or executor_from_config(self.config)
+        plan = plan or predict_plan(self.config, evaluate=evaluate)
         started = time.perf_counter()
-        if executor.is_serial:
-            stats = RunStats(phase="evaluate" if evaluate else "predict",
-                             executor=executor.name, workers=executor.workers)
-            blocks = self._run_collection_serial(
-                collection, pipeline, graphs_by_name, model_block, evaluate,
-                stats)
-        else:
-            blocks, stats = self._run_collection_parallel(
-                collection, pipeline, graphs_by_name, model_block, evaluate,
-                executor)
+        ctx = PipelineContext(
+            config=self.config,
+            executor=executor,
+            phase="evaluate" if evaluate else "predict",
+            model=self,
+            extraction=pipeline or self.pipeline,
+            explicit_extraction=pipeline is not None,
+            graphs_by_name=graphs_by_name,
+            model_block=model_block,
+            evaluate=evaluate,
+        )
+        resolution = plan.run(Corpus(collection=collection), ctx)
+        if not isinstance(resolution, Resolution):
+            raise TypeError(
+                f"predict plan {plan.name!r} produced "
+                f"{type(resolution).__name__}, expected Resolution")
         self.release_fit_caches()
+        stats = ctx.engine_stats() or RunStats(
+            phase="evaluate" if evaluate else "predict",
+            executor=executor.name, workers=executor.workers)
+        # The pass's wall clock covers the whole plan, not just the
+        # cluster stage (matching the pre-pipeline accounting).
         stats.wall_seconds = time.perf_counter() - started
-        return blocks, stats
-
-    def _run_collection_serial(
-        self,
-        collection: DocumentCollection,
-        pipeline: ExtractionPipeline | None,
-        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
-        model_block: str | None,
-        evaluate: bool,
-        stats: RunStats,
-    ) -> list:
-        from repro.runtime.stats import TaskStats
-
-        resolved_pipeline = pipeline or self.pipeline
-        serve = self.evaluate_block if evaluate else self.predict_block
-        # An explicit pipeline= must never be served stale values another
-        # pipeline put into the model's cache (same invariant as
-        # predict_block); a pass-local cache keeps the accounting and
-        # streaming behavior without that risk.
-        cache = (SimilarityCache() if pipeline is not None
-                 else self._similarity_cache)
-        blocks = []
-        for block in collection:
-            block_started = time.perf_counter()
-            hits_before = cache.pair_hits
-            misses_before = cache.pair_misses
-            graphs = (graphs_by_name or {}).get(block.query_name)
-            if graphs is None:
-                # Computed here (not inside predict_block) so the pass
-                # runs through the shared cache even when the caller
-                # supplied an explicit pipeline — per-call overrides only
-                # bypass the cache on the single-block API.
-                if resolved_pipeline is None:
-                    resolved_pipeline = resolve_extraction_pipeline(collection)
-                features = cache.features_for(block,
-                                              resolved_pipeline.extract_block)
-                graphs = compute_similarity_graphs(
-                    block, features, self._functions, cache=cache)
-            fallback = (model_block if block.query_name not in self.blocks
-                        else None)
-            blocks.append(serve(block, graphs=graphs, model_block=fallback))
-            stats.add_task(TaskStats(
-                query_name=block.query_name,
-                seconds=time.perf_counter() - block_started,
-                pairs_scored=cache.pair_misses - misses_before,
-                cache_hits=cache.pair_hits - hits_before,
-                cache_misses=cache.pair_misses - misses_before,
-            ))
-            # Streamed memory profile: a served block's quadratic cache
-            # entries are dropped before the next block is touched.
-            cache.drop_block(block)
-        return blocks
-
-    def _run_collection_parallel(
-        self,
-        collection: DocumentCollection,
-        pipeline: ExtractionPipeline | None,
-        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
-        model_block: str | None,
-        evaluate: bool,
-        executor: BlockExecutor,
-    ) -> tuple[list, RunStats]:
-        from repro.runtime.tasks import PredictBlockTask, run_predict_block
-
-        stats = RunStats(phase="evaluate" if evaluate else "predict",
-                         executor=executor.name, workers=executor.workers)
-        resolved_pipeline = pipeline or self.pipeline
-        payloads = []
-        for block in collection:
-            graphs = (graphs_by_name or {}).get(block.query_name)
-            if graphs is None and resolved_pipeline is None:
-                resolved_pipeline = resolve_extraction_pipeline(collection)
-            # Resolving fitted state here (not in the worker) keeps the
-            # unknown-name error identical to the serial path's.
-            fallback = (model_block if block.query_name not in self.blocks
-                        else None)
-            fitted = self._fitted_for(fallback or block.query_name)
-            payloads.append(PredictBlockTask(
-                config=self.config,
-                fitted=detach_fitted(fitted),
-                block=block,
-                graphs=graphs,
-                pipeline=None if graphs is not None else resolved_pipeline,
-                evaluate=evaluate,
-            ))
-        results = executor.run(run_predict_block, payloads)
-        blocks = []
-        for _, result, task_stats in results:
-            blocks.append(result)
-            stats.add_task(task_stats)
-        return blocks, stats
+        return resolution.results, stats, list(ctx.stage_stats)
 
     # -- persistence -----------------------------------------------------
 

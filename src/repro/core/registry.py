@@ -89,6 +89,10 @@ _BUILTIN_MODULES = (
     "repro.core.combination",
     "repro.core.clusterers",
     "repro.runtime.executor",
+    # The pipeline package keeps its module-level imports outside
+    # repro.core (stage bodies import core lazily), so loading it here
+    # cannot re-enter a partially imported core module.
+    "repro.pipeline.stages",
 )
 
 _builtins_loaded = False
@@ -240,6 +244,12 @@ SAMPLING_MODES = Registry("sampling mode")
 #: :class:`~repro.runtime.executor.BlockExecutor`` scheduling block tasks.
 EXECUTORS = Registry("executor")
 
+#: name -> no-arg-constructible :class:`~repro.pipeline.stage.Stage`
+#: subclass; plans are composed from these by
+#: :func:`repro.pipeline.plan.Pipeline.from_names` and the default-plan
+#: builders.
+STAGES = Registry("pipeline stage")
+
 
 def register_combiner(name: str | None = None, replace: bool = False):
     """Class decorator registering a no-arg-constructible combiner."""
@@ -269,3 +279,15 @@ def register_sampling_mode(name: str | None = None, replace: bool = False):
 def register_executor(name: str | None = None, replace: bool = False):
     """Decorator registering a block-executor factory ``(workers) -> BlockExecutor``."""
     return EXECUTORS.register(name, replace=replace)
+
+
+def register_stage(name: str | None = None, replace: bool = False):
+    """Class decorator registering a no-arg-constructible pipeline stage.
+
+    Registered stages are addressable by name in
+    :meth:`~repro.pipeline.plan.Pipeline.from_names`; registering with
+    ``replace=True`` under a built-in name (``"block"``, ``"extract"``,
+    ``"similarity"``, ``"fit"``, ``"decide"``, ``"cluster"``) swaps that
+    stage in every default plan built afterwards.
+    """
+    return STAGES.register(name, replace=replace)

@@ -24,6 +24,7 @@ for the paper's fully-labeled workflow.
 from __future__ import annotations
 
 import time
+import warnings
 
 from repro.core.combination import DecisionLayer, build_combiner
 from repro.core.config import ResolverConfig
@@ -46,9 +47,8 @@ from repro.extraction.pipeline import ExtractionPipeline
 from repro.graph.components import UnionFind
 from repro.graph.entity_graph import DecisionGraph, WeightedPairGraph
 from repro.ml.sampling import sample_training_pairs
-from repro.runtime.cache import SimilarityCache
 from repro.runtime.executor import BlockExecutor, executor_from_config
-from repro.runtime.stats import RunStats, TaskStats
+from repro.runtime.stats import RunStats
 from repro.similarity.functions import functions_subset
 
 __all__ = [
@@ -123,6 +123,7 @@ class EntityResolver:
         graphs: dict[str, WeightedPairGraph] | None = None,
         graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None = None,
         executor: BlockExecutor | None = None,
+        plan=None,
     ) -> ResolverModel:
         """Learn decision criteria and combination parameters from labels.
 
@@ -132,6 +133,13 @@ class EntityResolver:
         learned parameters.  The returned
         :class:`~repro.core.model.ResolverModel` predicts without labels
         and serializes with ``save``/``load``.
+
+        Collection fitting is a thin driver over a stage plan (see
+        :mod:`repro.pipeline`): the default
+        :func:`~repro.pipeline.plan.fit_plan` runs ``block → extract →
+        similarity → fit``, and a custom ``plan=`` swaps any stage
+        without touching this method.  The run's per-stage timings land
+        on the returned model's ``fit_stage_stats``.
 
         Fitting also seeds a one-shot per-block layer cache (holding the
         block's similarity graphs) for the immediate fit → predict pass;
@@ -155,6 +163,10 @@ class EntityResolver:
                 Serial and parallel fitting produce identical models; the
                 pass's :class:`~repro.runtime.stats.RunStats` lands on
                 the returned model's ``fit_stats``.
+            plan: a custom :class:`~repro.pipeline.plan.Pipeline`
+                producing a :class:`~repro.pipeline.artifacts.Decisions`
+                artifact (collection fitting only; default:
+                :func:`~repro.pipeline.plan.fit_plan`).
 
         Raises:
             ValueError: when a block's similarity graphs cannot be
@@ -180,90 +192,37 @@ class EntityResolver:
             raise ValueError(
                 "features/graphs apply to single-block fitting; "
                 "pass graphs_by_name= for a collection")
+        from repro.pipeline.artifacts import Corpus, Decisions
+        from repro.pipeline.plan import fit_plan
+        from repro.pipeline.stage import PipelineContext
+
         executor = executor or executor_from_config(self.config)
+        plan = plan or fit_plan(self.config)
         started = time.perf_counter()
-        resolved_pipeline = pipeline or self._pipeline
-        stats = RunStats(phase="fit", executor=executor.name,
-                         workers=executor.workers)
-        if executor.is_serial:
-            blocks, resolved_pipeline = self._fit_collection_serial(
-                data, resolved_pipeline, graphs_by_name, training_seed, stats)
-        else:
-            blocks, resolved_pipeline = self._fit_collection_parallel(
-                data, resolved_pipeline, graphs_by_name, training_seed, stats,
-                executor)
+        ctx = PipelineContext(
+            config=self.config,
+            executor=executor,
+            phase="fit",
+            resolver=self,
+            extraction=pipeline or self._pipeline,
+            graphs_by_name=graphs_by_name,
+            training_seed=training_seed,
+        )
+        decisions = plan.run(Corpus(collection=data), ctx)
+        if not isinstance(decisions, Decisions):
+            raise TypeError(
+                f"fit plan {plan.name!r} produced "
+                f"{type(decisions).__name__}, expected Decisions")
+        stats = ctx.engine_stats() or RunStats(
+            phase="fit", executor=executor.name, workers=executor.workers)
+        # The pass's wall clock covers the whole plan, not just the fit
+        # stage (matching the pre-pipeline accounting).
         stats.wall_seconds = time.perf_counter() - started
-        model = ResolverModel(config=self.config, blocks=blocks,
-                              pipeline=resolved_pipeline)
+        model = ResolverModel(config=self.config, blocks=decisions.fitted,
+                              pipeline=ctx.extraction)
         model.fit_stats = stats
+        model.fit_stage_stats = list(ctx.stage_stats)
         return model
-
-    def _fit_collection_serial(
-        self,
-        data: DocumentCollection,
-        resolved_pipeline: ExtractionPipeline | None,
-        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
-        training_seed: int,
-        stats: RunStats,
-    ) -> tuple[dict[str, FittedBlock], ExtractionPipeline | None]:
-        # The cache lives for this fit pass only: it counts scored pairs
-        # for RunStats and dedups graph work, without retaining quadratic
-        # state past the pass.
-        cache = SimilarityCache()
-        blocks: dict[str, FittedBlock] = {}
-        for block in data:
-            block_started = time.perf_counter()
-            misses_before = cache.pair_misses
-            hits_before = cache.pair_hits
-            block_graphs = (graphs_by_name or {}).get(block.query_name)
-            if block_graphs is None:
-                if resolved_pipeline is None:
-                    resolved_pipeline = resolve_extraction_pipeline(data)
-                block_graphs = compute_similarity_graphs(
-                    block, resolved_pipeline.extract_block(block),
-                    self._functions, cache=cache)
-            blocks[block.query_name] = self.fit_block(
-                block, block_graphs, training_seed)
-            stats.add_task(TaskStats(
-                query_name=block.query_name,
-                seconds=time.perf_counter() - block_started,
-                pairs_scored=cache.pair_misses - misses_before,
-                cache_hits=cache.pair_hits - hits_before,
-                cache_misses=cache.pair_misses - misses_before,
-            ))
-            cache.drop_block(block)
-        return blocks, resolved_pipeline
-
-    def _fit_collection_parallel(
-        self,
-        data: DocumentCollection,
-        resolved_pipeline: ExtractionPipeline | None,
-        graphs_by_name: dict[str, dict[str, WeightedPairGraph]] | None,
-        training_seed: int,
-        stats: RunStats,
-        executor: BlockExecutor,
-    ) -> tuple[dict[str, FittedBlock], ExtractionPipeline | None]:
-        from repro.runtime.tasks import FitBlockTask, run_fit_block
-
-        payloads = []
-        for block in data:
-            block_graphs = (graphs_by_name or {}).get(block.query_name)
-            if block_graphs is None and resolved_pipeline is None:
-                resolved_pipeline = resolve_extraction_pipeline(data)
-            payloads.append(FitBlockTask(
-                config=self.config,
-                block=block,
-                graphs=block_graphs,
-                pipeline=(None if block_graphs is not None
-                          else resolved_pipeline),
-                training_seed=training_seed,
-            ))
-        blocks: dict[str, FittedBlock] = {}
-        for query_name, fitted, task_stats in executor.run(run_fit_block,
-                                                           payloads):
-            blocks[query_name] = fitted
-            stats.add_task(task_stats)
-        return blocks, resolved_pipeline
 
     def _block_graphs(
         self,
@@ -372,6 +331,10 @@ class EntityResolver:
                 (``query name -> function name -> graph``) to skip the
                 quadratic similarity step.
         """
+        warnings.warn(
+            "EntityResolver.resolve_collection is deprecated; use "
+            "fit(...) and ResolverModel.evaluate/predict instead",
+            DeprecationWarning, stacklevel=2)
         pipeline = self.pipeline_for(collection)
         # Streamed per block: fitting is per-block, so fit + evaluate one
         # block at a time — each block's graphs are computed once, shared
@@ -411,6 +374,10 @@ class EntityResolver:
             graphs: precomputed weighted graphs (skips extraction *and*
                 similarity computation).
         """
+        warnings.warn(
+            "EntityResolver.resolve_block is deprecated; use fit(...) "
+            "and ResolverModel.evaluate/predict instead",
+            DeprecationWarning, stacklevel=2)
         graphs = self._block_graphs(block, pipeline, features, graphs)
         model = self.fit(block, training_seed=training_seed, graphs=graphs)
         return model.evaluate_block(block, graphs=graphs)

@@ -124,12 +124,22 @@ class RunResult:
     Attributes:
         stats: aggregated engine stats across the runs (fit + evaluate
             passes), when the strategy ran through the engine.
+        stage_seconds: aggregated per-stage wall time across the runs'
+            plan executions (``stage name -> seconds``), when the
+            strategy ran through stage plans.
     """
 
     label: str
     #: one entry per run: query name -> metric report
     per_seed_reports: list[dict[str, MetricReport]] = field(default_factory=list)
     stats: RunStats | None = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def add_stage_stats(self, stage_stats) -> None:
+        """Fold one plan run's per-stage timings into the aggregate."""
+        for entry in stage_stats or []:
+            self.stage_seconds[entry.stage] = (
+                self.stage_seconds.get(entry.stage, 0.0) + entry.seconds)
 
     def names(self) -> list[str]:
         return list(self.per_seed_reports[0]) if self.per_seed_reports else []
@@ -157,9 +167,11 @@ def run_config(context: ExperimentContext, config: ResolverConfig,
 
     Each run fits a fresh :class:`~repro.core.model.ResolverModel` on its
     training draw, then evaluates the model's (label-free) predictions —
-    the same fit → predict → score split the serving API uses.  ``executor``
-    (default: the config's) schedules the per-block work of both passes;
-    per-run engine stats accumulate on the result.
+    the same fit → predict → score split the serving API uses.  Both
+    passes are stage-plan executions; their per-stage timings accumulate
+    on the result's ``stage_seconds`` alongside the merged engine stats.
+    ``executor`` (default: the config's) schedules the per-block work of
+    both passes.
     """
     resolver = EntityResolver(config)
     result = RunResult(label=label or config.combiner)
@@ -177,6 +189,8 @@ def run_config(context: ExperimentContext, config: ResolverConfig,
                 continue
             result.stats = (stats if result.stats is None
                             else result.stats.merged(stats, phase="protocol"))
+        result.add_stage_stats(model.fit_stage_stats)
+        result.add_stage_stats(resolution.stage_stats)
     return result
 
 

@@ -1,0 +1,377 @@
+"""Online serving facade — the request path of a deployed resolver.
+
+A :class:`ResolutionSession` loads a fitted
+:class:`~repro.core.model.ResolverModel` once and then serves
+``session.resolve(pages)`` calls: each incoming page is blocked by its
+query name, routed to that block's *prepared state* (fitted decision
+layers adopted into an :class:`~repro.core.incremental.IncrementalResolver`),
+and assigned to an existing entity or a new one in
+O(block pages × layers) — no labels read, no re-training, no quadratic
+re-resolution per request.
+
+Prepared state is built through a pared-down predict pass on first
+contact with a name — extraction → similarity graphs → fitted decisions
+→ clustering when the first request carries several pages (the "initial
+crawl"), or straight fitted-state adoption with an empty entity index
+when a single page arrives cold — and kept in a bounded LRU so a
+long-lived process serving many hot names stays within memory budget.
+Evicted names simply rebuild on next contact.
+
+Typical deployment loop::
+
+    session = ResolutionSession.open("model.json", pipeline=pipeline)
+    for request in traffic:                    # single pages or batches
+        assignments = session.resolve(request.pages)
+
+``repro pipeline explain`` shows the batch plans; ``repro serve`` runs a
+demo loop over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.incremental import (
+    INCREMENTAL_COMBINERS,
+    Assignment,
+    IncrementalResolver,
+)
+from repro.core.model import ResolverModel
+from repro.corpus.documents import NameCollection, WebPage
+from repro.extraction.features import PageFeatures
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.metrics.clusterings import Clustering
+
+__all__ = ["ResolutionSession", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Lifetime counters of one serving session.
+
+    Attributes:
+        requests: ``resolve`` calls served.
+        pages: pages assigned across all requests.
+        incremental_assignments: pages routed through the incremental
+            request path (vs batch bootstrap).
+        new_entities: assignments that founded a new entity.
+        prepared_blocks: per-name prepared states built (bootstraps,
+            including rebuilds after eviction).
+        evicted_blocks: prepared states dropped by the LRU bound.
+        seconds_total: wall time spent inside ``resolve``.
+    """
+
+    requests: int = 0
+    pages: int = 0
+    incremental_assignments: int = 0
+    new_entities: int = 0
+    prepared_blocks: int = 0
+    evicted_blocks: int = 0
+    seconds_total: float = 0.0
+
+    @property
+    def mean_request_seconds(self) -> float:
+        """Mean ``resolve`` latency (0.0 before the first request)."""
+        if self.requests == 0:
+            return 0.0
+        return self.seconds_total / self.requests
+
+    def summary(self) -> str:
+        """One line for CLI output."""
+        return (f"[session] {self.requests} requests / {self.pages} pages; "
+                f"{self.prepared_blocks} blocks prepared, "
+                f"{self.evicted_blocks} evicted; "
+                f"{self.new_entities} new entities; "
+                f"mean latency {self.mean_request_seconds * 1000:.2f}ms")
+
+
+@dataclass
+class _PreparedBlock:
+    """One name's request-path state: adopted layers + live entity index."""
+
+    query_name: str
+    incremental: IncrementalResolver
+    #: raw pages seen so far — the extraction context for new pages
+    #: (TF-IDF is fit per block, so a page is extracted among its block).
+    pages: list[WebPage] = field(default_factory=list)
+
+
+class ResolutionSession:
+    """Serve single/new unlabeled pages from a fitted model.
+
+    Args:
+        model: a fitted resolver model (typically ``ResolverModel.load``).
+        pipeline: extraction pipeline for raw pages (defaults to the
+            model's; required unless every ``resolve`` call supplies
+            precomputed features).
+        max_blocks: LRU bound on concurrently prepared name blocks.
+        model_block: fitted block whose state serves names the model was
+            never fitted on (same semantics as ``predict``'s).
+
+    Raises:
+        ValueError: for model combiners without incremental support, or
+            a non-positive ``max_blocks``.
+    """
+
+    def __init__(self, model: ResolverModel,
+                 pipeline: ExtractionPipeline | None = None,
+                 max_blocks: int = 32,
+                 model_block: str | None = None):
+        if max_blocks < 1:
+            raise ValueError(f"max_blocks must be >= 1, got {max_blocks}")
+        if model.config.combiner not in INCREMENTAL_COMBINERS:
+            raise ValueError(
+                f"the session's request path does not support combiner "
+                f"{model.config.combiner!r}")
+        self.model = model
+        self.extraction = pipeline or model.pipeline
+        self.max_blocks = max_blocks
+        self.model_block = model_block
+        self._prepared: OrderedDict[str, _PreparedBlock] = OrderedDict()
+        self.stats = SessionStats()
+
+    @classmethod
+    def open(cls, path, pipeline: ExtractionPipeline | None = None,
+             **kwargs) -> "ResolutionSession":
+        """Load a saved model once and wrap it in a serving session.
+
+        Args:
+            path: a model JSON written by :meth:`ResolverModel.save`.
+            pipeline: extraction pipeline (models never serialize one).
+            **kwargs: forwarded to the constructor.
+        """
+        return cls(ResolverModel.load(path), pipeline=pipeline, **kwargs)
+
+    # -- the request path ------------------------------------------------
+
+    def resolve(
+        self,
+        pages: WebPage | NameCollection | list[WebPage],
+        features: dict[str, PageFeatures] | None = None,
+    ) -> list[Assignment]:
+        """Assign every incoming page to an entity; one request.
+
+        Pages are grouped by query name (the blocking step).  A name
+        with prepared state routes each page through incremental
+        assignment; a name seen for the first time bootstraps — a batch
+        predict pass when the request carries several of its pages, an
+        empty entity index when a single page arrives cold.
+
+        Args:
+            pages: a single page, a list of pages, or a block.
+            features: optional precomputed features by doc id — pages
+                not covered are extracted with the session's pipeline.
+
+        Returns:
+            One :class:`~repro.core.incremental.Assignment` per page, in
+            input order.
+
+        Raises:
+            KeyError: for a query name without fitted state when no
+                ``model_block`` fallback is configured.
+            ValueError: when extraction is needed but the session has no
+                pipeline, or a page was already resolved.
+        """
+        started = time.perf_counter()
+        page_list = self._normalize(pages)
+        grouped: OrderedDict[str, list[WebPage]] = OrderedDict()
+        for page in page_list:
+            grouped.setdefault(page.query_name, []).append(page)
+
+        # Fail atomically: an unknown name must reject the request
+        # before any page is assigned, or a retry of the same request
+        # would hit "already resolved" for its valid pages.
+        for query_name in grouped:
+            if query_name not in self._prepared:
+                self._fallback_for(query_name)
+
+        by_doc: dict[str, Assignment] = {}
+        for query_name, group in grouped.items():
+            prepared = self._lookup(query_name)
+            if prepared is None and len(group) > 1:
+                for assignment in self._bootstrap_batch(query_name, group,
+                                                        features):
+                    by_doc[assignment.doc_id] = assignment
+                continue
+            if prepared is None:
+                prepared = self._bootstrap_empty(query_name)
+            for page in group:
+                assignment = self._assign(prepared, page, features)
+                by_doc[assignment.doc_id] = assignment
+
+        self.stats.requests += 1
+        self.stats.pages += len(page_list)
+        self.stats.seconds_total += time.perf_counter() - started
+        return [by_doc[page.doc_id] for page in page_list]
+
+    def warm(self, block: NameCollection,
+             features: dict[str, PageFeatures] | None = None,
+             graphs: dict | None = None) -> Clustering:
+        """Explicitly bootstrap one name from an initial page batch.
+
+        Runs the pared-down predict pass (extraction → similarity →
+        fitted decisions → clustering) over ``block`` and adopts the
+        result as the name's prepared state.  ``resolve`` does this
+        implicitly for multi-page first contact; ``warm`` exposes it for
+        deployments that pre-load hot names (and lets callers pass
+        precomputed ``graphs``).
+
+        Returns the block's initial entity partition.
+        """
+        block_features = self._block_features(block, features)
+        fallback = self._fallback_for(block.query_name)
+        incremental = IncrementalResolver.from_model(
+            self.model, block, block_features, model_block=fallback,
+            graphs=graphs)
+        self._store(_PreparedBlock(
+            query_name=block.query_name,
+            incremental=incremental,
+            pages=list(block.pages),
+        ))
+        return incremental.clusters()
+
+    # -- inspection ------------------------------------------------------
+
+    def clusters(self, query_name: str) -> Clustering:
+        """The current entity partition of a prepared name.
+
+        Raises:
+            KeyError: when the name has no prepared state (never served,
+                or evicted).
+        """
+        prepared = self._prepared.get(query_name)
+        if prepared is None:
+            raise KeyError(
+                f"no prepared state for {query_name!r}; prepared names "
+                f"are: {', '.join(self._prepared) or '<none>'}")
+        return prepared.incremental.clusters()
+
+    def prepared_names(self) -> list[str]:
+        """Names with live prepared state, least recently used first."""
+        return list(self._prepared)
+
+    def __contains__(self, query_name: object) -> bool:
+        return query_name in self._prepared
+
+    def __repr__(self) -> str:
+        return (f"ResolutionSession({len(self._prepared)}/{self.max_blocks} "
+                f"blocks prepared, {self.stats.requests} requests)")
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _normalize(pages) -> list[WebPage]:
+        if isinstance(pages, WebPage):
+            return [pages]
+        if isinstance(pages, NameCollection):
+            return list(pages.pages)
+        return list(pages)
+
+    def _fallback_for(self, query_name: str) -> str | None:
+        # Force the model's standard unknown-name KeyError when no
+        # fallback is configured.
+        if query_name in self.model.blocks:
+            return None
+        if self.model_block is None:
+            self.model._fitted_for(query_name)
+        return self.model_block
+
+    def _lookup(self, query_name: str) -> _PreparedBlock | None:
+        prepared = self._prepared.get(query_name)
+        if prepared is not None:
+            self._prepared.move_to_end(query_name)
+        return prepared
+
+    def _store(self, prepared: _PreparedBlock) -> None:
+        self._prepared[prepared.query_name] = prepared
+        self._prepared.move_to_end(prepared.query_name)
+        self.stats.prepared_blocks += 1
+        while len(self._prepared) > self.max_blocks:
+            self._prepared.popitem(last=False)
+            self.stats.evicted_blocks += 1
+
+    def _bootstrap_batch(self, query_name: str, group: list[WebPage],
+                         features: dict[str, PageFeatures] | None,
+                         ) -> list[Assignment]:
+        """First contact with several pages: batch-resolve, then adopt."""
+        block = NameCollection(query_name=query_name, pages=list(group))
+        clustering = self.warm(block, features=features)
+        # Synthesize per-page assignments from the batch partition: a
+        # page "creates" its entity iff it is the first request page
+        # landing there.  Batch decisions are joint, so no single pair
+        # probability applies; report 1.0.
+        index_of: dict[str, int] = {}
+        for index, cluster in enumerate(clustering):
+            for doc_id in cluster:
+                index_of[doc_id] = index
+        assignments = []
+        seen_clusters: set[int] = set()
+        for page in group:
+            index = index_of[page.doc_id]
+            created = index not in seen_clusters
+            seen_clusters.add(index)
+            if created:
+                self.stats.new_entities += 1
+            assignments.append(Assignment(
+                doc_id=page.doc_id,
+                cluster_index=index,
+                created_new_cluster=created,
+                link_probability=1.0,
+            ))
+        return assignments
+
+    def _bootstrap_empty(self, query_name: str) -> _PreparedBlock:
+        """First contact with a single page: adopt state, empty index."""
+        fallback = self._fallback_for(query_name)
+        fitted = self.model.blocks[fallback or query_name]
+        prepared = _PreparedBlock(
+            query_name=query_name,
+            incremental=IncrementalResolver.from_fitted(
+                self.model.config, fitted),
+        )
+        self._store(prepared)
+        return prepared
+
+    def _assign(self, prepared: _PreparedBlock, page: WebPage,
+                features: dict[str, PageFeatures] | None) -> Assignment:
+        page_features = (features or {}).get(page.doc_id)
+        if page_features is None:
+            page_features = self._extract_page(prepared, page)
+        assignment = prepared.incremental.add_page(page_features)
+        prepared.pages.append(page)
+        self.stats.incremental_assignments += 1
+        if assignment.created_new_cluster:
+            self.stats.new_entities += 1
+        return assignment
+
+    def _extract_page(self, prepared: _PreparedBlock,
+                      page: WebPage) -> PageFeatures:
+        """Extract one new page in the context of its current block.
+
+        TF-IDF is fit per block, so the page is extracted together with
+        the pages already served for the name.
+        """
+        if self.extraction is None:
+            raise ValueError(
+                "session has no extraction pipeline; pass pipeline= at "
+                "construction or precomputed features to resolve()")
+        block = NameCollection(query_name=prepared.query_name,
+                               pages=prepared.pages + [page])
+        return self.extraction.extract_block(block)[page.doc_id]
+
+    def _block_features(
+        self, block: NameCollection,
+        features: dict[str, PageFeatures] | None,
+    ) -> dict[str, PageFeatures]:
+        if features is not None:
+            covered = {page.doc_id: features[page.doc_id]
+                       for page in block.pages if page.doc_id in features}
+            if len(covered) == len(block.pages):
+                return covered
+        if self.extraction is None:
+            raise ValueError(
+                "session has no extraction pipeline; pass pipeline= at "
+                "construction or features covering the whole block")
+        return self.extraction.extract_block(block)

@@ -37,15 +37,17 @@ def _block_graphs(
     pipeline: "ExtractionPipeline | None",
     functions: list[SimilarityFunction],
     cache: SimilarityCache,
+    features: dict | None = None,
 ) -> dict[str, "WeightedPairGraph"]:
     """Shipped graphs, or a fresh cached computation in this worker."""
     if graphs is not None:
         return graphs
-    if pipeline is None:
-        raise ValueError(
-            f"block {block.query_name!r} has neither precomputed graphs "
-            f"nor a pipeline to extract with")
-    features = cache.features_for(block, pipeline.extract_block)
+    if features is None:
+        if pipeline is None:
+            raise ValueError(
+                f"block {block.query_name!r} has neither precomputed graphs, "
+                f"features, nor a pipeline to extract with")
+        features = cache.features_for(block, pipeline.extract_block)
     return batched_similarity_graphs(block, features, functions, cache=cache)
 
 
@@ -92,6 +94,9 @@ class FitBlockTask:
     graphs: dict[str, "WeightedPairGraph"] | None
     pipeline: "ExtractionPipeline | None"
     training_seed: int
+    #: materialized features from an eager extraction stage (skips
+    #: in-worker extraction when graphs are absent).
+    features: dict | None = None
 
 
 def run_fit_block(payload: FitBlockTask) -> tuple[str, Any, TaskStats]:
@@ -107,7 +112,8 @@ def run_fit_block(payload: FitBlockTask) -> tuple[str, Any, TaskStats]:
     cache = SimilarityCache()
     resolver = EntityResolver(payload.config)
     graphs = _block_graphs(payload.block, payload.graphs, payload.pipeline,
-                           resolver.functions, cache)
+                           resolver.functions, cache,
+                           features=payload.features)
     fitted = resolver.fit_block(payload.block, graphs,
                                 training_seed=payload.training_seed)
     fitted._layer_cache = None
@@ -126,6 +132,9 @@ class PredictBlockTask:
     graphs: dict[str, "WeightedPairGraph"] | None
     pipeline: "ExtractionPipeline | None"
     evaluate: bool
+    #: materialized features from an eager extraction stage (skips
+    #: in-worker extraction when graphs are absent).
+    features: dict | None = None
 
 
 def run_predict_block(payload: PredictBlockTask) -> tuple[str, Any, TaskStats]:
@@ -143,6 +152,8 @@ def run_predict_block(payload: PredictBlockTask) -> tuple[str, Any, TaskStats]:
                           pipeline=payload.pipeline)
     kwargs = {"graphs": payload.graphs,
               "model_block": payload.fitted.query_name}
+    if payload.graphs is None and payload.features is not None:
+        kwargs["features"] = payload.features
     if payload.evaluate:
         result = model.evaluate_block(payload.block, **kwargs)
     else:

@@ -155,3 +155,30 @@ class TestResolveCollection:
         resolver = EntityResolver(ResolverConfig(function_names=("F8",)))
         with pytest.raises(ValueError, match="vocabulary metadata"):
             resolver.resolve_collection(stripped)
+
+
+class TestDeprecatedWrappers:
+    """The docstrings said "deprecated:: 1.1" — the runtime now agrees."""
+
+    def test_resolve_block_warns(self, small_block, block_graphs):
+        resolver = EntityResolver(ResolverConfig(function_names=("F8",)))
+        with pytest.warns(DeprecationWarning,
+                          match="resolve_block is deprecated"):
+            resolver.resolve_block(small_block, training_seed=0,
+                                   graphs=block_graphs)
+
+    def test_resolve_collection_warns(self, small_dataset):
+        resolver = EntityResolver(ResolverConfig(function_names=("F8",)))
+        with pytest.warns(DeprecationWarning,
+                          match="resolve_collection is deprecated"):
+            resolver.resolve_collection(small_dataset, training_seed=0)
+
+    def test_fit_predict_does_not_warn(self, small_block, block_graphs):
+        import warnings
+
+        resolver = EntityResolver(ResolverConfig(function_names=("F8",)))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            model = resolver.fit(small_block, training_seed=0,
+                                 graphs=block_graphs)
+            model.evaluate_block(small_block, graphs=block_graphs)

@@ -1,0 +1,140 @@
+"""Staged fit/predict must be bit-identical to the pre-pipeline path.
+
+The acceptance bar of the pipeline redesign: rehosting the monolithic
+collection loops onto stage plans changes *structure*, never *values*.
+These tests replicate the pre-redesign loops inline (the same way the
+runtime benchmark keeps a seed-path replica) and compare every
+observable output — fitted state, predictions, combination
+probabilities and metric reports — for serial and ``--workers 2``
+execution at several training seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.model import ResolverModel
+from repro.core.resolver import EntityResolver
+from repro.experiments.runner import ExperimentContext
+from repro.runtime.executor import ProcessPoolBlockExecutor
+
+SEEDS = [0, 1]
+
+
+@pytest.fixture(scope="module")
+def context(small_dataset):
+    return ExperimentContext.prepare(small_dataset)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    # Oversubscribed so a genuine pool runs even on one-core hosts.
+    return ProcessPoolBlockExecutor(workers=2, oversubscribe=True)
+
+
+def legacy_fit(resolver: EntityResolver, context,
+               training_seed: int) -> ResolverModel:
+    """The pre-pipeline serial fit loop, replicated verbatim."""
+    blocks = {}
+    for block in context.collection:
+        blocks[block.query_name] = resolver.fit_block(
+            block, context.graphs_by_name[block.query_name], training_seed)
+    return ResolverModel(config=resolver.config, blocks=blocks)
+
+
+def legacy_evaluate(model: ResolverModel, context) -> list:
+    """The pre-pipeline serial evaluate loop, replicated verbatim."""
+    results = []
+    for block in context.collection:
+        results.append(model.evaluate_block(
+            block, graphs=context.graphs_by_name[block.query_name]))
+    model.release_fit_caches()
+    return results
+
+
+class TestFitParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_staged_serial_fit_matches_legacy(self, context, seed):
+        staged = EntityResolver(ResolverConfig()).fit(
+            context.collection, training_seed=seed,
+            graphs_by_name=context.graphs_by_name)
+        legacy = legacy_fit(EntityResolver(ResolverConfig()), context, seed)
+        assert list(staged.blocks) == list(legacy.blocks)
+        for name in staged.blocks:
+            # The serialized form covers every learned number.
+            assert (staged.blocks[name].to_dict()
+                    == legacy.blocks[name].to_dict()), name
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_staged_workers2_fit_matches_legacy(self, context, parallel,
+                                                seed):
+        staged = EntityResolver(ResolverConfig()).fit(
+            context.collection, training_seed=seed,
+            graphs_by_name=context.graphs_by_name, executor=parallel)
+        legacy = legacy_fit(EntityResolver(ResolverConfig()), context, seed)
+        for name in staged.blocks:
+            assert (staged.blocks[name].to_dict()
+                    == legacy.blocks[name].to_dict()), name
+
+
+class TestPredictParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_staged_evaluate_matches_legacy(self, context, seed):
+        resolver = EntityResolver(ResolverConfig())
+        staged_model = resolver.fit(context.collection, training_seed=seed,
+                                    graphs_by_name=context.graphs_by_name)
+        staged = staged_model.evaluate_collection(
+            context.collection, graphs_by_name=context.graphs_by_name)
+
+        legacy_model = legacy_fit(EntityResolver(ResolverConfig()), context,
+                                  seed)
+        legacy = legacy_evaluate(legacy_model, context)
+
+        assert [b.query_name for b in staged.blocks] == \
+            [b.query_name for b in legacy]
+        for left, right in zip(staged.blocks, legacy):
+            assert left.predicted == right.predicted
+            assert left.report == right.report
+            assert left.chosen_layer == right.chosen_layer
+            assert left.layer_accuracies == right.layer_accuracies
+            assert (left.combination.probabilities.weights
+                    == right.combination.probabilities.weights)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_staged_workers2_evaluate_matches_legacy(self, context, parallel,
+                                                     seed):
+        resolver = EntityResolver(ResolverConfig())
+        staged_model = resolver.fit(context.collection, training_seed=seed,
+                                    graphs_by_name=context.graphs_by_name,
+                                    executor=parallel)
+        staged = staged_model.evaluate_collection(
+            context.collection, graphs_by_name=context.graphs_by_name,
+            executor=parallel)
+
+        legacy_model = legacy_fit(EntityResolver(ResolverConfig()), context,
+                                  seed)
+        legacy = legacy_evaluate(legacy_model, context)
+        for left, right in zip(staged.blocks, legacy):
+            assert left.predicted == right.predicted
+            assert left.report == right.report
+            assert (left.combination.probabilities.weights
+                    == right.combination.probabilities.weights)
+
+    def test_staged_predict_without_precomputed_graphs(self, small_dataset):
+        """End-to-end (extraction inside the plan) matches the graph-fed
+        path — the similarity stage computes what the context would."""
+        resolver = EntityResolver(ResolverConfig())
+        model = resolver.fit(small_dataset, training_seed=0)
+        unlabeled = small_dataset.without_labels()
+        from_scratch = model.predict_collection(unlabeled)
+
+        context = ExperimentContext.prepare(small_dataset)
+        fed_model = EntityResolver(ResolverConfig()).fit(
+            small_dataset, training_seed=0,
+            graphs_by_name=context.graphs_by_name)
+        fed = fed_model.predict_collection(
+            unlabeled, graphs_by_name=context.graphs_by_name)
+        for left, right in zip(from_scratch.blocks, fed.blocks):
+            assert left.predicted == right.predicted
+            assert left.chosen_layer == right.chosen_layer

@@ -1,0 +1,219 @@
+"""ResolutionSession — the online request path.
+
+The acceptance bar: a held-out page resolved through the session gets
+exactly the assignment a hand-driven
+:class:`~repro.core.incremental.IncrementalResolver` would produce from
+the same fitted model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.incremental import IncrementalResolver
+from repro.core.model import ResolverModel
+from repro.core.resolver import EntityResolver
+from repro.corpus.documents import NameCollection
+from repro.pipeline import ResolutionSession
+from repro.pipeline.session import SessionStats
+
+
+@pytest.fixture(scope="module")
+def split_block(small_block, block_features):
+    pages = list(small_block.pages)
+    base = NameCollection(query_name=small_block.query_name,
+                          pages=pages[:-6])
+    held_out = pages[-6:]
+    base_features = {page.doc_id: block_features[page.doc_id]
+                     for page in base.pages}
+    return base, base_features, held_out
+
+
+@pytest.fixture(scope="module")
+def fitted_model(split_block):
+    base, base_features, _ = split_block
+    return EntityResolver(ResolverConfig()).fit(
+        base, training_seed=0, features=base_features)
+
+
+@pytest.fixture()
+def saved_model(fitted_model, tmp_path):
+    path = tmp_path / "model.json"
+    fitted_model.save(path)
+    return path
+
+
+class TestBootstrap:
+    def test_batch_bootstrap_matches_model_predict(self, split_block,
+                                                   saved_model,
+                                                   block_features):
+        base, base_features, _ = split_block
+        session = ResolutionSession.open(saved_model)
+        assignments = session.resolve(list(base.pages),
+                                      features=base_features)
+        assert len(assignments) == len(base.pages)
+        assert [a.doc_id for a in assignments] == base.page_ids()
+
+        model = ResolverModel.load(saved_model)
+        prediction = model.predict_block(base, features=base_features)
+        assert session.clusters(base.query_name) == prediction.predicted
+        # One bootstrap assignment per predicted entity founded it.
+        founders = sum(1 for a in assignments if a.created_new_cluster)
+        assert founders == len(prediction.predicted)
+
+    def test_single_page_cold_start_founds_entity(self, split_block,
+                                                  saved_model,
+                                                  block_features):
+        base, _, held_out = split_block
+        session = ResolutionSession.open(saved_model)
+        page = held_out[0]
+        assignment = session.resolve(
+            page, features={page.doc_id: block_features[page.doc_id]})[0]
+        assert assignment.created_new_cluster
+        assert assignment.cluster_index == 0
+        assert session.clusters(base.query_name) is not None
+
+    def test_unknown_name_raises_models_keyerror(self, saved_model,
+                                                 small_dataset):
+        session = ResolutionSession.open(saved_model)
+        other = small_dataset.by_name("Adam Cheyer").pages[0]
+        with pytest.raises(KeyError, match="no fitted state"):
+            session.resolve(other)
+
+    def test_unknown_name_rejects_request_atomically(self, split_block,
+                                                     saved_model,
+                                                     small_dataset,
+                                                     block_features):
+        """A mixed request with one unknown name assigns nothing, so the
+        same request can be retried after the caller fixes it."""
+        base, base_features, held_out = split_block
+        session = ResolutionSession.open(saved_model)
+        session.resolve(list(base.pages), features=base_features)
+
+        known = held_out[0]
+        unknown = small_dataset.by_name("Adam Cheyer").pages[0]
+        features = {known.doc_id: block_features[known.doc_id]}
+        with pytest.raises(KeyError, match="no fitted state"):
+            session.resolve([known, unknown], features=features)
+        # The valid page was not consumed: the retry without the bad
+        # name succeeds instead of raising "already resolved".
+        assignment = session.resolve(known, features=features)[0]
+        assert assignment.doc_id == known.doc_id
+
+    def test_model_block_fallback_serves_unknown_names(self, split_block,
+                                                       saved_model,
+                                                       small_dataset,
+                                                       pipeline):
+        base, _, _ = split_block
+        session = ResolutionSession.open(
+            saved_model, pipeline=pipeline, model_block=base.query_name)
+        other = small_dataset.by_name("Adam Cheyer").pages[0]
+        assignment = session.resolve(other)[0]
+        assert assignment.created_new_cluster
+        assert "Adam Cheyer" in session.prepared_names()
+
+
+class TestIncrementalParity:
+    def test_held_out_pages_match_incremental_resolver(self, split_block,
+                                                       saved_model,
+                                                       block_features):
+        """The acceptance case: session.resolve == IncrementalResolver."""
+        base, base_features, held_out = split_block
+        session = ResolutionSession.open(saved_model)
+        session.resolve(list(base.pages), features=base_features)
+
+        reference = IncrementalResolver.from_model(
+            ResolverModel.load(saved_model), base, base_features)
+
+        for page in held_out:
+            features = {page.doc_id: block_features[page.doc_id]}
+            ours = session.resolve(page, features=features)[0]
+            expected = reference.add_page(block_features[page.doc_id])
+            assert ours.doc_id == expected.doc_id
+            assert ours.cluster_index == expected.cluster_index
+            assert ours.created_new_cluster == expected.created_new_cluster
+            assert ours.link_probability == expected.link_probability
+        assert session.clusters(base.query_name) == reference.clusters()
+
+    def test_extraction_fallback_when_no_features(self, split_block,
+                                                  saved_model, pipeline):
+        """Pages without precomputed features are extracted in block
+        context — the request path works from raw pages alone."""
+        base, base_features, held_out = split_block
+        session = ResolutionSession.open(saved_model, pipeline=pipeline)
+        session.resolve(list(base.pages), features=base_features)
+        assignment = session.resolve(held_out[0])[0]
+        assert assignment.doc_id == held_out[0].doc_id
+        total = session.clusters(base.query_name).n_items()
+        assert total == len(base.pages) + 1
+
+    def test_duplicate_page_rejected(self, split_block, saved_model,
+                                     block_features):
+        base, base_features, held_out = split_block
+        session = ResolutionSession.open(saved_model)
+        session.resolve(list(base.pages), features=base_features)
+        page = held_out[0]
+        features = {page.doc_id: block_features[page.doc_id]}
+        session.resolve(page, features=features)
+        with pytest.raises(ValueError, match="already resolved"):
+            session.resolve(page, features=features)
+
+
+class TestLruAndStats:
+    def test_lru_evicts_least_recent_block(self, small_dataset, pipeline):
+        model = EntityResolver(ResolverConfig()).fit(small_dataset,
+                                                     training_seed=0)
+        session = ResolutionSession(model, pipeline=pipeline, max_blocks=2)
+        names = small_dataset.query_names()
+        for name in names:  # three blocks through a two-slot LRU
+            session.resolve(list(small_dataset.by_name(name).pages))
+        assert len(session.prepared_names()) == 2
+        assert names[0] not in session
+        assert session.stats.evicted_blocks == 1
+        with pytest.raises(KeyError, match="no prepared state"):
+            session.clusters(names[0])
+
+    def test_evicted_block_rebuilds_on_next_contact(self, small_dataset,
+                                                    pipeline):
+        model = EntityResolver(ResolverConfig()).fit(small_dataset,
+                                                     training_seed=0)
+        session = ResolutionSession(model, pipeline=pipeline, max_blocks=1)
+        names = small_dataset.query_names()
+        session.resolve(list(small_dataset.by_name(names[0]).pages))
+        session.resolve(list(small_dataset.by_name(names[1]).pages))
+        assert names[0] not in session
+        # Back to the evicted name: a fresh bootstrap serves it again.
+        session.resolve(list(small_dataset.by_name(names[0]).pages))
+        assert names[0] in session
+        assert session.stats.prepared_blocks == 3
+
+    def test_stats_counters(self, split_block, saved_model, block_features):
+        base, base_features, held_out = split_block
+        session = ResolutionSession.open(saved_model)
+        session.resolve(list(base.pages), features=base_features)
+        for page in held_out[:2]:
+            session.resolve(page,
+                            features={page.doc_id: block_features[page.doc_id]})
+        stats = session.stats
+        assert stats.requests == 3
+        assert stats.pages == len(base.pages) + 2
+        assert stats.incremental_assignments == 2
+        assert stats.prepared_blocks == 1
+        assert stats.seconds_total > 0.0
+        assert stats.mean_request_seconds > 0.0
+        assert "3 requests" in stats.summary()
+
+    def test_empty_stats(self):
+        assert SessionStats().mean_request_seconds == 0.0
+
+    def test_invalid_max_blocks(self, fitted_model):
+        with pytest.raises(ValueError, match="max_blocks"):
+            ResolutionSession(fitted_model, max_blocks=0)
+
+    def test_unsupported_combiner(self, small_block, block_features,
+                                  block_graphs):
+        model = EntityResolver(ResolverConfig(combiner="majority")).fit(
+            small_block, training_seed=0, graphs=block_graphs)
+        with pytest.raises(ValueError, match="combiner"):
+            ResolutionSession(model)

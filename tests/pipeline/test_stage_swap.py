@@ -1,0 +1,96 @@
+"""A custom registered blocking stage flows through the whole pipeline.
+
+The satellite acceptance case for composability: registering a blocking
+stage and swapping it into a plan changes the ``Blocks`` artifact (and
+therefore what gets fitted/served) while every other stage — extraction,
+similarity, fitting, serving — runs untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.registry import STAGES, register_stage
+from repro.core.resolver import EntityResolver
+from repro.corpus.documents import DocumentCollection, NameCollection
+from repro.pipeline import Blocks, Corpus, Pipeline, Stage, fit_plan, \
+    predict_plan
+
+TRUNCATE = 12
+
+
+@pytest.fixture(scope="module")
+def truncating_stage_name():
+    """Register a blocker that keeps each block's first pages only."""
+    @register_stage("test_truncate_blocks")
+    class TruncatingBlockingStage(Stage):
+        name = "test_truncate_blocks"
+        consumes = Corpus
+        produces = Blocks
+
+        def run(self, corpus, ctx):
+            blocks = [NameCollection(query_name=block.query_name,
+                                     pages=list(block.pages)[:TRUNCATE])
+                      for block in corpus.collection]
+            return Blocks(blocks=blocks, source=corpus.collection)
+
+    yield "test_truncate_blocks"
+    del STAGES._entries["test_truncate_blocks"]
+
+
+class TestCustomBlockingStage:
+    def test_changes_blocks_artifact_only(self, small_dataset,
+                                          truncating_stage_name):
+        """Fit through the custom blocker == fit on a pre-truncated
+        dataset through the default plan: the other stages behaved
+        identically on the re-blocked input."""
+        plan = Pipeline.from_names(
+            [truncating_stage_name, "extract", "similarity", "fit"],
+            name="truncated-fit")
+        model = EntityResolver(ResolverConfig()).fit(
+            small_dataset, training_seed=0, plan=plan)
+
+        truncated = DocumentCollection(
+            name=small_dataset.name,
+            collections=[NameCollection(query_name=b.query_name,
+                                        pages=list(b.pages)[:TRUNCATE])
+                         for b in small_dataset.collections],
+            metadata=dict(small_dataset.metadata),
+        )
+        reference = EntityResolver(ResolverConfig()).fit(
+            truncated, training_seed=0)
+
+        assert model.block_names() == reference.block_names()
+        for name in model.blocks:
+            assert (model.blocks[name].to_dict()
+                    == reference.blocks[name].to_dict()), name
+
+    def test_flows_through_serving_end_to_end(self, small_dataset,
+                                              truncating_stage_name):
+        """The swapped stage drives predict too: only truncated pages
+        are clustered, through the stock decide/cluster stages."""
+        fit = Pipeline.from_names(
+            [truncating_stage_name, "extract", "similarity", "fit"],
+            name="truncated-fit")
+        serve = Pipeline.from_names(
+            [truncating_stage_name, "extract", "similarity", "decide",
+             "cluster"],
+            name="truncated-predict")
+        model = EntityResolver(ResolverConfig()).fit(
+            small_dataset, training_seed=0, plan=fit)
+        prediction = model.predict_collection(small_dataset.without_labels(),
+                                              plan=serve)
+        assert len(prediction.blocks) == len(small_dataset.collections)
+        for block in prediction.blocks:
+            assert block.predicted.n_items() == TRUNCATE
+
+    def test_default_plan_unaffected(self, small_dataset,
+                                     truncating_stage_name):
+        """Registering under a fresh name never leaks into default plans."""
+        assert fit_plan(ResolverConfig()).stage_names()[0] == "block"
+        assert predict_plan(ResolverConfig()).stage_names()[0] == "block"
+        model = EntityResolver(ResolverConfig()).fit(small_dataset,
+                                                     training_seed=0)
+        first = small_dataset.collections[0]
+        assert model.blocks[first.query_name].n_training > 0
