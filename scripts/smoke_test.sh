@@ -43,27 +43,36 @@ run serve --in "$workdir/data.json" --model "$workdir/model.json" \
 grep -q "\[session\]" "$workdir/serve.out" || {
     echo "serve did not print a session summary" >&2; exit 1; }
 
-echo "== fit/predict --workers 2 (engine parity) =="
+echo "== fit/predict --workers 2 + --backend numpy (engine parity) =="
 # Comparing fits across *separate interpreter processes* needs a pinned
-# hash seed: Pearson similarity sums over set unions, and per-process
-# hash randomization permutes the float additions in the last ulp.
-# (Within one process, serial vs parallel is bit-identical without this —
-# pool workers fork and inherit the parent's hash seed.)
+# hash seed: downstream stages still iterate sets, and per-process hash
+# randomization can permute float additions in the last ulp.  (Within
+# one process, serial vs parallel vs either scoring backend is
+# bit-identical without this — pool workers fork and inherit the
+# parent's hash seed, and backends share a canonical fold order.)
 ( export PYTHONHASHSEED=0
   run fit --in "$workdir/data.json" --model "$workdir/model_serial.json"
   run --workers 2 fit --in "$workdir/data.json" \
-      --model "$workdir/model_workers2.json" )
+      --model "$workdir/model_workers2.json"
+  run --backend numpy fit --in "$workdir/data.json" \
+      --model "$workdir/model_numpy.json" )
 run --workers 2 predict --in "$workdir/data.json" \
     --model "$workdir/model_workers2.json" --evaluate
-# Parallel fitting must learn exactly the serial model (fitted state is
-# JSON, so byte-compare the block payloads).
+run --backend numpy predict --in "$workdir/data.json" \
+    --model "$workdir/model_numpy.json" --evaluate
+# Parallel fitting and the vectorized backend must learn exactly the
+# serial model (fitted state is JSON, so byte-compare the block
+# payloads).
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$workdir" <<'PY'
 import json, sys
 serial = json.load(open(sys.argv[1] + "/model_serial.json"))
 parallel = json.load(open(sys.argv[1] + "/model_workers2.json"))
+vectorized = json.load(open(sys.argv[1] + "/model_numpy.json"))
 assert serial["blocks"] == parallel["blocks"], \
     "serial and --workers 2 fits diverged"
-print("serial and --workers 2 fitted state identical")
+assert serial["blocks"] == vectorized["blocks"], \
+    "python and numpy backend fits diverged"
+print("serial, --workers 2 and --backend numpy fitted state identical")
 PY
 
 echo "== runtime benchmark emits BENCH_runtime.json =="
@@ -82,13 +91,17 @@ if payload.get("benchmark") != "runtime" or not runs:
 last = runs[-1]
 for key in ("speedup_vs_seed", "seed_path_seconds",
             "engine_parallel_seconds", "serving_cache_hit_rate",
-            "deterministic"):
+            "deterministic", "backend_speedup_ratio",
+            "backends_bit_identical"):
     if key not in last:
         sys.exit(f"BENCH_runtime.json record lacks {key!r}")
 if not last["deterministic"]:
     sys.exit("runtime bench recorded a non-deterministic run")
+if not last["backends_bit_identical"]:
+    sys.exit("runtime bench recorded diverging scoring backends")
 print(f"BENCH_runtime.json OK: {len(runs)} run(s), last speedup "
-      f"{last['speedup_vs_seed']:.2f}x")
+      f"{last['speedup_vs_seed']:.2f}x, backend ratio "
+      f"{last['backend_speedup_ratio']:.2f}x")
 PY
 
 echo "smoke test OK"

@@ -25,7 +25,10 @@ Common options: ``--pages`` (pages per name), ``--runs`` (protocol runs),
 ``--seed`` (corpus seed), ``--workers`` (block-executor fan-out: ``N > 1``
 schedules per-block work on an ``N``-process pool with bit-identical
 results — applies to fitting, prediction and context preparation; the
-resolve/figure/table protocol loops stay serial; see
+resolve/figure/table protocol loops stay serial), ``--backend``
+(pairwise-scoring backend for the similarity hot path: ``python`` or
+``numpy``, bit-identical — applies to fit, predict, serve, resolve and
+context preparation; defaults to ``REPRO_BACKEND``; see
 ``docs/performance.md``).  All output is plain text on stdout.
 """
 
@@ -73,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "figure/table protocol loops stay serial); "
                              "default 1 = serial; parallel runs are "
                              "bit-identical to serial")
+    parser.add_argument("--backend", default=None,
+                        help="pairwise-scoring backend for the similarity "
+                             "hot path ('python' or 'numpy'); default: the "
+                             "REPRO_BACKEND environment variable, else "
+                             "'python'.  Backends produce bit-identical "
+                             "results — this is purely a speed knob")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -175,7 +184,18 @@ def _context(args: argparse.Namespace, which: str | None = None,
     else:
         collection = _dataset(args, which)
     return ExperimentContext.prepare(collection,
-                                     workers=getattr(args, "workers", 1))
+                                     workers=getattr(args, "workers", 1),
+                                     backend=getattr(args, "backend", None))
+
+
+def _apply_backend(config: ResolverConfig,
+                   args: argparse.Namespace) -> ResolverConfig:
+    """The config with ``--backend`` applied (unchanged when not given)."""
+    backend = getattr(args, "backend", None)
+    if backend is None or backend == config.backend:
+        return config
+    from dataclasses import replace
+    return replace(config, backend=backend)
 
 
 def _print_stats(stats) -> None:
@@ -212,8 +232,8 @@ def _load_or_generate(args: argparse.Namespace):
 
 def cmd_fit(args: argparse.Namespace) -> int:
     collection = _load_or_generate(args)
-    config = (ResolverConfig() if args.column == "default"
-              else table2_config(args.column))
+    config = _apply_backend(ResolverConfig() if args.column == "default"
+                            else table2_config(args.column), args)
     # --workers is a runtime choice of *this* process, passed as an
     # explicit executor so it is never baked into the saved artifact — a
     # model fitted with --workers 4 must not make later loaders fan out.
@@ -234,6 +254,9 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
 def cmd_predict(args: argparse.Namespace) -> int:
     model = ResolverModel.load(args.model)
+    # Bit-identical backends make this a pure speed override for the
+    # serving pass; the saved artifact is untouched.
+    model.config = _apply_backend(model.config, args)
     collection = _load_or_generate(args)
     executor = executor_for_workers(args.workers)
     if args.evaluate:
@@ -303,6 +326,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.pipeline.session import ResolutionSession
 
     model = ResolverModel.load(args.model)
+    model.config = _apply_backend(model.config, args)
     collection = _load_or_generate(args)
     try:
         pipeline = resolve_extraction_pipeline(collection)
@@ -358,9 +382,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_resolve(args: argparse.Namespace) -> int:
     context = _context(args, input_path=args.input_path)
-    resolver = EntityResolver(table2_config(args.column)
-                              if args.column != "default"
-                              else ResolverConfig())
+    resolver = EntityResolver(_apply_backend(
+        table2_config(args.column) if args.column != "default"
+        else ResolverConfig(), args))
     rows = []
     seeds = _seeds(args, context)
     for block in context.collection:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.registry import (
     CLUSTERERS,
@@ -12,6 +12,7 @@ from repro.core.registry import (
     SAMPLING_MODES,
     SIMILARITIES,
 )
+from repro.similarity.backends import BACKENDS, default_backend
 from repro.similarity.functions import ALL_FUNCTION_NAMES
 
 
@@ -40,6 +41,15 @@ class ResolverConfig:
         workers: worker count for parallel executors (ignored by
             ``"serial"``); the CLI's ``--workers N`` maps onto these two
             fields.
+        backend: pairwise-scoring backend for the similarity hot path —
+            ``"python"`` (prepared scalar scorers) or ``"numpy"``
+            (vectorized block kernels); see
+            :mod:`repro.similarity.backends`.  All backends produce
+            bit-identical scores, so this is purely a speed knob.
+            Defaults to the ``REPRO_BACKEND`` environment variable when
+            set; the CLI's ``--backend`` maps onto it.  A per-process
+            runtime choice: never serialized into saved models (see
+            :meth:`to_dict`).
     """
 
     function_names: tuple[str, ...] = ALL_FUNCTION_NAMES
@@ -52,6 +62,7 @@ class ResolverConfig:
     correlation_seed: int = 0
     executor: str = "serial"
     workers: int = 1
+    backend: str = field(default_factory=default_backend)
 
     def __post_init__(self) -> None:
         if not self.function_names:
@@ -69,6 +80,7 @@ class ResolverConfig:
         CLUSTERERS.validate(self.clusterer)
         SAMPLING_MODES.validate(self.sampling_mode)
         EXECUTORS.validate(self.executor)
+        BACKENDS.validate(self.backend)
         if not 0.0 < self.training_fraction <= 1.0:
             raise ValueError(
                 f"training_fraction must be in (0, 1], got {self.training_fraction}")
@@ -76,7 +88,17 @@ class ResolverConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-serializable snapshot (tuples become lists)."""
+        """JSON-serializable snapshot (tuples become lists).
+
+        ``backend`` is deliberately *not* serialized: like the CLI's
+        ``--workers``, it is a runtime choice of the current process —
+        backends are bit-identical, so baking the fitting host's choice
+        into the artifact would only make saved models
+        environment-dependent.  Loaders resolve it from their own
+        ambient default (``REPRO_BACKEND`` / ``--backend``); a payload
+        that does carry an explicit ``"backend"`` key is still honored
+        by :meth:`from_dict`.
+        """
         return {
             "function_names": list(self.function_names),
             "criteria": list(self.criteria),
@@ -108,6 +130,7 @@ class ResolverConfig:
             correlation_seed=int(payload["correlation_seed"]),
             executor=str(payload.get("executor", "serial")),
             workers=int(payload.get("workers", 1)),
+            backend=str(payload.get("backend") or default_backend()),
         )
 
 

@@ -31,6 +31,7 @@ from repro.core.resolver import EntityResolver
 from repro.corpus.documents import NameCollection
 from repro.extraction.features import PageFeatures
 from repro.metrics.clusterings import Clustering
+from repro.similarity.backends import resolve_backend
 from repro.similarity.base import SimilarityFunction
 from repro.similarity.functions import function_by_name
 
@@ -79,6 +80,11 @@ class IncrementalResolver:
             raise ValueError(
                 f"incremental mode does not support combiner "
                 f"{self.config.combiner!r}")
+        # The request path scores one new page against every indexed
+        # page through the config's scoring backend (one batched
+        # one-vs-many call per similarity function); backends are
+        # bit-identical, so assignments never depend on the choice.
+        self._backend = resolve_backend(self.config.backend)
         self._state: _FittedState | None = None
         self._features: dict[str, PageFeatures] = {}
         self._clusters: list[set[str]] = []
@@ -115,7 +121,8 @@ class IncrementalResolver:
         resolver = cls(model.config)
         if graphs is None:
             graphs = compute_similarity_graphs(
-                block, features, list(resolver._build_functions().values()))
+                block, features, list(resolver._build_functions().values()),
+                backend=model.config.backend)
         prediction = model.predict_block(block, graphs=graphs,
                                          model_block=model_block)
         fitted = model.blocks[model_block or block.query_name]
@@ -210,7 +217,8 @@ class IncrementalResolver:
         """
         resolver = EntityResolver(self.config)
         graphs = compute_similarity_graphs(
-            block, features, resolver._functions)
+            block, features, resolver._functions,
+            backend=self.config.backend)
         model = resolver.fit(block, training_seed=training_seed,
                              graphs=graphs)
         prediction = model.predict_block(block, graphs=graphs)
@@ -250,18 +258,39 @@ class IncrementalResolver:
             RuntimeError: before :meth:`fit`.
         """
         self._require_fitted()
+        return self._pair_probabilities(new, [existing])[0]
+
+    def _pair_probabilities(self, new: PageFeatures,
+                            existing: list[PageFeatures]) -> list[float]:
+        """Combined link probabilities of ``new`` against many pages.
+
+        One batched :meth:`~repro.similarity.backends.ScoringBackend.
+        pair_scores` call per similarity function (layers sharing a
+        function reuse its scores — the values are pure per pair), then
+        the combiner's stored parameters fold the per-layer
+        probabilities exactly as the one-pair path always has.
+        """
         state = self._state
         if state.chosen_layer is not None:
             layer = state.chosen_layer
             function = state.functions[layer.function_name]
-            return layer.fitted.link_probability(function(new, existing))
-        numerator = 0.0
+            link = layer.fitted.link_probability
+            return [link(score)
+                    for score in self._backend.pair_scores(function, new,
+                                                           existing)]
+        scores_by_function = {
+            name: self._backend.pair_scores(function, new, existing)
+            for name, function in state.functions.items()}
         total = sum(state.layer_weights)
-        for layer, weight in zip(state.layers, state.layer_weights):
-            function = state.functions[layer.function_name]
-            probability = layer.fitted.link_probability(function(new, existing))
-            numerator += weight * probability
-        return numerator / total
+        probabilities = []
+        for index in range(len(existing)):
+            numerator = 0.0
+            for layer, weight in zip(state.layers, state.layer_weights):
+                probability = layer.fitted.link_probability(
+                    scores_by_function[layer.function_name][index])
+                numerator += weight * probability
+            probabilities.append(numerator / total)
+        return probabilities
 
     def _link_decision_threshold(self) -> float:
         """The probability cut-off that asserts a link."""
@@ -286,12 +315,16 @@ class IncrementalResolver:
         if features.doc_id in self._features:
             raise ValueError(f"page {features.doc_id!r} already resolved")
 
+        # One batched scoring pass over every indexed page; the
+        # per-cluster means then fold exactly as the pairwise loop did.
+        members = [member for cluster in self._clusters
+                   for member in cluster]
+        probabilities = dict(zip(members, self._pair_probabilities(
+            features, [self._features[member] for member in members])))
         best_index = -1
         best_probability = -1.0
         for index, cluster in enumerate(self._clusters):
-            total = sum(
-                self.link_probability(features, self._features[member])
-                for member in cluster)
+            total = sum(probabilities[member] for member in cluster)
             mean_probability = total / len(cluster)
             if mean_probability > best_probability:
                 best_probability = mean_probability

@@ -58,6 +58,7 @@ def compute_similarity_graphs(
     features: dict[str, PageFeatures],
     functions: list[SimilarityFunction],
     cache: SimilarityCache | None = None,
+    backend: str | None = None,
 ) -> dict[str, WeightedPairGraph]:
     """The complete weighted graph ``G_w^fi`` for every function.
 
@@ -65,15 +66,20 @@ def compute_similarity_graphs(
     graphs per dataset because similarity values do not depend on the
     training sample.  Delegates to the runtime engine's batched builder
     (:func:`~repro.runtime.batch.batched_similarity_graphs`): one pass
-    over the block's pairs fills every function's graph from prepared
-    scorers, with identical values to scoring each pair naively.
+    over the block's pairs fills every function's graph through the
+    selected scoring backend, with identical values to scoring each pair
+    naively.
 
     Args:
         cache: optional :class:`~repro.runtime.cache.SimilarityCache`;
             (block, function) graphs already stored there are reused and
             fresh ones stored back.
+        backend: scoring-backend name
+            (:data:`~repro.similarity.backends.BACKENDS`); ``None`` uses
+            the ambient default.  Bit-identical across backends.
     """
-    return batched_similarity_graphs(block, features, functions, cache=cache)
+    return batched_similarity_graphs(block, features, functions, cache=cache,
+                                     backend=backend)
 
 
 def resolve_extraction_pipeline(
@@ -574,7 +580,8 @@ class ResolverModel:
                 else:
                     features = pipeline.extract_block(block)
             graphs = compute_similarity_graphs(
-                block, features, self._functions, cache=cache)
+                block, features, self._functions, cache=cache,
+                backend=self.config.backend)
 
         layers = fitted.decision_layers(graphs)
         combination = self._combiner.apply(layers, fitted.combiner_params)

@@ -244,7 +244,8 @@ class EntityResolver:
             if pipeline is None:
                 raise ValueError("need a pipeline, features, or graphs")
             features = pipeline.extract_block(block)
-        return compute_similarity_graphs(block, features, self._functions)
+        return compute_similarity_graphs(block, features, self._functions,
+                                         backend=self.config.backend)
 
     def fit_block(self, block: NameCollection,
                   graphs: dict[str, WeightedPairGraph],
@@ -345,7 +346,8 @@ class EntityResolver:
             graphs = (graphs_by_name or {}).get(block.query_name)
             if graphs is None:
                 graphs = compute_similarity_graphs(
-                    block, pipeline.extract_block(block), self._functions)
+                    block, pipeline.extract_block(block), self._functions,
+                    backend=self.config.backend)
             model = self.fit(block, training_seed=training_seed,
                              graphs=graphs)
             blocks.append(model.evaluate_block(block, graphs=graphs))

@@ -55,7 +55,8 @@ class ExperimentContext:
                 pipeline: ExtractionPipeline | None = None,
                 functions: list | None = None,
                 workers: int = 1,
-                executor: BlockExecutor | None = None) -> "ExperimentContext":
+                executor: BlockExecutor | None = None,
+                backend: str | None = None) -> "ExperimentContext":
         """Run extraction and the quadratic similarity step once.
 
         All ten Table I functions are computed by default so every
@@ -66,7 +67,9 @@ class ExperimentContext:
         Blocks are independent, so preparation parallelizes perfectly:
         ``workers=N`` (or an explicit ``executor``) fans the per-block
         work out to a process pool; results are merged in block order and
-        are identical to a serial run.
+        are identical to a serial run.  ``backend`` selects the scoring
+        backend for the quadratic step (``None``: ambient default;
+        bit-identical either way).
         """
         if pipeline is None:
             pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
@@ -86,7 +89,7 @@ class ExperimentContext:
                 features = pipeline.extract_block(block)
                 features_by_name[block.query_name] = features
                 graphs_by_name[block.query_name] = compute_similarity_graphs(
-                    block, features, functions, cache=cache)
+                    block, features, functions, cache=cache, backend=backend)
                 stats.add_task(TaskStats(
                     query_name=block.query_name,
                     seconds=time.perf_counter() - block_started,
@@ -99,7 +102,8 @@ class ExperimentContext:
             from repro.runtime.tasks import PrepareBlockTask, run_prepare_block
 
             payloads = [PrepareBlockTask(pipeline=pipeline, block=block,
-                                         functions=tuple(functions))
+                                         functions=tuple(functions),
+                                         backend=backend)
                         for block in collection]
             for name, features, graphs, task_stats in executor.run(
                     run_prepare_block, payloads):

@@ -66,4 +66,7 @@ class ConceptExtractor:
         total = sum(counts.values())
         if total == 0:
             return {}
-        return {concept: count / total for concept, count in counts.items()}
+        # Key-sorted like the TF-IDF vectors: canonical iteration order is
+        # what keeps scalar and vectorized similarity backends bit-identical.
+        return {concept: count / total
+                for concept, count in sorted(counts.items())}

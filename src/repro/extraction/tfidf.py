@@ -76,9 +76,13 @@ class TfidfVectorizer:
         if not term_frequency:
             return {}
         default_idf = math.log(1 + self._n_documents) + 1.0
+        # Canonical key order: emitting term-sorted dicts fixes the
+        # iteration (and therefore float-summation) order of every sparse
+        # fold downstream, which is what lets the vectorized scoring
+        # backend reproduce the scalar scores bit-for-bit.
         vector = {
             term: (1.0 + math.log(count)) * self._idf.get(term, default_idf)
-            for term, count in term_frequency.items()
+            for term, count in sorted(term_frequency.items())
         }
         norm = math.sqrt(sum(weight * weight for weight in vector.values()))
         return {term: weight / norm for term, weight in vector.items()}

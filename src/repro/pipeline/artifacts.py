@@ -111,13 +111,16 @@ class SimilarityGraphs:
     materialized entries (e.g. an experiment context's precomputed
     graphs); missing blocks are computed on demand from ``features`` by
     the consuming stage.  ``functions`` is the battery the plan's config
-    selected, in config order.
+    selected, in config order; ``backend`` is the config's scoring
+    backend for on-demand computation (``None``: ambient default —
+    backends are bit-identical, so this only affects speed).
     """
 
     features: FeatureSet
     by_name: dict[str, dict[str, WeightedPairGraph]] = field(
         default_factory=dict)
     functions: "list[SimilarityFunction]" = field(default_factory=list)
+    backend: str | None = None
 
     @property
     def blocks(self) -> Blocks:

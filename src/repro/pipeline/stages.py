@@ -121,7 +121,8 @@ class SimilarityStage(Stage):
         return SimilarityGraphs(
             features=features,
             by_name=dict(ctx.graphs_by_name or {}),
-            functions=functions_subset(ctx.config.function_names))
+            functions=functions_subset(ctx.config.function_names),
+            backend=ctx.config.backend)
 
 
 def _graphs_for_block(block, graphs: SimilarityGraphs, ctx: PipelineContext,
@@ -142,7 +143,7 @@ def _graphs_for_block(block, graphs: SimilarityGraphs, ctx: PipelineContext,
         pipeline = ctx.require_extraction(graphs.blocks.source)
         features = cache.features_for(block, pipeline.extract_block)
     return compute_similarity_graphs(block, features, graphs.functions,
-                                     cache=cache)
+                                     cache=cache, backend=graphs.backend)
 
 
 @register_stage("fit")

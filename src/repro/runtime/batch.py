@@ -1,17 +1,22 @@
 """Batched similarity-graph construction.
 
 One pass over a block's page pairs fills every similarity function's
-weighted graph, using each function's *prepared* scorer
+weighted graph through a pluggable :class:`~repro.similarity.backends.
+ScoringBackend`: the ``python`` backend sweeps the pair grid once with
+each function's *prepared* scorer
 (:meth:`~repro.similarity.base.SimilarityFunction.prepared`) so per-page
 inputs — vector norms, parsed URLs, name forms, key sets — are derived
-once per page instead of once per pair.  Prepared scorers are bit-identical
-to the plain per-pair scorers, so this path produces exactly the graphs
-the naive loop would; ``tests/runtime/test_batch.py`` enforces it.
+once per page instead of once per pair; the ``numpy`` backend fills
+whole score matrices from vectorized block kernels.  Every backend is
+bit-identical to scoring each pair naively, so this path produces
+exactly the graphs the seed loop would; ``tests/runtime/test_batch.py``
+and ``tests/properties/test_backend_parity.py`` enforce it.
 
 With a :class:`~repro.runtime.cache.SimilarityCache`, graphs already
 computed for the same (block, function) are reused instead of rescored,
 which collapses the fit → predict → evaluate flows to one quadratic pass
-per block.
+per block.  Cached weights are backend-agnostic — bit-identity is what
+makes them safely shareable across backends.
 """
 
 from __future__ import annotations
@@ -20,8 +25,9 @@ from collections.abc import Sequence
 
 from repro.corpus.documents import NameCollection
 from repro.extraction.features import PageFeatures
-from repro.graph.entity_graph import WeightedPairGraph, pair_key
+from repro.graph.entity_graph import WeightedPairGraph
 from repro.runtime.cache import SimilarityCache, block_fingerprint
+from repro.similarity.backends import ScoringBackend, resolve_backend
 from repro.similarity.base import SimilarityFunction
 
 
@@ -30,12 +36,14 @@ def batched_similarity_graphs(
     features: dict[str, PageFeatures],
     functions: Sequence[SimilarityFunction],
     cache: SimilarityCache | None = None,
+    backend: str | ScoringBackend | None = None,
 ) -> dict[str, WeightedPairGraph]:
     """The complete weighted graph ``G_w^fi`` for every function.
 
     Identical output to scoring each pair with ``function(left, right)``
     in a nested loop (the seed implementation), but with per-page input
-    reuse and optional cross-pass caching.
+    reuse, optional cross-pass caching, and a selectable scoring
+    backend.
 
     Args:
         block: the pages to score (the blocking unit).
@@ -44,6 +52,10 @@ def batched_similarity_graphs(
         cache: optional shared cache — functions whose graph for this
             block is already stored are reused, freshly scored ones are
             stored back.
+        backend: scoring backend name or instance
+            (:data:`~repro.similarity.backends.BACKENDS`); ``None`` uses
+            the ambient default.  Backends are bit-identical, so the
+            choice never changes the produced graphs.
     """
     ids = block.page_ids()
     graphs: dict[str, WeightedPairGraph] = {}
@@ -56,21 +68,16 @@ def batched_similarity_graphs(
             graphs[function.name] = WeightedPairGraph(nodes=list(ids),
                                                       weights=cached)
         else:
-            graphs[function.name] = WeightedPairGraph(nodes=list(ids))
             pending.append(function)
 
     if pending:
-        scorers = [(graphs[function.name].weights,
-                    function.prepared(features)) for function in pending]
-        for i, left_id in enumerate(ids):
-            left = features[left_id]
-            for right_id in ids[i + 1:]:
-                right = features[right_id]
-                key = pair_key(left_id, right_id)
-                for weights, scorer in scorers:
-                    weights[key] = scorer(left, right)
+        scores = resolve_backend(backend).block_scores(ids, features, pending)
+        for function in pending:
+            graphs[function.name] = WeightedPairGraph(
+                nodes=list(ids), weights=scores[function.name])
         if cache is not None:
             for function in pending:
                 cache.put_weights(fingerprint, function.name,
                                   graphs[function.name].weights)
-    return graphs
+    # Battery order regardless of the cached/pending split.
+    return {function.name: graphs[function.name] for function in functions}

@@ -38,6 +38,7 @@ def _block_graphs(
     functions: list[SimilarityFunction],
     cache: SimilarityCache,
     features: dict | None = None,
+    backend: str | None = None,
 ) -> dict[str, "WeightedPairGraph"]:
     """Shipped graphs, or a fresh cached computation in this worker."""
     if graphs is not None:
@@ -48,7 +49,8 @@ def _block_graphs(
                 f"block {block.query_name!r} has neither precomputed graphs, "
                 f"features, nor a pipeline to extract with")
         features = cache.features_for(block, pipeline.extract_block)
-    return batched_similarity_graphs(block, features, functions, cache=cache)
+    return batched_similarity_graphs(block, features, functions, cache=cache,
+                                     backend=backend)
 
 
 def _task_stats(query_name: str, seconds: float,
@@ -70,6 +72,8 @@ class PrepareBlockTask:
     pipeline: "ExtractionPipeline"
     block: NameCollection
     functions: tuple[SimilarityFunction, ...]
+    #: scoring-backend name (``None``: the worker's ambient default).
+    backend: str | None = None
 
 
 def run_prepare_block(payload: PrepareBlockTask) -> tuple[str, Any, Any, TaskStats]:
@@ -79,7 +83,8 @@ def run_prepare_block(payload: PrepareBlockTask) -> tuple[str, Any, Any, TaskSta
     features = cache.features_for(payload.block,
                                   payload.pipeline.extract_block)
     graphs = batched_similarity_graphs(payload.block, features,
-                                       list(payload.functions), cache=cache)
+                                       list(payload.functions), cache=cache,
+                                       backend=payload.backend)
     stats = _task_stats(payload.block.query_name,
                         time.perf_counter() - started, cache)
     return (payload.block.query_name, features, graphs, stats)
@@ -113,7 +118,8 @@ def run_fit_block(payload: FitBlockTask) -> tuple[str, Any, TaskStats]:
     resolver = EntityResolver(payload.config)
     graphs = _block_graphs(payload.block, payload.graphs, payload.pipeline,
                            resolver.functions, cache,
-                           features=payload.features)
+                           features=payload.features,
+                           backend=payload.config.backend)
     fitted = resolver.fit_block(payload.block, graphs,
                                 training_seed=payload.training_seed)
     fitted._layer_cache = None

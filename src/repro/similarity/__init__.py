@@ -4,8 +4,18 @@ The building blocks (vector measures, string similarities, URL similarity)
 live in their own modules; :mod:`repro.similarity.functions` assembles them
 into the ten similarity functions of the paper's Table I, each mapping a
 pair of :class:`~repro.extraction.features.PageFeatures` to [0, 1].
+:mod:`repro.similarity.backends` scores whole blocks of pairs at once
+through pluggable, bit-identical scoring backends (scalar ``python``,
+vectorized ``numpy``).
 """
 
+from repro.similarity.backends import (
+    BACKENDS,
+    ScoringBackend,
+    default_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.similarity.base import SimilarityFunction
 from repro.similarity.measures import (
     cosine,
@@ -34,6 +44,11 @@ from repro.similarity.functions import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "ScoringBackend",
+    "default_backend",
+    "register_backend",
+    "resolve_backend",
     "SimilarityFunction",
     "cosine",
     "pearson_similarity",

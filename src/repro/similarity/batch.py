@@ -1,0 +1,724 @@
+"""Vectorized batch-scoring kernels for the ``numpy`` backend.
+
+Each kernel fills one similarity function's *whole* block score matrix
+from dense per-block feature matrices, instead of calling a scalar
+scorer per pair.  The point is speed on the quadratic hot path; the
+constraint is the backend bit-identity contract
+(:mod:`repro.similarity.backends`): every kernel must reproduce the
+scalar scorers' floats exactly, not approximately.
+
+How exactness is achieved
+-------------------------
+
+Floating-point addition is not associative, so a kernel may not simply
+hand reductions to BLAS (``np.dot`` and friends reassociate partial
+sums).  Instead:
+
+* **Canonical order.**  The scalar path folds every sparse reduction in
+  ascending-key order: extraction emits key-sorted feature dicts, and
+  the Pearson scorers merge their unions sorted.  Block vocabularies
+  here are sorted the same way, so "ascending key" equals "ascending
+  column".
+* **Sequential column folds.**  Pairwise dot products and Pearson
+  accumulators are folded column by column (``acc += column term``),
+  which performs, per pair, the exact float-operation sequence of the
+  scalar loop.  Implicit-zero columns contribute exact no-ops
+  (``x + ±0.0 == x``), so folding the full vocabulary equals folding
+  each pair's sparse intersection/union.
+* **Scalar per-page inputs.**  Per-page quantities the scalar scorers
+  derive themselves (norms, value sums) are computed with the *same
+  scalar functions* and broadcast, so their bits match by construction.
+* **Integer arithmetic.**  Set overlaps and entity-count folds are
+  exact in int64 regardless of order and only meet floats in the final
+  division, with identical operands.
+
+The Jaro-based string measures (F3, F7) have no kernel and fall back to
+the scalar sweep, memoization intact.  F2 *does* have a block kernel —
+its expensive part is an integer edit distance, exact under any
+implementation, batched here as a pair-vectorized Myers bit-parallel DP
+(see the URL-similarity section below); its one-vs-many request path
+stays scalar.
+
+Kernels are dispatched per :class:`~repro.similarity.base.
+SimilarityFunction` by :func:`kernel_for`, which also checks the
+function still carries its built-in scorer: a registry override under a
+built-in name (``register_similarity(..., replace=True)``) falls back
+to its own scalar code rather than the stale kernel.
+
+This module imports numpy at module level and is itself imported
+lazily, only by :class:`~repro.similarity.backends.NumpyBackend` — the
+default ``python`` backend never touches numpy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extraction.features import PageFeatures
+from repro.graph.entity_graph import PairKey, pair_key
+from repro.similarity import extended as _extended
+from repro.similarity import functions as _base
+from repro.similarity.strings import levenshtein
+from repro.similarity.urls import domain_similarity, parse_url
+from repro.similarity.vectors import norm, norm_squared
+
+__all__ = ["BlockState", "Kernel", "kernel_for"]
+
+#: Columns folded per vectorized step.  Folding stays sequential per
+#: column (exactness); chunking only amortizes Python-loop overhead and
+#: keeps the per-step tensors cache-resident.
+_CHUNK = 32
+
+
+# -- materialized per-block families ---------------------------------------
+
+
+class _VectorFamily:
+    """Dense matrices for one sparse-vector page attribute.
+
+    Columns are the block vocabulary in ascending key order — the same
+    order the scalar folds iterate.  ``presence`` records dict
+    membership (not value truthiness), matching ``key in vector``
+    semantics; per-page norms and sums come from the scalar helpers so
+    their bits match the scalar scorers'.
+    """
+
+    def __init__(self, vectors: list[dict[str, float]]):
+        self.vectors = vectors
+        n = len(vectors)
+        vocab: set[str] = set()
+        for vector in vectors:
+            vocab.update(vector)
+        self.index = {key: column for column, key in enumerate(sorted(vocab))}
+        self.values = np.zeros((n, len(self.index)))
+        self.presence = np.zeros((n, len(self.index)), dtype=bool)
+        for row, vector in enumerate(vectors):
+            if not vector:
+                continue
+            columns = [self.index[key] for key in vector]
+            self.values[row, columns] = list(vector.values())
+            self.presence[row, columns] = True
+        self.nnz = np.asarray([len(vector) for vector in vectors],
+                              dtype=np.int64)
+        self.sums = np.asarray([sum(vector.values()) for vector in vectors],
+                               dtype=float)
+        self.norms = np.asarray([norm(vector) for vector in vectors],
+                                dtype=float)
+        self.squared_norms = np.asarray(
+            [norm_squared(vector) for vector in vectors], dtype=float)
+
+    def nonempty_pairs(self) -> np.ndarray:
+        """Mask of pairs where both pages carry evidence."""
+        nonempty = self.nnz > 0
+        return nonempty[:, None] & nonempty[None, :]
+
+
+class _SetFamily:
+    """Indicator matrix for one set-valued page attribute."""
+
+    def __init__(self, sets: list[set]):
+        n = len(sets)
+        vocab: set = set()
+        for members in sets:
+            vocab.update(members)
+        index = {key: column for column, key in enumerate(sorted(vocab))}
+        self.indicator = np.zeros((n, len(index)), dtype=np.int64)
+        for row, members in enumerate(sets):
+            if members:
+                self.indicator[row, [index[key] for key in members]] = 1
+        self.sizes = np.asarray([len(members) for members in sets],
+                                dtype=np.int64)
+
+
+class _CounterFamily:
+    """Count matrix for one multiset (Counter) page attribute."""
+
+    def __init__(self, counters: list):
+        n = len(counters)
+        vocab: set = set()
+        for counter in counters:
+            vocab.update(counter)
+        index = {key: column for column, key in enumerate(sorted(vocab))}
+        self.counts = np.zeros((n, len(index)), dtype=np.int64)
+        for row, counter in enumerate(counters):
+            for key, count in counter.items():
+                self.counts[row, index[key]] = count
+        self.sizes = np.asarray([len(counter) for counter in counters],
+                                dtype=np.int64)
+        self.totals = self.counts.sum(axis=1)
+
+
+class BlockState:
+    """Lazily materialized matrices shared by every kernel of one block.
+
+    One instance per ``block_scores`` call: the TF-IDF family (and its
+    pairwise dot fold) is built once and reused by F8, F9 and F10; the
+    concept family by F1 and F14; and so on.
+    """
+
+    def __init__(self, ids: Sequence[str],
+                 features: dict[str, PageFeatures]):
+        self.ids = list(ids)
+        self.n = len(self.ids)
+        self.pages = [features[doc_id] for doc_id in self.ids]
+        self._vector_families: dict[str, _VectorFamily] = {}
+        self._set_families: dict[str, _SetFamily] = {}
+        self._counter_families: dict[str, _CounterFamily] = {}
+        self._dots: dict[str, np.ndarray] = {}
+        if self.n >= 2:
+            rows, cols = np.triu_indices(self.n, k=1)
+            self._triu = (rows, cols)
+            # Row-major upper triangle == the scalar sweep's pair order.
+            self._pair_keys: list[PairKey] = [
+                pair_key(self.ids[i], self.ids[j])
+                for i, j in zip(rows.tolist(), cols.tolist())
+            ]
+
+    def pair_weights(self, kernel: "Kernel") -> dict[PairKey, float]:
+        """One kernel's scores as a canonical pair-ordered weights dict."""
+        if self.n < 2:
+            return {}
+        matrix = kernel.matrix(self)
+        return dict(zip(self._pair_keys, matrix[self._triu].tolist()))
+
+    # -- family accessors (built once, shared across kernels) ------------
+
+    def vector_family(self, name: str, extract: Callable) -> _VectorFamily:
+        family = self._vector_families.get(name)
+        if family is None:
+            family = _VectorFamily([extract(page) for page in self.pages])
+            self._vector_families[name] = family
+        return family
+
+    def set_family(self, name: str, extract: Callable) -> _SetFamily:
+        family = self._set_families.get(name)
+        if family is None:
+            family = _SetFamily([extract(page) for page in self.pages])
+            self._set_families[name] = family
+        return family
+
+    def counter_family(self, name: str, extract: Callable) -> _CounterFamily:
+        family = self._counter_families.get(name)
+        if family is None:
+            family = _CounterFamily([extract(page) for page in self.pages])
+            self._counter_families[name] = family
+        return family
+
+    def pair_dot(self, name: str, extract: Callable) -> np.ndarray:
+        """Exact pairwise dot matrix of one vector family (cached)."""
+        dots = self._dots.get(name)
+        if dots is None:
+            dots = _pair_dot_fold(self.vector_family(name, extract).values)
+            self._dots[name] = dots
+        return dots
+
+
+# -- exact folds -----------------------------------------------------------
+
+
+def _pair_dot_fold(values: np.ndarray) -> np.ndarray:
+    """All-pairs dot products via a sequential ascending-column fold.
+
+    Per pair this performs ``acc += v[i, d] * v[j, d]`` for ``d``
+    ascending — exactly the scalar ``dot``'s fold over the sorted
+    intersection, with implicit zeros as exact no-ops.
+
+    Columns nonzero on at most one page produce a zero product for
+    *every* pair — exact no-ops — and are dropped before folding
+    (roughly half a real block's TF-IDF vocabulary is hapax terms).
+    Dropping them, like folding them, leaves every pair's operation
+    sequence unchanged.
+    """
+    n, dims = values.shape
+    acc = np.zeros((n, n))
+    if n < 2 or dims == 0:
+        return acc
+    shared = values[:, (values != 0.0).sum(axis=0) >= 2]
+    for start in range(0, shared.shape[1], _CHUNK):
+        chunk = np.ascontiguousarray(shared[:, start:start + _CHUNK].T)
+        terms = chunk[:, :, None] * chunk[:, None, :]
+        for k in range(terms.shape[0]):
+            acc += terms[k]
+    return acc
+
+
+def _clamp_unit(matrix: np.ndarray) -> np.ndarray:
+    """``min(1.0, max(0.0, x))`` elementwise (NaN passes through to be
+    masked by the caller)."""
+    return np.minimum(1.0, np.maximum(0.0, matrix))
+
+
+def _cosine_matrix(state: BlockState, name: str,
+                   extract: Callable) -> np.ndarray:
+    family = state.vector_family(name, extract)
+    dots = state.pair_dot(name, extract)
+    denominator = family.norms[:, None] * family.norms[None, :]
+    valid = family.nonempty_pairs() & (denominator != 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = dots / denominator
+    return np.where(valid, _clamp_unit(value), 0.0)
+
+
+def _extended_jaccard_matrix(state: BlockState, name: str,
+                             extract: Callable) -> np.ndarray:
+    family = state.vector_family(name, extract)
+    product = state.pair_dot(name, extract)
+    squared = family.squared_norms
+    denominator = (squared[:, None] + squared[None, :]) - product
+    valid = family.nonempty_pairs() & (denominator > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = product / denominator
+    return np.where(valid, _clamp_unit(value), 0.0)
+
+
+def _pearson_matrix(state: BlockState, name: str,
+                    extract: Callable) -> np.ndarray:
+    """Elementwise mirror of
+    :func:`~repro.similarity.measures.pearson_from_moments` over all
+    pairs.
+
+    The only fold is the shared pairwise dot; every other moment is a
+    per-page scalar broadcast, so each pair evaluates exactly the
+    operation sequence of the scalar expression.  The arithmetic below
+    must stay operation-for-operation in sync with
+    ``pearson_from_moments`` and ``_ovm_pearson`` — edit all three
+    together (the parity and golden suites catch any divergence).
+    """
+    family = state.vector_family(name, extract)
+    product = state.pair_dot(name, extract)
+    # Float BLAS matmul of the 0/1 indicator is exact: every partial sum
+    # is an integer far below 2**53, so no rounding can occur regardless
+    # of accumulation order.
+    indicator = family.presence.astype(float)
+    intersection = indicator @ indicator.T
+    nnz = family.nnz.astype(float)
+    dimension = (nnz[:, None] + nnz[None, :]) - intersection
+    valid = family.nonempty_pairs() & (dimension >= 2)
+    # Masked-out pairs flow through with a harmless dimension of 1; their
+    # garbage values are discarded by the final mask.
+    dimension = np.where(dimension > 0, dimension, 1.0)
+    sum_left = family.sums[:, None]
+    sum_right = family.sums[None, :]
+    squared_left = family.squared_norms[:, None]
+    squared_right = family.squared_norms[None, :]
+    mean_left = sum_left / dimension
+    mean_right = sum_right / dimension
+    covariance = ((product - mean_right * sum_left)
+                  - mean_left * sum_right) \
+        + dimension * (mean_left * mean_right)
+    variance_left = ((squared_left - (2.0 * mean_left) * sum_left)
+                     + dimension * (mean_left * mean_left))
+    variance_right = ((squared_right - (2.0 * mean_right) * sum_right)
+                      + dimension * (mean_right * mean_right))
+    valid = valid & (variance_left > 0.0) & (variance_right > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        correlation = covariance / (np.sqrt(variance_left)
+                                    * np.sqrt(variance_right))
+    correlation = np.minimum(1.0, np.maximum(-1.0, correlation))
+    return np.where(valid, (correlation + 1.0) / 2.0, 0.0)
+
+
+def _overlap_matrix(state: BlockState, name: str,
+                    extract: Callable) -> np.ndarray:
+    family = state.set_family(name, extract)
+    intersection = family.indicator @ family.indicator.T
+    smaller = np.minimum(family.sizes[:, None], family.sizes[None, :])
+    valid = (family.sizes[:, None] > 0) & (family.sizes[None, :] > 0)
+    value = intersection / np.where(smaller > 0, smaller, 1)
+    return np.where(valid, value, 0.0)
+
+
+def _weighted_jaccard_matrix(state: BlockState, name: str,
+                             extract: Callable) -> np.ndarray:
+    family = state.counter_family(name, extract)
+    n, vocab = family.counts.shape
+    # Chunked over the vocabulary axis to bound the broadcast tensor at
+    # O(n² · _CHUNK); integer sums are exact under any grouping, so this
+    # is bit-identical to the single-tensor form.
+    minima = np.zeros((n, n), dtype=np.int64)
+    for start in range(0, vocab, _CHUNK):
+        chunk = family.counts[:, start:start + _CHUNK]
+        minima += np.minimum(chunk[:, None, :],
+                             chunk[None, :, :]).sum(axis=2)
+    maxima = (family.totals[:, None] + family.totals[None, :]) - minima
+    valid = ((family.sizes[:, None] > 0) & (family.sizes[None, :] > 0)
+             & (maxima > 0))
+    value = minima / np.where(maxima > 0, maxima, 1)
+    return np.where(valid, value, 0.0)
+
+
+# -- URL similarity (integer edit distances vectorize exactly) -------------
+#
+# F2 is a string measure, but its expensive part — the path edit
+# distance — is an *integer*, so any correct Levenshtein implementation
+# is automatically bit-exact; only the final ``0.8·domain + 0.2·path``
+# combination touches floats, with identical operands.  Domain scores
+# repeat across the block's few distinct domains and are computed once
+# with the scalar :func:`~repro.similarity.urls.domain_similarity`
+# (exactly the prepared scorer's memo).  The other string measures (F3,
+# F7: Jaro–Winkler plus name-form logic) do not vectorize and stay on
+# the scalar path.
+
+#: Myers' algorithm below packs one DP column per uint64; longer
+#: patterns (never seen for generated URL paths) fall back to the scalar
+#: implementation pair by pair.
+_MAX_BITPARALLEL_LENGTH = 63
+
+
+def _pairwise_path_distances(paths: list[str]) -> np.ndarray:
+    """Levenshtein distance for every unordered path pair (int64 matrix).
+
+    Batched Myers/Hyyrö bit-parallel: one DP column per pair packed in a
+    uint64, all pairs advanced together one text character per step.
+    """
+    n = len(paths)
+    lengths = np.asarray([len(path) for path in paths], dtype=np.int64)
+    distances = np.zeros((n, n), dtype=np.int64)
+    if n < 2:
+        return distances
+
+    rows, cols = np.triu_indices(n, k=1)
+    # Pattern = the shorter side (fewer bits), text = the longer.
+    swap = lengths[rows] > lengths[cols]
+    pattern_idx = np.where(swap, cols, rows)
+    text_idx = np.where(swap, rows, cols)
+    equal = np.asarray([paths[i] == paths[j]
+                        for i, j in zip(rows.tolist(), cols.tolist())])
+    pattern_len = lengths[pattern_idx]
+    text_len = lengths[text_idx]
+    scores = np.where(pattern_len == 0, text_len, 0).astype(np.int64)
+
+    live = (~equal) & (pattern_len > 0) \
+        & (pattern_len <= _MAX_BITPARALLEL_LENGTH)
+    overlong = (~equal) & (pattern_len > _MAX_BITPARALLEL_LENGTH)
+    for pair in np.flatnonzero(overlong).tolist():
+        scores[pair] = levenshtein(paths[pattern_idx[pair]],
+                                   paths[text_idx[pair]])
+
+    if live.any():
+        alphabet = {"": 0}
+        for path in paths:
+            for char in path:
+                alphabet.setdefault(char, len(alphabet))
+        max_len = int(lengths.max())
+        codes = np.zeros((n, max_len), dtype=np.int64)
+        for row, path in enumerate(paths):
+            codes[row, :len(path)] = [alphabet[char] for char in path]
+        bitmaps = np.zeros((n, len(alphabet)), dtype=np.uint64)
+        for row, path in enumerate(paths):
+            bit = np.uint64(1)
+            for char in path:
+                bitmaps[row, alphabet[char]] |= bit
+                bit = np.uint64(bit << np.uint64(1))
+
+        p_idx = pattern_idx[live]
+        t_idx = text_idx[live]
+        p_len = pattern_len[live]
+        t_len = text_len[live]
+        one = np.uint64(1)
+        mask = (one << p_len.astype(np.uint64)) - one
+        high = one << (p_len.astype(np.uint64) - one)
+        vp = mask.copy()
+        vn = np.zeros(len(p_idx), dtype=np.uint64)
+        score = p_len.copy()
+        page_bitmaps = bitmaps[p_idx]
+        for step in range(int(t_len.max())):
+            active = step < t_len
+            matches = page_bitmaps[np.arange(len(p_idx)),
+                                   codes[t_idx, step]]
+            diagonal_zero = ((((matches & vp) + vp) & mask) ^ vp) \
+                | matches | vn
+            horizontal_positive = (vn | ~(diagonal_zero | vp)) & mask
+            horizontal_negative = vp & diagonal_zero
+            gained = (horizontal_positive & high) != 0
+            lost = ((horizontal_negative & high) != 0) & ~gained
+            score = score + np.where(active & gained, 1, 0) \
+                - np.where(active & lost, 1, 0)
+            shifted_positive = ((horizontal_positive << one) | one) & mask
+            shifted_negative = (horizontal_negative << one) & mask
+            new_vp = (shifted_negative
+                      | ~(diagonal_zero | shifted_positive)) & mask
+            new_vn = shifted_positive & diagonal_zero
+            vp = np.where(active, new_vp, vp)
+            vn = np.where(active, new_vn, vn)
+        scores[live] = score
+
+    distances[rows, cols] = scores
+    distances[cols, rows] = scores
+    return distances
+
+
+def _url_matrix(state: BlockState) -> np.ndarray:
+    parsed = [parse_url(page.url) if page.url else None
+              for page in state.pages]
+    domains = [entry.domain if entry is not None else "" for entry in parsed]
+    paths = [entry.path if entry is not None else "" for entry in parsed]
+
+    distinct = {domain: index
+                for index, domain in enumerate(dict.fromkeys(domains))}
+    table = np.zeros((len(distinct), len(distinct)))
+    for left, i in distinct.items():
+        for right, j in distinct.items():
+            if j < i:
+                continue
+            table[i, j] = table[j, i] = domain_similarity(left, right)
+    ids = np.asarray([distinct[domain] for domain in domains], dtype=np.int64)
+    domain_scores = table[ids[:, None], ids[None, :]]
+
+    path_lengths = np.asarray([len(path) for path in paths], dtype=np.int64)
+    longest = np.maximum(path_lengths[:, None], path_lengths[None, :])
+    distances = _pairwise_path_distances(paths)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        path_scores = 1.0 - distances / np.where(longest > 0, longest, 1)
+    path_scores = np.where(longest > 0, path_scores, 1.0)
+
+    value = 0.8 * domain_scores + (1.0 - 0.8) * path_scores
+    has_url = np.asarray([entry is not None for entry in parsed])
+    return np.where(has_url[:, None] & has_url[None, :], value, 0.0)
+
+
+# -- one-vs-many folds (the incremental request path) ----------------------
+
+
+def _gather_matrix(vectors: list[dict[str, float]]):
+    """Column index + dense matrix over a small page set's vocabulary."""
+    index: dict[str, int] = {}
+    for vector in vectors:
+        for key in vector:
+            index.setdefault(key, len(index))
+    values = np.zeros((len(vectors), len(index)))
+    for row, vector in enumerate(vectors):
+        if vector:
+            values[row, [index[key] for key in vector]] = \
+                list(vector.values())
+    return index, values
+
+
+def _one_vs_many_dot(new_vector: dict[str, float],
+                     vectors: list[dict[str, float]]):
+    """Exact dots of one sparse vector against many (ascending-key fold)."""
+    index, values = _gather_matrix(vectors)
+    acc = np.zeros(len(vectors))
+    for key, value in sorted(new_vector.items()):
+        column = index.get(key)
+        if column is not None:
+            acc += value * values[:, column]
+    return acc
+
+
+def _finalize_scalars(valid: np.ndarray, value: np.ndarray) -> list[float]:
+    return np.where(valid, value, 0.0).tolist()
+
+
+def _ovm_cosine(extract: Callable):
+    def score(new: PageFeatures, others: Sequence[PageFeatures]):
+        new_vector = extract(new)
+        vectors = [extract(other) for other in others]
+        dots = _one_vs_many_dot(new_vector, vectors)
+        norms = np.asarray([norm(vector) for vector in vectors], dtype=float)
+        denominator = norm(new_vector) * norms
+        valid = (bool(new_vector)
+                 & np.asarray([bool(vector) for vector in vectors])
+                 & (denominator != 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = dots / denominator
+        return _finalize_scalars(valid, _clamp_unit(value))
+    return score
+
+
+def _ovm_extended_jaccard(extract: Callable):
+    def score(new: PageFeatures, others: Sequence[PageFeatures]):
+        new_vector = extract(new)
+        vectors = [extract(other) for other in others]
+        product = _one_vs_many_dot(new_vector, vectors)
+        squared = np.asarray([norm_squared(vector) for vector in vectors],
+                             dtype=float)
+        denominator = (norm_squared(new_vector) + squared) - product
+        valid = (bool(new_vector)
+                 & np.asarray([bool(vector) for vector in vectors])
+                 & (denominator > 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = product / denominator
+        return _finalize_scalars(valid, _clamp_unit(value))
+    return score
+
+
+def _ovm_pearson(extract: Callable):
+    # One-vs-many mirror of pearson_from_moments — the arithmetic must
+    # stay operation-for-operation in sync with it and _pearson_matrix;
+    # edit all three together (parity/golden suites enforce it).
+    def score(new: PageFeatures, others: Sequence[PageFeatures]):
+        new_vector = extract(new)
+        vectors = [extract(other) for other in others]
+        product = _one_vs_many_dot(new_vector, vectors)
+        new_keys = set(new_vector)
+        key_sets = [set(vector) for vector in vectors]
+        dimension = np.asarray(
+            [len(new_keys) + len(keys) - len(new_keys & keys)
+             for keys in key_sets], dtype=np.int64)
+        valid = (bool(new_vector)
+                 & np.asarray([bool(vector) for vector in vectors])
+                 & (dimension >= 2))
+        dimension = np.where(dimension > 0, dimension, 1)
+        sum_left = sum(new_vector.values())
+        sum_right = np.asarray([sum(vector.values()) for vector in vectors],
+                               dtype=float)
+        squared_left = norm_squared(new_vector)
+        squared_right = np.asarray(
+            [norm_squared(vector) for vector in vectors], dtype=float)
+        mean_left = sum_left / dimension
+        mean_right = sum_right / dimension
+        covariance = ((product - mean_right * sum_left)
+                      - mean_left * sum_right) \
+            + dimension * (mean_left * mean_right)
+        variance_left = ((squared_left - (2.0 * mean_left) * sum_left)
+                         + dimension * (mean_left * mean_left))
+        variance_right = ((squared_right - (2.0 * mean_right) * sum_right)
+                          + dimension * (mean_right * mean_right))
+        valid = valid & (variance_left > 0.0) & (variance_right > 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            correlation = covariance / (np.sqrt(variance_left)
+                                        * np.sqrt(variance_right))
+        correlation = np.minimum(1.0, np.maximum(-1.0, correlation))
+        return _finalize_scalars(valid, (correlation + 1.0) / 2.0)
+    return score
+
+
+def _ovm_overlap(extract: Callable):
+    def score(new: PageFeatures, others: Sequence[PageFeatures]):
+        new_set = extract(new)
+        sets = [extract(other) for other in others]
+        intersection = np.asarray(
+            [len(new_set & members) for members in sets], dtype=np.int64)
+        sizes = np.asarray([len(members) for members in sets],
+                           dtype=np.int64)
+        smaller = np.minimum(len(new_set), sizes)
+        valid = (len(new_set) > 0) & (sizes > 0)
+        value = intersection / np.where(smaller > 0, smaller, 1)
+        return _finalize_scalars(valid, value)
+    return score
+
+
+def _ovm_weighted_jaccard(extract: Callable):
+    def score(new: PageFeatures, others: Sequence[PageFeatures]):
+        new_counter = extract(new)
+        counters = [extract(other) for other in others]
+        minima = np.asarray(
+            [sum(min(count, counter[key])
+                 for key, count in new_counter.items())
+             for counter in counters], dtype=np.int64)
+        totals = np.asarray(
+            [sum(counter.values()) for counter in counters], dtype=np.int64)
+        maxima = (sum(new_counter.values()) + totals) - minima
+        valid = ((len(new_counter) > 0)
+                 & np.asarray([len(counter) > 0 for counter in counters])
+                 & (maxima > 0))
+        value = minima / np.where(maxima > 0, maxima, 1)
+        return _finalize_scalars(valid, value)
+    return score
+
+
+# -- kernel dispatch -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One similarity function's vectorized implementation.
+
+    Attributes:
+        name: the built-in function name this kernel implements.
+        expected_scorer: identity of the built-in scalar scorer; a
+            function carrying any other scorer (registry override) gets
+            no kernel.
+        matrix: full-block kernel ``(BlockState) -> (n, n) ndarray``.
+        one_vs_many: optional request-path kernel
+            ``(new, others) -> list[float]``; ``None`` falls back to the
+            scalar scorer.
+    """
+
+    name: str
+    expected_scorer: Callable
+    matrix: Callable[[BlockState], np.ndarray]
+    one_vs_many: Callable | None = None
+
+
+def _tfidf(page: PageFeatures) -> dict[str, float]:
+    return page.tfidf
+
+
+def _concepts(page: PageFeatures) -> dict[str, float]:
+    return page.concept_vector
+
+
+def _top_tfidf(page: PageFeatures) -> dict[str, float]:
+    return _extended._top_terms(page.tfidf)
+
+
+def _vector_kernel(builder, family: str, extract: Callable):
+    return lambda state: builder(state, family, extract)
+
+
+def _set_kernel(family: str, extract: Callable):
+    return lambda state: _overlap_matrix(state, family, extract)
+
+
+_KERNELS: dict[str, Kernel] = {}
+
+
+def _register(name: str, expected_scorer: Callable, matrix: Callable,
+              one_vs_many: Callable | None = None) -> None:
+    _KERNELS[name] = Kernel(name=name, expected_scorer=expected_scorer,
+                            matrix=matrix, one_vs_many=one_vs_many)
+
+
+_register("F1", _base._f1,
+          _vector_kernel(_cosine_matrix, "concept", _concepts),
+          _ovm_cosine(_concepts))
+_register("F2", _base._f2, _url_matrix)
+_register("F4", _base._f4,
+          _set_kernel("concept_set", lambda page: set(page.concept_set)),
+          _ovm_overlap(lambda page: set(page.concept_set)))
+_register("F5", _base._f5,
+          _set_kernel("organizations", lambda page: set(page.organizations)),
+          _ovm_overlap(lambda page: set(page.organizations)))
+_register("F6", _base._f6,
+          _set_kernel("other_persons", lambda page: set(page.other_persons)),
+          _ovm_overlap(lambda page: set(page.other_persons)))
+_register("F8", _base._f8,
+          _vector_kernel(_cosine_matrix, "tfidf", _tfidf),
+          _ovm_cosine(_tfidf))
+_register("F9", _base._f9,
+          _vector_kernel(_pearson_matrix, "tfidf", _tfidf),
+          _ovm_pearson(_tfidf))
+_register("F10", _base._f10,
+          _vector_kernel(_extended_jaccard_matrix, "tfidf", _tfidf),
+          _ovm_extended_jaccard(_tfidf))
+_register("F11", _extended._f11,
+          _set_kernel("locations", lambda page: set(page.locations)),
+          _ovm_overlap(lambda page: set(page.locations)))
+_register("F12", _extended._f12,
+          _vector_kernel(_cosine_matrix, "top_tfidf", _top_tfidf),
+          _ovm_cosine(_top_tfidf))
+_register("F13", _extended._f13,
+          _vector_kernel(_weighted_jaccard_matrix, "entity_context",
+                         _extended._entity_context),
+          _ovm_weighted_jaccard(_extended._entity_context))
+_register("F14", _extended._f14,
+          _vector_kernel(_extended_jaccard_matrix, "concept", _concepts),
+          _ovm_extended_jaccard(_concepts))
+
+
+def kernel_for(function) -> Kernel | None:
+    """The vectorized kernel for ``function``, or ``None``.
+
+    ``None`` means "use the scalar path": string measures, custom
+    functions, and built-in names whose scorer was replaced in the
+    registry.
+    """
+    kernel = _KERNELS.get(function.name)
+    if kernel is not None and function.scorer is kernel.expected_scorer:
+        return kernel
+    return None

@@ -45,10 +45,13 @@ def _f12(left: PageFeatures, right: PageFeatures) -> float:
 
 
 def _top_terms(vector: dict[str, float], k: int = 12) -> dict[str, float]:
+    # Key-sorted output: selection is by weight, but the emitted dict
+    # iterates in canonical (ascending-key) order so the scalar dot fold
+    # matches the vectorized backend bit-for-bit.
     if len(vector) <= k:
         return vector
     top = sorted(vector.items(), key=lambda item: -item[1])[:k]
-    return dict(top)
+    return dict(sorted(top))
 
 
 def _entity_context(features: PageFeatures) -> Counter:

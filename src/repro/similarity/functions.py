@@ -28,6 +28,7 @@ from repro.similarity.measures import (
     cosine,
     extended_jaccard,
     overlap_coefficient,
+    pearson_from_moments,
     pearson_similarity,
 )
 from repro.similarity.strings import name_similarity, normalized_edit_similarity
@@ -199,43 +200,37 @@ def _prepare_f8(features: dict[str, PageFeatures]) -> PairScorer:
 
 
 def _prepare_f9(features: dict[str, PageFeatures]) -> PairScorer:
-    """Pearson with per-page key sets and value sums.
+    """Pearson with per-page key sets, value sums and squared norms.
 
-    The per-pair union loop is irreducible (means depend on the union
-    dimension), but ``set(vector)`` and ``sum(vector.values())`` are
-    per-page quantities computed identically once.
+    Per pair, only the sparse dot product and the union dimension remain
+    to compute; all other moments are per-page quantities derived once
+    with the same scalar helpers the plain scorer uses.  The arithmetic
+    itself is :func:`~repro.similarity.measures.pearson_from_moments` —
+    the shared expression sequence that keeps plain, prepared and
+    vectorized scoring bit-identical.
     """
     vectors = {doc_id: page.tfidf for doc_id, page in features.items()}
     key_sets = {doc_id: set(vector) for doc_id, vector in vectors.items()}
     sums = {doc_id: sum(vector.values()) for doc_id, vector in vectors.items()}
+    squares = {doc_id: norm_squared(vector)
+               for doc_id, vector in vectors.items()}
 
     def scorer(left: PageFeatures, right: PageFeatures) -> float:
         left_vector = vectors[left.doc_id]
         right_vector = vectors[right.doc_id]
         if not left_vector or not right_vector:
             return 0.0
-        keys = key_sets[left.doc_id] | key_sets[right.doc_id]
-        dimension = len(keys)
+        left_keys = key_sets[left.doc_id]
+        right_keys = key_sets[right.doc_id]
+        dimension = (len(left_keys) + len(right_keys)
+                     - len(left_keys & right_keys))
         if dimension < 2:
             return 0.0
-        mean_left = sums[left.doc_id] / dimension
-        mean_right = sums[right.doc_id] / dimension
-        covariance = 0.0
-        variance_left = 0.0
-        variance_right = 0.0
-        left_get = left_vector.get
-        right_get = right_vector.get
-        for key in keys:
-            deviation_left = left_get(key, 0.0) - mean_left
-            deviation_right = right_get(key, 0.0) - mean_right
-            covariance += deviation_left * deviation_right
-            variance_left += deviation_left * deviation_left
-            variance_right += deviation_right * deviation_right
-        if variance_left == 0.0 or variance_right == 0.0:
-            return 0.0
-        correlation = covariance / (variance_left ** 0.5 * variance_right ** 0.5)
-        correlation = min(1.0, max(-1.0, correlation))
-        return (correlation + 1.0) / 2.0
+        return pearson_from_moments(
+            dot(left_vector, right_vector),
+            sums[left.doc_id], sums[right.doc_id],
+            squares[left.doc_id], squares[right.doc_id],
+            dimension)
 
     return scorer
 

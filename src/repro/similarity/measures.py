@@ -9,6 +9,7 @@ values are.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Collection, Set
 
 from repro.similarity.vectors import SparseVector, dot, norm, norm_squared
@@ -33,28 +34,76 @@ def pearson_similarity(left: SparseVector, right: SparseVector) -> float:
     """Pearson correlation over the union support, rescaled to [0, 1].
 
     The correlation ``r`` in [-1, 1] is mapped to ``(r + 1) / 2``.  Pairs
-    with no evidence or zero variance on either side score 0.0.
+    with no evidence or non-positive computed variance on either side
+    score 0.0.
+
+    Computed with the expansion over the union support
+
+    .. math::
+
+        \\mathrm{cov} = \\Sigma lr - \\bar r S_l - \\bar l S_r
+                        + d\\,\\bar l\\bar r
+
+    (and the matching variance expansions), whose only elementwise fold
+    is the sparse dot product — a canonical operation sequence the
+    vectorized scoring backend replays exactly, keeping both backends
+    bit-identical.
     """
     if not left or not right:
         return 0.0
-    keys = set(left) | set(right)
-    dimension = len(keys)
+    dimension = len(set(left) | set(right))
     if dimension < 2:
         return 0.0
-    mean_left = sum(left.values()) / dimension
-    mean_right = sum(right.values()) / dimension
-    covariance = 0.0
-    variance_left = 0.0
-    variance_right = 0.0
-    for key in keys:
-        deviation_left = left.get(key, 0.0) - mean_left
-        deviation_right = right.get(key, 0.0) - mean_right
-        covariance += deviation_left * deviation_right
-        variance_left += deviation_left * deviation_left
-        variance_right += deviation_right * deviation_right
-    if variance_left == 0.0 or variance_right == 0.0:
+    product = dot(left, right)
+    sum_left = sum(left.values())
+    sum_right = sum(right.values())
+    squared_left = norm_squared(left)
+    squared_right = norm_squared(right)
+    return pearson_from_moments(product, sum_left, sum_right, squared_left,
+                                squared_right, dimension)
+
+
+def pearson_from_moments(product: float, sum_left: float, sum_right: float,
+                         squared_left: float, squared_right: float,
+                         dimension: int) -> float:
+    """Rescaled Pearson correlation from per-pair moments.
+
+    The reference definition of the arithmetic shared by the plain
+    scorer, the prepared block scorer
+    (:func:`repro.similarity.functions._prepare_f9`), and — operation
+    for operation, applied elementwise — the vectorized backend kernels
+    (``_pearson_matrix`` / ``_ovm_pearson`` in
+    :mod:`repro.similarity.batch`).  Bit-identity across all of them
+    rests on evaluating exactly this expression sequence: **any change
+    here must be mirrored in those two kernels in the same commit** (the
+    cross-backend parity suite and the golden fixtures fail loudly on
+    any divergence, so an unsynchronized edit cannot land green).
+    ``product`` is the pair's sparse dot product; the sums and squared
+    norms are per-vector moments; ``dimension`` is the union support
+    size.
+
+    Numerical note: this is the one-pass "computational" expansion of
+    the two-pass deviation form.  For this pipeline's inputs —
+    L1/L2-normalized non-negative weights — the relative cancellation
+    error is negligible, but for adversarial inputs (near-constant
+    vectors of large magnitude) the computed variance can cancel to
+    ``<= 0`` where the deviation form would return a tiny accurate
+    value; such pairs score 0.0 via the guard below.  Center such data
+    before scoring if that matters to you.
+    """
+    mean_left = sum_left / dimension
+    mean_right = sum_right / dimension
+    covariance = ((product - mean_right * sum_left)
+                  - mean_left * sum_right) \
+        + dimension * (mean_left * mean_right)
+    variance_left = ((squared_left - (2.0 * mean_left) * sum_left)
+                     + dimension * (mean_left * mean_left))
+    variance_right = ((squared_right - (2.0 * mean_right) * sum_right)
+                      + dimension * (mean_right * mean_right))
+    if variance_left <= 0.0 or variance_right <= 0.0:
         return 0.0
-    correlation = covariance / (variance_left ** 0.5 * variance_right ** 0.5)
+    correlation = covariance / (math.sqrt(variance_left)
+                                * math.sqrt(variance_right))
     correlation = min(1.0, max(-1.0, correlation))
     return (correlation + 1.0) / 2.0
 

@@ -1,0 +1,138 @@
+"""Cross-backend parity: numpy and python scoring are bit-identical.
+
+The ``numpy`` backend's contract (:mod:`repro.similarity.backends`) is
+*bit* equality with the scalar reference, not closeness — tolerance is
+zero everywhere in this suite.  Blocks come from the seeded corpus
+generator (:mod:`repro.corpus.generator`), so every shrunk
+counterexample is a reproducible (seed, pages, noise) triple.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ResolverConfig
+from repro.core.resolver import EntityResolver
+from repro.corpus.datasets import custom_dataset
+from repro.corpus.generator import GeneratorConfig
+from repro.runtime.batch import batched_similarity_graphs
+from repro.similarity.backends import NumpyBackend, PythonBackend
+from repro.similarity.batch import _pairwise_path_distances
+from repro.similarity.extended import full_battery
+from repro.similarity.functions import default_functions
+from repro.similarity.strings import levenshtein
+
+PYTHON = PythonBackend()
+NUMPY = NumpyBackend()
+
+
+def bits(value: float) -> bytes:
+    """The exact IEEE-754 representation (0.0 == -0.0 must not hide)."""
+    return struct.pack("<d", value)
+
+
+def assert_weights_bit_identical(reference, candidate):
+    assert list(reference.keys()) == list(candidate.keys())
+    for key, value in reference.items():
+        assert bits(value) == bits(candidate[key]), \
+            (key, value, candidate[key])
+
+
+def generated_block(seed: int, pages: int, alpha: float):
+    config = GeneratorConfig(pages_per_name=pages, max_clusters=3,
+                             cluster_size_alpha=alpha, vocabulary_seed=7)
+    collection = custom_dataset(["Ada Wong"], seed=seed, config=config,
+                                cluster_counts={"Ada Wong": 2})
+    block = collection.collections[0]
+    pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
+    return block, pipeline.extract_block(block)
+
+
+block_inputs = st.tuples(st.integers(0, 10_000), st.integers(2, 12),
+                         st.floats(1.0, 2.5))
+
+
+class TestScoreMatrixParity:
+    @settings(max_examples=15, deadline=None)
+    @given(block_inputs)
+    def test_full_battery_matrices_bit_identical(self, inputs):
+        seed, pages, alpha = inputs
+        block, features = generated_block(seed, pages, alpha)
+        ids = block.page_ids()
+        battery = full_battery()
+        reference = PYTHON.block_scores(ids, features, battery)
+        candidate = NUMPY.block_scores(ids, features, battery)
+        assert reference.keys() == candidate.keys()
+        for name in reference:
+            assert_weights_bit_identical(reference[name], candidate[name])
+
+    @settings(max_examples=10, deadline=None)
+    @given(block_inputs)
+    def test_graphs_bit_identical(self, inputs):
+        seed, pages, alpha = inputs
+        block, features = generated_block(seed, pages, alpha)
+        functions = default_functions()
+        reference = batched_similarity_graphs(block, features, functions,
+                                              backend="python")
+        candidate = batched_similarity_graphs(block, features, functions,
+                                              backend="numpy")
+        assert list(reference) == list(candidate) == [
+            function.name for function in functions]
+        for name in reference:
+            assert reference[name].nodes == candidate[name].nodes
+            assert_weights_bit_identical(reference[name].weights,
+                                         candidate[name].weights)
+
+    @settings(max_examples=10, deadline=None)
+    @given(block_inputs)
+    def test_one_vs_many_bit_identical(self, inputs):
+        seed, pages, alpha = inputs
+        block, features = generated_block(seed, pages, alpha)
+        pages_list = [features[doc_id] for doc_id in block.page_ids()]
+        new, others = pages_list[0], pages_list[1:]
+        for function in full_battery():
+            reference = PYTHON.pair_scores(function, new, others)
+            candidate = NUMPY.pair_scores(function, new, others)
+            assert [bits(value) for value in reference] == \
+                [bits(value) for value in candidate], function.name
+
+
+class TestClusteringParity:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 1_000), st.integers(4, 10))
+    def test_fit_predict_clusterings_identical(self, seed, pages):
+        config = GeneratorConfig(pages_per_name=pages, max_clusters=3,
+                                 vocabulary_seed=7)
+        collection = custom_dataset(["Ada Wong", "Bo Chen"], seed=seed,
+                                    config=config)
+
+        def resolve(backend: str):
+            resolver_config = ResolverConfig(backend=backend)
+            model = EntityResolver(resolver_config).fit(collection,
+                                                        training_seed=0)
+            resolution = model.evaluate_collection(collection)
+            return [
+                (entry.query_name,
+                 sorted(tuple(sorted(cluster))
+                        for cluster in entry.predicted),
+                 bits(entry.report.fp), bits(entry.report.f1))
+                for entry in resolution.blocks
+            ]
+
+        assert resolve("python") == resolve("numpy")
+
+
+class TestBatchedStringKernels:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(alphabet="ab/.-xz09", max_size=70), max_size=8))
+    def test_pairwise_levenshtein_matches_scalar(self, paths):
+        distances = _pairwise_path_distances(paths)
+        for i, left in enumerate(paths):
+            for j, right in enumerate(paths):
+                if i < j:
+                    expected = levenshtein(left, right)
+                    assert distances[i, j] == expected
+                    assert distances[j, i] == expected

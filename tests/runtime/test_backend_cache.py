@@ -1,0 +1,100 @@
+"""SimilarityCache accounting under the scoring backends.
+
+The cache counts pair-granular hits and misses regardless of which
+backend scored the pairs; the numpy backend's matrix-built weights must
+account identically to the scalar sweep's — and a value cached by one
+backend must serve the other (bit-identity is what makes that legal).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.resolver import EntityResolver
+from repro.corpus.datasets import www05_like
+from repro.runtime.batch import batched_similarity_graphs
+from repro.runtime.cache import SimilarityCache
+from repro.similarity.functions import default_functions
+
+BACKENDS = ("python", "numpy")
+
+
+@pytest.fixture(scope="module")
+def block_and_features():
+    collection = www05_like(seed=3, pages_per_name=10,
+                            names=["William Cohen"])
+    pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
+    block = collection.collections[0]
+    return block, pipeline.extract_block(block)
+
+
+def n_pairs(block) -> int:
+    n = len(block.pages)
+    return n * (n - 1) // 2
+
+
+class TestCacheAccountingPerBackend:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_first_pass_counts_misses_second_hits(self, block_and_features,
+                                                  backend):
+        block, features = block_and_features
+        functions = default_functions()
+        expected = n_pairs(block) * len(functions)
+        cache = SimilarityCache()
+        first = batched_similarity_graphs(block, features, functions,
+                                          cache=cache, backend=backend)
+        snapshot = cache.stats()
+        assert snapshot.pair_misses == expected
+        assert snapshot.pair_hits == 0
+        second = batched_similarity_graphs(block, features, functions,
+                                           cache=cache, backend=backend)
+        snapshot = cache.stats()
+        assert snapshot.pair_misses == expected
+        assert snapshot.pair_hits == expected
+        assert snapshot.hit_rate == 0.5
+        for name in first:
+            assert first[name].weights == second[name].weights
+
+    def test_cache_filled_by_one_backend_serves_the_other(
+            self, block_and_features):
+        block, features = block_and_features
+        functions = default_functions()
+        cache = SimilarityCache()
+        filled = batched_similarity_graphs(block, features, functions,
+                                           cache=cache, backend="numpy")
+        served = batched_similarity_graphs(block, features, functions,
+                                           cache=cache, backend="python")
+        assert cache.stats().pair_hits == n_pairs(block) * len(functions)
+        for name in filled:
+            assert filled[name].weights == served[name].weights
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partial_cache_scores_only_pending_functions(
+            self, block_and_features, backend):
+        block, features = block_and_features
+        functions = default_functions()
+        cache = SimilarityCache()
+        batched_similarity_graphs(block, features, functions[:3],
+                                  cache=cache, backend=backend)
+        misses_before = cache.stats().pair_misses
+        graphs = batched_similarity_graphs(block, features, functions,
+                                           cache=cache, backend=backend)
+        snapshot = cache.stats()
+        assert snapshot.pair_hits == n_pairs(block) * 3
+        assert snapshot.pair_misses == misses_before \
+            + n_pairs(block) * (len(functions) - 3)
+        assert list(graphs) == [function.name for function in functions]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_serving_twice_halves_the_miss_rate(self, backend):
+        collection = www05_like(seed=3, pages_per_name=10,
+                                names=["William Cohen"])
+        resolver = EntityResolver(ResolverConfig(backend=backend))
+        block = collection.collections[0]
+        model = resolver.fit(collection, training_seed=0)
+        model.release_fit_caches()
+        model.pipeline = resolver.pipeline_for(collection)
+        model.predict_block(block)
+        model.predict_block(block)
+        assert model.cache_stats().hit_rate == 0.5
