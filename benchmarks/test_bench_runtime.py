@@ -23,6 +23,16 @@ online request path — mean single-page latency through a warmed
 :class:`~repro.pipeline.session.ResolutionSession`
 (``session_request_seconds``).
 
+The **mixed-universe scenario** measures the blocking layer on a page
+universe *not* pre-grouped by name (all names' pages in one flat list —
+the workload class generic blocking opens): the blockers' quality
+numbers (``blocking_reduction_ratio`` / ``blocking_pair_completeness``
+for the lossless query-name blocker, plus the token blocker's
+trade-off), and the cost of candidate-masked vs dense scoring of the
+merged universe (``masked_speedup_ratio``, asserted ≥ 1.5 at a
+reduction ratio ≥ 0.5 at default scale, with masked weights verified
+bit-identical to the dense weights of the same pairs).
+
 Each run appends a record to ``BENCH_runtime.json`` at the repo root so
 future revisions can track the trajectory; ``docs/performance.md``
 documents the format.  Scale knobs: ``REPRO_BENCH_PAGES`` /
@@ -274,6 +284,41 @@ def runtime_record():
     serving_snapshot = model.cache_stats()
     model.release_fit_caches()
 
+    # mixed universe: every name's pages in one flat list (no pre-grouping
+    # — the workload generic blocking opens).  The query-name blocker
+    # re-discovers the grouping from page attributes, losslessly; masked
+    # scoring of the merged universe then skips cross-name pairs.
+    from repro.blocking import QueryNameBlocker, TokenBlocker
+    from repro.corpus.documents import NameCollection as _NameCollection
+
+    mixed_cap = max(4, min(30, pages))  # bound the dense O(N²) baseline
+    mixed_pages = [page for block in collection
+                   for page in block.pages[:mixed_cap]]
+    query_name_blocking = QueryNameBlocker().block(mixed_pages)
+    token_blocking = TokenBlocker().block(mixed_pages)
+    mixed_block = _NameCollection(query_name="~mixed", pages=mixed_pages)
+    mixed_features = pipeline.extract_block(mixed_block)
+    mixed_mask = frozenset(query_name_blocking.candidate_pairs)
+
+    def _mixed_graphs(mask):
+        started = time.perf_counter()
+        graphs = batched_similarity_graphs(mixed_block, mixed_features,
+                                           default_functions(),
+                                           backend="python", mask=mask)
+        return time.perf_counter() - started, graphs
+
+    dense_seconds, dense_graphs = _mixed_graphs(None)
+    masked_seconds, masked_graphs = _mixed_graphs(mixed_mask)
+    dense_seconds = min(dense_seconds, _mixed_graphs(None)[0])
+    masked_seconds = min(masked_seconds, _mixed_graphs(mixed_mask)[0])
+    masked_matches_dense = all(
+        masked_graphs[name].weights
+        == {pair: weight for pair, weight in dense_graphs[name].weights.items()
+            if pair in mixed_mask}
+        for name in dense_graphs
+    )
+    del dense_graphs, masked_graphs
+
     # online request path: warm a ResolutionSession on most of the hot
     # block, then time single-page requests through the incremental
     # assignment path (features precomputed, as a deployment's feature
@@ -339,6 +384,17 @@ def runtime_record():
         "pipeline_overhead_ratio": staged_seconds / direct_seconds,
         "session_requests": stream_count,
         "session_request_seconds": session_mean_seconds,
+        "mixed_universe_pages": len(mixed_pages),
+        "blocking_reduction_ratio": query_name_blocking.reduction_ratio(),
+        "blocking_pair_completeness":
+            query_name_blocking.pair_completeness(),
+        "token_blocking_reduction_ratio": token_blocking.reduction_ratio(),
+        "token_blocking_pair_completeness":
+            token_blocking.pair_completeness(),
+        "masked_graphs_seconds": masked_seconds,
+        "dense_graphs_seconds": dense_seconds,
+        "masked_speedup_ratio": dense_seconds / masked_seconds,
+        "masked_matches_dense": masked_matches_dense,
         "per_block_seconds": serial_context.stats.per_block_seconds,
         "graphs_match_seed": all(
             serial_context.graphs_by_name[name][sample_function].weights
@@ -410,6 +466,22 @@ class TestRuntimeBench:
         assert runtime_record["pipeline_overhead_ratio"] <= ceiling, \
             runtime_record
 
+    def test_mixed_universe_blocking_metrics(self, runtime_record):
+        """On the flat (not pre-grouped) universe the query-name blocker
+        is lossless and reduces ≥ half the pairs; masked scoring of the
+        merged universe must be bit-identical to dense scoring restricted
+        to the candidates, and ≥1.5x faster at the default scale (smaller
+        smoke runs only record the ratio)."""
+        assert runtime_record["blocking_pair_completeness"] == 1.0
+        assert runtime_record["blocking_reduction_ratio"] >= 0.5
+        assert 0.0 <= runtime_record["token_blocking_reduction_ratio"] <= 1.0
+        assert 0.0 <= runtime_record["token_blocking_pair_completeness"] <= 1.0
+        assert runtime_record["masked_matches_dense"]
+        assert runtime_record["masked_speedup_ratio"] > 0.0
+        if runtime_record["pages_per_name"] >= 40:
+            assert runtime_record["masked_speedup_ratio"] >= 1.5, \
+                runtime_record
+
     def test_session_request_path_beats_batch_reserve(self, runtime_record):
         """A single-page request through the session's incremental path
         must be cheaper than cold-serving the whole block again."""
@@ -427,6 +499,8 @@ class TestRuntimeBench:
                     "engine_parallel_seconds", "per_block_seconds",
                     "serving_cache_hit_rate", "deterministic",
                     "pipeline_overhead_ratio", "session_request_seconds",
-                    "backend_speedup_ratio", "backends_bit_identical"):
+                    "backend_speedup_ratio", "backends_bit_identical",
+                    "blocking_reduction_ratio", "blocking_pair_completeness",
+                    "masked_speedup_ratio", "masked_matches_dense"):
             assert key in last, key
         assert last["pages_per_name"] == runtime_record["pages_per_name"]

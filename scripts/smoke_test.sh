@@ -3,7 +3,9 @@
 # it (labels unused), and score the predictions — serially and through
 # the process-pool executor (--workers 2), which must agree.  Inspect
 # the stage plans (pipeline explain) and run the online serving demo
-# loop (serve).  Then run the runtime benchmark at smoke scale and
+# loop (serve).  Exercise the generic blocking path (--blocker token)
+# with serial/parallel fit parity.  Then run the runtime benchmark at
+# smoke scale and
 # verify it emits a well-formed BENCH_runtime.json.  Exercises the full
 # fit -> save -> predict -> serve lifecycle plus the execution engine
 # through the CLI in under a minute.
@@ -75,6 +77,31 @@ assert serial["blocks"] == vectorized["blocks"], \
 print("serial, --workers 2 and --backend numpy fitted state identical")
 PY
 
+echo "== fit/predict --blocker token (generic blocking path) =="
+# Generic blocking re-blocks the corpus into candidate components and
+# scores only candidate pairs; serial and --workers 2 fits must still
+# learn the identical model, and the saved blocker choice must drive
+# the predict pass.
+( export PYTHONHASHSEED=0
+  run --blocker token fit --in "$workdir/data.json" \
+      --model "$workdir/model_token.json"
+  run --blocker token --workers 2 fit --in "$workdir/data.json" \
+      --model "$workdir/model_token_w2.json" )
+run predict --in "$workdir/data.json" \
+    --model "$workdir/model_token.json" --evaluate
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$workdir" <<'PY'
+import json, sys
+serial = json.load(open(sys.argv[1] + "/model_token.json"))
+parallel = json.load(open(sys.argv[1] + "/model_token_w2.json"))
+assert serial["config"]["blocker"] == "token", \
+    "--blocker token was not saved into the fitted model"
+assert serial["blocks"] == parallel["blocks"], \
+    "--blocker token serial and --workers 2 fits diverged"
+assert all(name.startswith("~block:") for name in serial["blocks"]), \
+    "token blocking did not produce synthetic candidate components"
+print("--blocker token fitted state identical across executors")
+PY
+
 echo "== runtime benchmark emits BENCH_runtime.json =="
 REPRO_BENCH_PAGES=16 REPRO_BENCH_RUNS=2 \
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
@@ -92,16 +119,23 @@ last = runs[-1]
 for key in ("speedup_vs_seed", "seed_path_seconds",
             "engine_parallel_seconds", "serving_cache_hit_rate",
             "deterministic", "backend_speedup_ratio",
-            "backends_bit_identical"):
+            "backends_bit_identical", "blocking_reduction_ratio",
+            "blocking_pair_completeness", "masked_speedup_ratio",
+            "masked_matches_dense"):
     if key not in last:
         sys.exit(f"BENCH_runtime.json record lacks {key!r}")
 if not last["deterministic"]:
     sys.exit("runtime bench recorded a non-deterministic run")
 if not last["backends_bit_identical"]:
     sys.exit("runtime bench recorded diverging scoring backends")
+if last["blocking_pair_completeness"] != 1.0:
+    sys.exit("query-name blocking lost true pairs on the mixed universe")
+if not last["masked_matches_dense"]:
+    sys.exit("masked scoring diverged from dense scoring")
 print(f"BENCH_runtime.json OK: {len(runs)} run(s), last speedup "
       f"{last['speedup_vs_seed']:.2f}x, backend ratio "
-      f"{last['backend_speedup_ratio']:.2f}x")
+      f"{last['backend_speedup_ratio']:.2f}x, masked ratio "
+      f"{last['masked_speedup_ratio']:.2f}x")
 PY
 
 echo "smoke test OK"

@@ -8,7 +8,12 @@ provides the paper's scheme plus two classic generic blockers (token
 blocking and sorted neighborhood) for that general setting.
 """
 
-from repro.blocking.base import Blocker, BlockingResult
+from repro.blocking.base import (
+    Blocker,
+    BlockingResult,
+    CandidateMask,
+    blocks_from_candidates,
+)
 from repro.blocking.name_blocking import QueryNameBlocker
 from repro.blocking.token_blocking import TokenBlocker
 from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
@@ -16,7 +21,9 @@ from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
 __all__ = [
     "Blocker",
     "BlockingResult",
+    "CandidateMask",
     "QueryNameBlocker",
     "TokenBlocker",
     "SortedNeighborhoodBlocker",
+    "blocks_from_candidates",
 ]

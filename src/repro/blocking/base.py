@@ -9,11 +9,21 @@ also reports the standard blocking quality numbers — pair completeness
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.corpus.documents import WebPage
+from repro.corpus.documents import NameCollection, WebPage
+from repro.graph.components import UnionFind
 from repro.graph.entity_graph import PairKey, pair_key
+
+#: Candidate-pair mask type threaded through the similarity layer:
+#: ``None`` means dense (every in-block pair is a candidate).
+CandidateMask = frozenset[PairKey]
+
+#: Query-name prefix of synthetic blocks assembled from candidate
+#: components (:func:`blocks_from_candidates`); picked so generic blocks
+#: can never collide with a real person name.
+SYNTHETIC_BLOCK_PREFIX = "~block:"
 
 
 @dataclass
@@ -51,22 +61,34 @@ class BlockingResult:
         return kept / len(true_pairs)
 
     def _true_pairs(self) -> set[PairKey]:
+        # Group ids by person and enumerate pairs within each group:
+        # O(n + Σ gᵢ²) instead of the all-ids double loop's O(n²) — true
+        # pairs only ever form inside a person's group.
         labels: dict[str, str] = {}
         for page in self.pages:
             if page.person_id is None:
                 raise ValueError(f"page {page.doc_id!r} is unlabeled")
             labels[page.doc_id] = page.person_id
-        ids = sorted(labels)
+        groups: dict[str, list[str]] = {}
+        for doc_id, person_id in labels.items():
+            groups.setdefault(person_id, []).append(doc_id)
         pairs: set[PairKey] = set()
-        for i, left in enumerate(ids):
-            for right in ids[i + 1:]:
-                if labels[left] == labels[right]:
-                    pairs.add(pair_key(left, right))
+        for ids in groups.values():
+            pairs.update(pairs_within(ids))
         return pairs
 
 
 class Blocker(ABC):
-    """Interface for candidate-pair generation."""
+    """Interface for candidate-pair generation.
+
+    Implementations register in :data:`repro.core.registry.BLOCKERS`
+    (via :func:`~repro.core.registry.register_blocker`) to become valid
+    ``ResolverConfig(blocker=...)`` values; registered blockers must be
+    no-arg constructible.
+    """
+
+    #: registry/config name.
+    name: str = "?"
 
     @abstractmethod
     def block(self, pages: Iterable[WebPage]) -> BlockingResult:
@@ -81,3 +103,51 @@ def pairs_within(ids: list[str]) -> set[PairKey]:
         for right in ordered[i + 1:]:
             pairs.add(pair_key(left, right))
     return pairs
+
+
+def blocks_from_candidates(
+    pages: Sequence[WebPage],
+    candidate_pairs: Iterable[PairKey],
+) -> tuple[list[NameCollection], dict[str, CandidateMask]]:
+    """Partition a page universe into candidate-connected comparison units.
+
+    Each connected component of the candidate-pair graph becomes one
+    synthetic :class:`~repro.corpus.documents.NameCollection` (pages in
+    universe order, named ``~block:<first doc id>`` so generic blocks
+    never collide with real query names), paired with the component's
+    candidate mask.  Pages with no candidates become singleton blocks
+    with an empty mask.  Deterministic: block order follows the first
+    appearance of each component in ``pages``.
+
+    This is how the pipeline's ``block`` stage turns an arbitrary
+    registered blocker's pair set into the per-block units every later
+    stage schedules; the masks then restrict similarity scoring to
+    candidate pairs (see :mod:`repro.similarity.backends`).
+    """
+    page_list = list(pages)
+    candidate_pairs = list(candidate_pairs)
+    forest = UnionFind(page.doc_id for page in page_list)
+    for left, right in candidate_pairs:
+        forest.union(left, right)
+
+    component_pages: dict[object, list[WebPage]] = {}
+    order: list[object] = []
+    for page in page_list:
+        root = forest.find(page.doc_id)
+        members = component_pages.get(root)
+        if members is None:
+            component_pages[root] = members = []
+            order.append(root)
+        members.append(page)
+    component_masks: dict[object, set[PairKey]] = {}
+    for pair in candidate_pairs:
+        component_masks.setdefault(forest.find(pair[0]), set()).add(pair)
+
+    blocks: list[NameCollection] = []
+    masks: dict[str, CandidateMask] = {}
+    for root in order:
+        members = component_pages[root]
+        query_name = f"{SYNTHETIC_BLOCK_PREFIX}{members[0].doc_id}"
+        blocks.append(NameCollection(query_name=query_name, pages=members))
+        masks[query_name] = frozenset(component_masks.get(root, ()))
+    return blocks, masks

@@ -11,11 +11,21 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.blocking.base import Blocker, BlockingResult, pairs_within
+from repro.core.registry import register_blocker
 from repro.corpus.documents import WebPage
 
 
+@register_blocker("query_name")
 class QueryNameBlocker(Blocker):
-    """Candidate pairs = all pairs sharing a query name."""
+    """Candidate pairs = all pairs sharing a query name.
+
+    As ``ResolverConfig(blocker="query_name")`` — the default — the
+    pipeline short-circuits this blocker: the corpus's per-name blocks
+    are used directly with no candidate mask (the dense fast path),
+    which is bit-identical to the pre-registry behavior.
+    """
+
+    name = "query_name"
 
     def block(self, pages: Iterable[WebPage]) -> BlockingResult:
         page_list = list(pages)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 
 from repro.blocking.base import Blocker, BlockingResult
+from repro.core.registry import register_blocker
 from repro.corpus.documents import WebPage
 from repro.graph.entity_graph import pair_key
 
@@ -28,6 +29,7 @@ def domain_key(page: WebPage) -> str:
     return ".".join(reversed(page.domain.lower().split(".")))
 
 
+@register_blocker("sorted_neighborhood")
 class SortedNeighborhoodBlocker(Blocker):
     """Multi-pass sorted-neighborhood blocking.
 
@@ -39,6 +41,8 @@ class SortedNeighborhoodBlocker(Blocker):
     Raises:
         ValueError: for a window smaller than 2.
     """
+
+    name = "sorted_neighborhood"
 
     def __init__(self, window: int = 10,
                  keys: Iterable[KeyFunction] | None = None):

@@ -11,11 +11,13 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.blocking.base import Blocker, BlockingResult
+from repro.core.registry import register_blocker
 from repro.corpus.documents import WebPage
 from repro.extraction.tokenizer import is_capitalized, tokenize
 from repro.graph.entity_graph import pair_key
 
 
+@register_blocker("token")
 class TokenBlocker(Blocker):
     """Inverted-index blocking on (entity-like) page tokens.
 
@@ -26,6 +28,8 @@ class TokenBlocker(Blocker):
         entity_tokens_only: index only capitalized tokens (default); set
             False to index every token.
     """
+
+    name = "token"
 
     def __init__(self, min_token_length: int = 3,
                  max_block_fraction: float = 0.25,

@@ -29,7 +29,12 @@ resolve/figure/table protocol loops stay serial), ``--backend``
 (pairwise-scoring backend for the similarity hot path: ``python`` or
 ``numpy``, bit-identical — applies to fit, predict, serve, resolve and
 context preparation; defaults to ``REPRO_BACKEND``; see
-``docs/performance.md``).  All output is plain text on stdout.
+``docs/performance.md``), ``--blocker`` (candidate-pair generation for
+fit/predict collection passes: ``query_name`` — the paper's per-name
+blocking, the default — or a generic registered blocker such as
+``token`` / ``sorted_neighborhood``, which re-blocks the corpus into
+candidate components and scores only candidate pairs; see
+``docs/blocking.md``).  All output is plain text on stdout.
 """
 
 from __future__ import annotations
@@ -82,6 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "REPRO_BACKEND environment variable, else "
                              "'python'.  Backends produce bit-identical "
                              "results — this is purely a speed knob")
+    parser.add_argument("--blocker", default=None,
+                        help="candidate-pair blocking for fit/predict "
+                             "collection passes ('query_name', 'token', "
+                             "'sorted_neighborhood', or any registered "
+                             "blocker); default: the config's "
+                             "('query_name', the paper's per-name "
+                             "blocking).  Generic blockers re-block the "
+                             "corpus into candidate components and score "
+                             "only candidate pairs — unlike --backend this "
+                             "changes which pairs exist, and the choice is "
+                             "saved into fitted models")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -188,14 +204,24 @@ def _context(args: argparse.Namespace, which: str | None = None,
                                      backend=getattr(args, "backend", None))
 
 
-def _apply_backend(config: ResolverConfig,
-                   args: argparse.Namespace) -> ResolverConfig:
-    """The config with ``--backend`` applied (unchanged when not given)."""
+def _apply_overrides(config: ResolverConfig,
+                     args: argparse.Namespace) -> ResolverConfig:
+    """The config with ``--backend``/``--blocker`` applied.
+
+    Unchanged (same object) when neither flag was given, so saved-model
+    configs pass through untouched by default.
+    """
+    updates = {}
     backend = getattr(args, "backend", None)
-    if backend is None or backend == config.backend:
+    if backend is not None and backend != config.backend:
+        updates["backend"] = backend
+    blocker = getattr(args, "blocker", None)
+    if blocker is not None and blocker != config.blocker:
+        updates["blocker"] = blocker
+    if not updates:
         return config
     from dataclasses import replace
-    return replace(config, backend=backend)
+    return replace(config, **updates)
 
 
 def _print_stats(stats) -> None:
@@ -232,7 +258,7 @@ def _load_or_generate(args: argparse.Namespace):
 
 def cmd_fit(args: argparse.Namespace) -> int:
     collection = _load_or_generate(args)
-    config = _apply_backend(ResolverConfig() if args.column == "default"
+    config = _apply_overrides(ResolverConfig() if args.column == "default"
                             else table2_config(args.column), args)
     # --workers is a runtime choice of *this* process, passed as an
     # explicit executor so it is never baked into the saved artifact — a
@@ -256,7 +282,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     model = ResolverModel.load(args.model)
     # Bit-identical backends make this a pure speed override for the
     # serving pass; the saved artifact is untouched.
-    model.config = _apply_backend(model.config, args)
+    model.config = _apply_overrides(model.config, args)
     collection = _load_or_generate(args)
     executor = executor_for_workers(args.workers)
     if args.evaluate:
@@ -326,7 +352,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.pipeline.session import ResolutionSession
 
     model = ResolverModel.load(args.model)
-    model.config = _apply_backend(model.config, args)
+    model.config = _apply_overrides(model.config, args)
     collection = _load_or_generate(args)
     try:
         pipeline = resolve_extraction_pipeline(collection)
@@ -382,7 +408,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_resolve(args: argparse.Namespace) -> int:
     context = _context(args, input_path=args.input_path)
-    resolver = EntityResolver(_apply_backend(
+    resolver = EntityResolver(_apply_overrides(
         table2_config(args.column) if args.column != "default"
         else ResolverConfig(), args))
     rows = []

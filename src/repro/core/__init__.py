@@ -9,12 +9,13 @@ averaging) → clustering (transitive closure or correlation clustering).
 ``EntityResolver.fit`` (Algorithm 1's learning steps) ties it together and
 returns a :class:`ResolverModel` that predicts on unlabeled pages,
 evaluates against ground truth, and serializes to JSON.  New combiners,
-decision criteria, clusterers, similarity functions and sampling modes
-plug in through :mod:`repro.core.registry`.
+decision criteria, clusterers, similarity functions, sampling modes and
+blockers plug in through :mod:`repro.core.registry`.
 """
 
 from repro.core.labels import TrainingSample
 from repro.core.registry import (
+    BLOCKERS,
     CLUSTERERS,
     COMBINERS,
     CRITERIA,
@@ -22,6 +23,7 @@ from repro.core.registry import (
     SIMILARITIES,
     STAGES,
     Registry,
+    register_blocker,
     register_clusterer,
     register_combiner,
     register_criterion,
@@ -118,12 +120,14 @@ __all__ = [
     "compute_similarity_graphs",
     "cluster_combination",
     "Registry",
+    "BLOCKERS",
     "COMBINERS",
     "CRITERIA",
     "CLUSTERERS",
     "SIMILARITIES",
     "SAMPLING_MODES",
     "STAGES",
+    "register_blocker",
     "register_combiner",
     "register_criterion",
     "register_clusterer",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.registry import (
+    BLOCKERS,
     CLUSTERERS,
     COMBINERS,
     CRITERIA,
@@ -34,6 +35,17 @@ class ResolverConfig:
         sampling_mode: ``"pairs"`` or ``"documents"``
             (see :mod:`repro.ml.sampling`).
         correlation_seed: RNG seed of the correlation clusterer.
+        blocker: candidate-pair generation scheme for collection passes —
+            ``"query_name"`` (the paper's per-name blocking, the
+            default), ``"token"`` or ``"sorted_neighborhood"``, or any
+            :func:`~repro.core.registry.register_blocker` registration.
+            ``"query_name"`` keeps the dense per-name fast path
+            (bit-identical to the pre-registry pipeline); any other
+            blocker re-blocks the corpus into candidate components and
+            similarity is computed for candidate pairs only (see
+            ``docs/blocking.md``).  Unlike ``backend``, the blocker
+            changes which pairs exist downstream, so it *is* serialized
+            with fitted models.
         executor: block-executor backend scheduling per-block work —
             ``"serial"`` (default) or ``"process"``
             (see :mod:`repro.runtime.executor`).  Serial and parallel
@@ -60,6 +72,7 @@ class ResolverConfig:
     training_fraction: float = 0.1
     sampling_mode: str = "pairs"
     correlation_seed: int = 0
+    blocker: str = "query_name"
     executor: str = "serial"
     workers: int = 1
     backend: str = field(default_factory=default_backend)
@@ -79,6 +92,7 @@ class ResolverConfig:
             CRITERIA.validate(criterion)
         CLUSTERERS.validate(self.clusterer)
         SAMPLING_MODES.validate(self.sampling_mode)
+        BLOCKERS.validate(self.blocker)
         EXECUTORS.validate(self.executor)
         BACKENDS.validate(self.backend)
         if not 0.0 < self.training_fraction <= 1.0:
@@ -108,6 +122,7 @@ class ResolverConfig:
             "training_fraction": self.training_fraction,
             "sampling_mode": self.sampling_mode,
             "correlation_seed": self.correlation_seed,
+            "blocker": self.blocker,
             "executor": self.executor,
             "workers": self.workers,
         }
@@ -128,6 +143,7 @@ class ResolverConfig:
             training_fraction=float(payload["training_fraction"]),
             sampling_mode=str(payload["sampling_mode"]),
             correlation_seed=int(payload["correlation_seed"]),
+            blocker=str(payload.get("blocker", "query_name")),
             executor=str(payload.get("executor", "serial")),
             workers=int(payload.get("workers", 1)),
             backend=str(payload.get("backend") or default_backend()),

@@ -59,8 +59,9 @@ def compute_similarity_graphs(
     functions: list[SimilarityFunction],
     cache: SimilarityCache | None = None,
     backend: str | None = None,
+    mask: frozenset | None = None,
 ) -> dict[str, WeightedPairGraph]:
-    """The complete weighted graph ``G_w^fi`` for every function.
+    """The weighted graph ``G_w^fi`` for every function.
 
     This is the quadratic step; experiments precompute and cache these
     graphs per dataset because similarity values do not depend on the
@@ -72,14 +73,17 @@ def compute_similarity_graphs(
 
     Args:
         cache: optional :class:`~repro.runtime.cache.SimilarityCache`;
-            (block, function) graphs already stored there are reused and
-            fresh ones stored back.
+            (block, mask, function) graphs already stored there are
+            reused and fresh ones stored back.
         backend: scoring-backend name
             (:data:`~repro.similarity.backends.BACKENDS`); ``None`` uses
             the ambient default.  Bit-identical across backends.
+        mask: optional candidate-pair mask from a blocker; only masked
+            pairs are scored, so the graphs carry candidate edges only.
+            ``None`` (default): the complete graph.
     """
     return batched_similarity_graphs(block, features, functions, cache=cache,
-                                     backend=backend)
+                                     backend=backend, mask=mask)
 
 
 def resolve_extraction_pipeline(
@@ -345,7 +349,7 @@ class CollectionPrediction:
         self._index: tuple[int, dict[str, int]] | None = None
 
     def by_name(self, query_name: str) -> BlockPrediction:
-        """Prediction for one name (lazy name→block index; amortized O(1)).
+        """Prediction for one name (lazy, hit-verified first-match name→block index).
 
         Raises:
             KeyError: if the name is absent.
@@ -400,7 +404,7 @@ class CollectionResolution:
         return mean_report([block.report for block in self.blocks])
 
     def by_name(self, query_name: str) -> BlockResolution:
-        """Result for one name (lazy name→block index; amortized O(1)).
+        """Result for one name (lazy, hit-verified first-match name→block index).
 
         Raises:
             KeyError: if the name is absent.
@@ -528,6 +532,7 @@ class ResolverModel:
         features: dict[str, PageFeatures] | None = None,
         graphs: dict[str, WeightedPairGraph] | None = None,
         model_block: str | None = None,
+        mask: frozenset | None = None,
     ) -> BlockPrediction:
         """Resolve one block with the fitted machinery — labels unused.
 
@@ -539,6 +544,8 @@ class ResolverModel:
                 similarity computation).
             model_block: reuse the fitted state of a *different* name —
                 how a model serves names it was never fitted on.
+            mask: candidate-pair mask restricting similarity computation
+                (``None``: dense); ignored when ``graphs`` are supplied.
 
         Raises:
             KeyError: when no fitted state exists for the block's name.
@@ -546,7 +553,8 @@ class ResolverModel:
         """
         fitted = self._fitted_for(model_block or block.query_name)
         return self.predict_fitted(fitted, block, pipeline=pipeline,
-                                   features=features, graphs=graphs)
+                                   features=features, graphs=graphs,
+                                   mask=mask)
 
     def predict_fitted(
         self,
@@ -555,19 +563,23 @@ class ResolverModel:
         pipeline: ExtractionPipeline | None = None,
         features: dict[str, PageFeatures] | None = None,
         graphs: dict[str, WeightedPairGraph] | None = None,
+        mask: frozenset | None = None,
     ) -> BlockPrediction:
         """Resolve one block with explicitly supplied fitted state.
 
         The core of :meth:`predict_block`, exposed for pipeline stages
         and custom schedulers that resolve fitted state themselves (the
         cluster stage serves each block through this method).  The
-        fitted state need not live in ``self.blocks``.
+        fitted state need not live in ``self.blocks``.  A candidate
+        ``mask`` restricts the similarity computation when graphs are
+        computed here (callers supplying ``graphs`` pre-masked pass
+        none).
         """
         if graphs is None:
-            # The similarity cache is keyed by block content only, so it
-            # must not serve a call that supplies its own features or
-            # pipeline — those may score differently than the model's
-            # defaults that populated the cache.
+            # The similarity cache is keyed by block content (and mask)
+            # only, so it must not serve a call that supplies its own
+            # features or pipeline — those may score differently than
+            # the model's defaults that populated the cache.
             cache = (self._similarity_cache
                      if features is None and pipeline is None else None)
             if features is None:
@@ -581,7 +593,7 @@ class ResolverModel:
                     features = pipeline.extract_block(block)
             graphs = compute_similarity_graphs(
                 block, features, self._functions, cache=cache,
-                backend=self.config.backend)
+                backend=self.config.backend, mask=mask)
 
         layers = fitted.decision_layers(graphs)
         combination = self._combiner.apply(layers, fitted.combiner_params)

@@ -1,9 +1,11 @@
 """Plugin registries for the resolver's pluggable backends.
 
-The framework has five extension axes — combiners (§IV-B), decision
-criteria (§IV-A), clusterers (§IV-C), similarity functions (Table I) and
-block executors (the runtime engine) — plus the training-sampling mode of
-the evaluation protocol.  Each axis is a :class:`Registry`: a named map
+The framework has six extension axes — combiners (§IV-B), decision
+criteria (§IV-A), clusterers (§IV-C), similarity functions (Table I),
+block executors (the runtime engine) and blockers (candidate-pair
+generation, the §IV-C footnote's general setting) — plus the
+training-sampling mode of the evaluation protocol.  Each axis is a
+:class:`Registry`: a named map
 from config strings to factories, so new backends register themselves
 instead of editing if-chains in ``repro.core``.
 
@@ -89,6 +91,11 @@ _BUILTIN_MODULES = (
     "repro.core.combination",
     "repro.core.clusterers",
     "repro.runtime.executor",
+    # Blockers live outside repro.core and only import data-model
+    # packages (corpus, graph, extraction) plus this module.
+    "repro.blocking.name_blocking",
+    "repro.blocking.token_blocking",
+    "repro.blocking.sorted_neighborhood",
     # The pipeline package keeps its module-level imports outside
     # repro.core (stage bodies import core lazily), so loading it here
     # cannot re-enter a partially imported core module.
@@ -244,6 +251,11 @@ SAMPLING_MODES = Registry("sampling mode")
 #: :class:`~repro.runtime.executor.BlockExecutor`` scheduling block tasks.
 EXECUTORS = Registry("executor")
 
+#: name -> no-arg-constructible :class:`~repro.blocking.base.Blocker`
+#: subclass generating candidate pairs; ``ResolverConfig.blocker``
+#: selects one and the pipeline's ``block`` stage builds it.
+BLOCKERS = Registry("blocker")
+
 #: name -> no-arg-constructible :class:`~repro.pipeline.stage.Stage`
 #: subclass; plans are composed from these by
 #: :func:`repro.pipeline.plan.Pipeline.from_names` and the default-plan
@@ -279,6 +291,18 @@ def register_sampling_mode(name: str | None = None, replace: bool = False):
 def register_executor(name: str | None = None, replace: bool = False):
     """Decorator registering a block-executor factory ``(workers) -> BlockExecutor``."""
     return EXECUTORS.register(name, replace=replace)
+
+
+def register_blocker(name: str | None = None, replace: bool = False):
+    """Class decorator registering a no-arg-constructible blocker.
+
+    Registered blockers become valid ``ResolverConfig(blocker=...)``
+    values; the pipeline's ``block`` stage resolves the configured name
+    through :data:`BLOCKERS` and drives the whole resolution pass off
+    the blocker's candidate pairs (see :mod:`repro.blocking.base` and
+    ``docs/blocking.md``).
+    """
+    return BLOCKERS.register(name, replace=replace)
 
 
 def register_stage(name: str | None = None, replace: bool = False):

@@ -18,12 +18,15 @@ def find_by_query_name(owner, blocks: Sequence, query_name: str):
 
     Shared by every container of ``query_name``-carrying blocks (datasets
     here, resolution/prediction results in :mod:`repro.core.model`).  The
-    lazy index is verified on hit and rebuilt once on miss, so the common
-    mutations (appends, same-length replacements) resolve correctly and a
-    returned block always carries the queried name.  Duplicate names keep
-    first-match semantics at index-build time; an in-place replacement
-    that *creates* a duplicate of an already-indexed name may resolve to
-    the indexed occurrence rather than the earlier position.
+    lazy index is verified on hit and rebuilt on any inconsistency, so
+    every mutation — appends, same-length replacements, and in-place
+    replacements that *create* a duplicate of an already-indexed name —
+    resolves to the first matching block.  First-match verification
+    scans the positions before the indexed one (duplicates can only
+    appear there, and a later mutation can introduce one at any time),
+    so a hit costs O(position) name comparisons; block counts per
+    container are small, and correctness under arbitrary in-place
+    mutation is worth the scan.
 
     Raises:
         KeyError: if no block carries ``query_name``.
@@ -34,7 +37,12 @@ def find_by_query_name(owner, blocks: Sequence, query_name: str):
         cache = owner._index = _build_name_index(blocks)
     position = cache[1].get(query_name)
     if position is not None and blocks[position].query_name == query_name:
-        return blocks[position]
+        if rebuilt or _is_first_match(blocks, position, query_name):
+            return blocks[position]
+        # A replacement created an earlier duplicate: rebuild so first-
+        # match semantics hold (now and for subsequent lookups).
+        cache = owner._index = _build_name_index(blocks)
+        return blocks[cache[1][query_name]]
     if not rebuilt:
         cache = owner._index = _build_name_index(blocks)
         position = cache[1].get(query_name)
@@ -42,6 +50,12 @@ def find_by_query_name(owner, blocks: Sequence, query_name: str):
                 and blocks[position].query_name == query_name):
             return blocks[position]
     raise KeyError(query_name)
+
+
+def _is_first_match(blocks: Sequence, position: int, query_name: str) -> bool:
+    """True when no block before ``position`` carries ``query_name``."""
+    return all(blocks[earlier].query_name != query_name
+               for earlier in range(position))
 
 
 def _build_name_index(blocks: Sequence) -> tuple[int, dict[str, int]]:
@@ -168,8 +182,8 @@ class DocumentCollection:
     def by_name(self, query_name: str) -> NameCollection:
         """Return the block for ``query_name``.
 
-        Backed by a lazy first-match name→block index (amortized O(1);
-        see :func:`find_by_query_name`).
+        Backed by a lazy, hit-verified first-match name→block index
+        (see :func:`find_by_query_name`).
 
         Raises:
             KeyError: if no block with that name exists.

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.corpus.documents import DocumentCollection, NameCollection
 from repro.extraction.features import PageFeatures
-from repro.graph.entity_graph import WeightedPairGraph
+from repro.graph.entity_graph import PairKey, WeightedPairGraph
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.model import (
@@ -65,14 +65,25 @@ class Blocks:
     Attributes:
         blocks: one :class:`NameCollection` per comparison unit, in the
             order downstream stages (and their executor fan-outs) will
-            process them.
+            process them.  Under the paper's query-name blocker these
+            are the corpus's per-name blocks; a generic registered
+            blocker produces one block per candidate-connected
+            component.
         source: the collection the blocks came from, kept so lazily
             resolved extraction pipelines can read its vocabulary
             metadata.  ``None`` for hand-assembled block lists.
+        masks: per-block candidate-pair masks keyed by the block's
+            ``query_name``.  A block absent from the map (every block on
+            the dense query-name fast path) has no mask: all of its
+            pairs are candidates.  Downstream stages thread a block's
+            mask into similarity scoring, so the resulting
+            :class:`~repro.graph.entity_graph.WeightedPairGraph`\\ s
+            carry candidate edges only.
     """
 
     blocks: list[NameCollection]
     source: DocumentCollection | None = None
+    masks: dict[str, frozenset[PairKey]] = field(default_factory=dict)
 
     def __iter__(self) -> Iterator[NameCollection]:
         return iter(self.blocks)
@@ -82,6 +93,10 @@ class Blocks:
 
     def names(self) -> list[str]:
         return [block.query_name for block in self.blocks]
+
+    def mask_for(self, query_name: str) -> frozenset[PairKey] | None:
+        """The block's candidate mask, or ``None`` for dense scoring."""
+        return self.masks.get(query_name)
 
     @property
     def dataset(self) -> str:

@@ -9,6 +9,16 @@ and assigned to an existing entity or a new one in
 O(block pages × layers) — no labels read, no re-training, no quadratic
 re-resolution per request.
 
+Pages *without* a usable query name (the general web setting of the
+paper's §IV-C footnote: crawled pages, uploads, mixed universes) are not
+dead ends: the session keeps a token-blocking candidate index over its
+prepared blocks' pages — the same entity-token keys
+:class:`~repro.blocking.token_blocking.TokenBlocker` blocks on, with
+boilerplate keys shared across most names excluded as stop-keys — and
+routes a nameless page to the prepared block sharing the most blocking
+keys, where it is assigned incrementally like any other request.  The
+index is evicted with its blocks, so memory stays bounded by the LRU.
+
 Prepared state is built through a pared-down predict pass on first
 contact with a name — extraction → similarity graphs → fitted decisions
 → clustering when the first request carries several pages (the "initial
@@ -31,8 +41,10 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.blocking.token_blocking import TokenBlocker
 from repro.core.incremental import (
     INCREMENTAL_COMBINERS,
     Assignment,
@@ -56,6 +68,8 @@ class SessionStats:
         pages: pages assigned across all requests.
         incremental_assignments: pages routed through the incremental
             request path (vs batch bootstrap).
+        routed_pages: pages without a usable query name routed through
+            the token-blocking candidate index.
         new_entities: assignments that founded a new entity.
         prepared_blocks: per-name prepared states built (bootstraps,
             including rebuilds after eviction).
@@ -66,6 +80,7 @@ class SessionStats:
     requests: int = 0
     pages: int = 0
     incremental_assignments: int = 0
+    routed_pages: int = 0
     new_entities: int = 0
     prepared_blocks: int = 0
     evicted_blocks: int = 0
@@ -130,6 +145,14 @@ class ResolutionSession:
         self.max_blocks = max_blocks
         self.model_block = model_block
         self._prepared: OrderedDict[str, _PreparedBlock] = OrderedDict()
+        # Token-blocking candidate index over served pages: blocking key
+        # -> prepared names it appeared under (with the reverse map for
+        # eviction).  Routes pages without a usable query name; entries
+        # are dropped with their block's LRU eviction, so index memory
+        # stays bounded by ``max_blocks``.
+        self._token_blocker = TokenBlocker()
+        self._token_index: dict[str, set[str]] = {}
+        self._keys_by_name: dict[str, set[str]] = {}
         self.stats = SessionStats()
 
     @classmethod
@@ -157,7 +180,10 @@ class ResolutionSession:
         with prepared state routes each page through incremental
         assignment; a name seen for the first time bootstraps — a batch
         predict pass when the request carries several of its pages, an
-        empty entity index when a single page arrives cold.
+        empty entity index when a single page arrives cold.  A page
+        *without* a query name is routed through the session's
+        token-blocking candidate index to the served block sharing the
+        most blocking keys.
 
         Args:
             pages: a single page, a list of pages, or a block.
@@ -170,7 +196,9 @@ class ResolutionSession:
 
         Raises:
             KeyError: for a query name without fitted state when no
-                ``model_block`` fallback is configured.
+                ``model_block`` fallback is configured, or for a
+                nameless page no served block shares a blocking key
+                with.
             ValueError: when extraction is needed but the session has no
                 pipeline, or a page was already resolved.
         """
@@ -178,7 +206,7 @@ class ResolutionSession:
         page_list = self._normalize(pages)
         grouped: OrderedDict[str, list[WebPage]] = OrderedDict()
         for page in page_list:
-            grouped.setdefault(page.query_name, []).append(page)
+            grouped.setdefault(self._route(page), []).append(page)
 
         # Fail atomically: an unknown name must reject the request
         # before any page is assigned, or a retry of the same request
@@ -269,6 +297,61 @@ class ResolutionSession:
             return list(pages.pages)
         return list(pages)
 
+    def _route(self, page: WebPage) -> str:
+        """The block name serving ``page`` (its own, or a routed one)."""
+        if page.query_name:
+            return page.query_name
+        routed = self._route_unnamed(page)
+        if routed is None:
+            raise KeyError(
+                f"page {page.doc_id!r} has no query name and shares no "
+                f"blocking key with any served block; serve some named "
+                f"traffic first (the token index grows with every "
+                f"resolved page)")
+        self.stats.routed_pages += 1
+        return routed
+
+    def _route_unnamed(self, page: WebPage) -> str | None:
+        """Best token-blocking candidate name for a nameless page.
+
+        Keys appearing under more than ``max_block_fraction`` of the
+        indexed names are stop-keys (the session analogue of
+        :class:`TokenBlocker`'s stop-blocks): boilerplate shared by
+        every name must not vote, or it would route arbitrary pages to
+        the lexicographically first name.
+        """
+        stop = max(1, int(self._token_blocker.max_block_fraction
+                          * len(self._keys_by_name)))
+        votes: dict[str, int] = {}
+        for key in set(self._token_blocker._keys(page)):
+            names = self._token_index.get(key, ())
+            if len(names) > stop:
+                continue
+            for name in names:
+                votes[name] = votes.get(name, 0) + 1
+        if not votes:
+            return None
+        # Most shared blocking keys wins; lexicographic tie-break keeps
+        # routing deterministic.
+        return min(votes, key=lambda name: (-votes[name], name))
+
+    def _index_pages(self, query_name: str,
+                     pages: Iterable[WebPage]) -> None:
+        keys = self._keys_by_name.setdefault(query_name, set())
+        for page in pages:
+            for key in set(self._token_blocker._keys(page)):
+                keys.add(key)
+                self._token_index.setdefault(key, set()).add(query_name)
+
+    def _unindex(self, query_name: str) -> None:
+        """Drop an evicted name's keys (bounds index memory to the LRU)."""
+        for key in self._keys_by_name.pop(query_name, ()):
+            names = self._token_index.get(key)
+            if names is not None:
+                names.discard(query_name)
+                if not names:
+                    del self._token_index[key]
+
     def _fallback_for(self, query_name: str) -> str | None:
         # Force the model's standard unknown-name KeyError when no
         # fallback is configured.
@@ -287,9 +370,11 @@ class ResolutionSession:
     def _store(self, prepared: _PreparedBlock) -> None:
         self._prepared[prepared.query_name] = prepared
         self._prepared.move_to_end(prepared.query_name)
+        self._index_pages(prepared.query_name, prepared.pages)
         self.stats.prepared_blocks += 1
         while len(self._prepared) > self.max_blocks:
-            self._prepared.popitem(last=False)
+            evicted_name, _ = self._prepared.popitem(last=False)
+            self._unindex(evicted_name)
             self.stats.evicted_blocks += 1
 
     def _bootstrap_batch(self, query_name: str, group: list[WebPage],
@@ -341,6 +426,7 @@ class ResolutionSession:
             page_features = self._extract_page(prepared, page)
         assignment = prepared.incremental.add_page(page_features)
         prepared.pages.append(page)
+        self._index_pages(prepared.query_name, [page])
         self.stats.incremental_assignments += 1
         if assignment.created_new_cluster:
             self.stats.new_entities += 1

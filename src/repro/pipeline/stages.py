@@ -3,8 +3,12 @@
 These six stages carry the dataflow that used to be hard-wired inside
 ``EntityResolver.fit`` and ``ResolverModel.predict_collection``:
 
-* ``block`` — :class:`QueryNameBlockingStage`: the paper's blocking
-  scheme (one block per ambiguous query name).
+* ``block`` — :class:`BlockingStage`: the config-selected blocking
+  scheme.  The default ``"query_name"`` blocker is the paper's (one
+  dense block per ambiguous query name, bit-identical to the
+  pre-registry pipeline); any other registered blocker re-blocks the
+  corpus into candidate-connected components carrying candidate-pair
+  masks that restrict every downstream quadratic step.
 * ``extract`` — :class:`ExtractionStage`: binds features (materializing
   nothing by default; the heavy stages pull per block).
 * ``similarity`` — :class:`SimilarityStage`: binds the config's function
@@ -35,7 +39,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core.registry import register_stage
+from repro.core.registry import BLOCKERS, register_stage
 from repro.pipeline.artifacts import (
     Blocks,
     Corpus,
@@ -49,6 +53,7 @@ from repro.runtime.cache import SimilarityCache
 from repro.runtime.stats import RunStats, TaskStats
 
 __all__ = [
+    "BlockingStage",
     "QueryNameBlockingStage",
     "ExtractionStage",
     "SimilarityStage",
@@ -59,11 +64,19 @@ __all__ = [
 
 
 @register_stage("block")
-class QueryNameBlockingStage(Stage):
-    """The paper's blocking scheme: one block per ambiguous query name.
+class BlockingStage(Stage):
+    """The config-selected blocking scheme (``ResolverConfig.blocker``).
 
-    Pairs are only ever formed within a block (§IV-C), which is what
-    makes every later stage embarrassingly parallel.  Swap this stage
+    Pairs are only ever formed within a block, which is what makes
+    every later stage embarrassingly parallel.  The default
+    ``"query_name"`` blocker is the paper's scheme (§IV-C): one block
+    per ambiguous query name, no candidate mask — the dense fast path,
+    bit-identical to the pre-registry pipeline.  Any other name in
+    :data:`~repro.core.registry.BLOCKERS` runs over the corpus's page
+    universe; its candidate pairs are partitioned into connected
+    components (:func:`~repro.blocking.base.blocks_from_candidates`),
+    one synthetic block each, whose masks restrict every downstream
+    quadratic step to candidate pairs.  Swap this stage
     (``@register_stage`` + a custom plan) to shard, filter or re-block
     the corpus without touching extraction, similarity or fitting.
     """
@@ -73,8 +86,22 @@ class QueryNameBlockingStage(Stage):
     produces = Blocks
 
     def run(self, corpus: Corpus, ctx: PipelineContext) -> Blocks:
-        return Blocks(blocks=list(corpus.collection),
-                      source=corpus.collection)
+        blocker_name = ctx.config.blocker
+        if blocker_name == "query_name":
+            return Blocks(blocks=list(corpus.collection),
+                          source=corpus.collection)
+        from repro.blocking.base import blocks_from_candidates
+
+        blocker = BLOCKERS.get(blocker_name)()
+        pages = list(corpus.collection.all_pages())
+        result = blocker.block(pages)
+        blocks, masks = blocks_from_candidates(pages, result.candidate_pairs)
+        return Blocks(blocks=blocks, source=corpus.collection, masks=masks)
+
+
+#: Backwards-compatible alias: the stage predates the blocker registry,
+#: when it implemented only the paper's query-name scheme.
+QueryNameBlockingStage = BlockingStage
 
 
 @register_stage("extract")
@@ -131,7 +158,9 @@ def _graphs_for_block(block, graphs: SimilarityGraphs, ctx: PipelineContext,
 
     Features come from the feature artifact when materialized, else the
     block is extracted with the lazily resolved pipeline.  Fresh graphs
-    run through ``cache`` for pair-granular accounting and reuse.
+    run through ``cache`` for pair-granular accounting and reuse, and
+    honor the block's candidate mask: a masked block's graphs carry
+    candidate edges only.
     """
     from repro.core.model import compute_similarity_graphs
 
@@ -143,7 +172,9 @@ def _graphs_for_block(block, graphs: SimilarityGraphs, ctx: PipelineContext,
         pipeline = ctx.require_extraction(graphs.blocks.source)
         features = cache.features_for(block, pipeline.extract_block)
     return compute_similarity_graphs(block, features, graphs.functions,
-                                     cache=cache, backend=graphs.backend)
+                                     cache=cache, backend=graphs.backend,
+                                     mask=graphs.blocks.mask_for(
+                                         block.query_name))
 
 
 @register_stage("fit")
@@ -223,6 +254,7 @@ class FitDecisionsStage(Stage):
                 pipeline=pipeline,
                 training_seed=ctx.training_seed,
                 features=features,
+                mask=graphs.blocks.mask_for(block.query_name),
             ))
         fitted = {}
         for query_name, fitted_block, task_stats in ctx.executor.run(
@@ -348,6 +380,7 @@ class ClusterStage(Stage):
                 pipeline=pipeline,
                 evaluate=ctx.evaluate,
                 features=features,
+                mask=graphs.blocks.mask_for(block.query_name),
             ))
         results = []
         for _, result, task_stats in ctx.executor.run(run_predict_block,

@@ -37,8 +37,9 @@ def batched_similarity_graphs(
     functions: Sequence[SimilarityFunction],
     cache: SimilarityCache | None = None,
     backend: str | ScoringBackend | None = None,
+    mask: "frozenset | None" = None,
 ) -> dict[str, WeightedPairGraph]:
-    """The complete weighted graph ``G_w^fi`` for every function.
+    """The weighted graph ``G_w^fi`` for every function.
 
     Identical output to scoring each pair with ``function(left, right)``
     in a nested loop (the seed implementation), but with per-page input
@@ -50,17 +51,23 @@ def batched_similarity_graphs(
         features: extracted features per ``doc_id``; must cover the block.
         functions: the similarity battery; graphs keep its order.
         cache: optional shared cache — functions whose graph for this
-            block is already stored are reused, freshly scored ones are
-            stored back.
+            (block, mask) is already stored are reused, freshly scored
+            ones are stored back.
         backend: scoring backend name or instance
             (:data:`~repro.similarity.backends.BACKENDS`); ``None`` uses
             the ambient default.  Backends are bit-identical, so the
             choice never changes the produced graphs.
+        mask: optional candidate-pair mask from a blocker — only masked
+            pairs are scored, so the graphs carry candidate edges only
+            (non-candidate pairs read as 0.0, per
+            :class:`~repro.graph.entity_graph.WeightedPairGraph`
+            semantics).  ``None`` (default) scores the complete graph.
     """
     ids = block.page_ids()
     graphs: dict[str, WeightedPairGraph] = {}
     pending: list[SimilarityFunction] = []
-    fingerprint = block_fingerprint(block) if cache is not None else None
+    fingerprint = (block_fingerprint(block, mask)
+                   if cache is not None else None)
     for function in functions:
         cached = (cache.get_weights(fingerprint, function.name)
                   if cache is not None else None)
@@ -71,7 +78,8 @@ def batched_similarity_graphs(
             pending.append(function)
 
     if pending:
-        scores = resolve_backend(backend).block_scores(ids, features, pending)
+        scores = resolve_backend(backend).block_scores(ids, features, pending,
+                                                       mask=mask)
         for function in pending:
             graphs[function.name] = WeightedPairGraph(
                 nodes=list(ids), weights=scores[function.name])

@@ -34,14 +34,17 @@ from repro.corpus.documents import NameCollection
 from repro.extraction.features import PageFeatures
 from repro.graph.entity_graph import PairKey
 
-#: A block's cache identity: the query name plus the exact page-id tuple,
-#: so two different page sets for the same name never alias.
-BlockFingerprint = tuple[str, tuple[str, ...]]
+#: A block's cache identity: the query name plus the exact page-id tuple
+#: (so two different page sets for the same name never alias) plus the
+#: candidate-pair mask the weights were scored under (``None`` = dense;
+#: masked and dense weights for the same pages must never alias either).
+BlockFingerprint = tuple[str, tuple[str, ...], frozenset | None]
 
 
-def block_fingerprint(block: NameCollection) -> BlockFingerprint:
-    """The cache key for one block."""
-    return (block.query_name, tuple(block.page_ids()))
+def block_fingerprint(block: NameCollection,
+                      mask: frozenset | None = None) -> BlockFingerprint:
+    """The cache key for one block (under one candidate mask)."""
+    return (block.query_name, tuple(block.page_ids()), mask)
 
 
 @dataclass(frozen=True)
@@ -127,10 +130,13 @@ class SimilarityCache:
     # -- lifecycle -------------------------------------------------------
 
     def drop_block(self, block: NameCollection) -> None:
-        """Drop one block's entries (counters are kept)."""
-        fingerprint = block_fingerprint(block)
-        self._features.pop(fingerprint, None)
-        self._weights.pop(fingerprint, None)
+        """Drop one block's entries, under every mask (counters are kept)."""
+        prefix = block_fingerprint(block)[:2]
+        for store in (self._features, self._weights):
+            stale = [fingerprint for fingerprint in store
+                     if fingerprint[:2] == prefix]
+            for fingerprint in stale:
+                del store[fingerprint]
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

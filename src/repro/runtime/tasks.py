@@ -39,6 +39,7 @@ def _block_graphs(
     cache: SimilarityCache,
     features: dict | None = None,
     backend: str | None = None,
+    mask: frozenset | None = None,
 ) -> dict[str, "WeightedPairGraph"]:
     """Shipped graphs, or a fresh cached computation in this worker."""
     if graphs is not None:
@@ -50,7 +51,7 @@ def _block_graphs(
                 f"features, nor a pipeline to extract with")
         features = cache.features_for(block, pipeline.extract_block)
     return batched_similarity_graphs(block, features, functions, cache=cache,
-                                     backend=backend)
+                                     backend=backend, mask=mask)
 
 
 def _task_stats(query_name: str, seconds: float,
@@ -102,6 +103,8 @@ class FitBlockTask:
     #: materialized features from an eager extraction stage (skips
     #: in-worker extraction when graphs are absent).
     features: dict | None = None
+    #: candidate-pair mask from the blocking stage (``None``: dense).
+    mask: frozenset | None = None
 
 
 def run_fit_block(payload: FitBlockTask) -> tuple[str, Any, TaskStats]:
@@ -119,7 +122,8 @@ def run_fit_block(payload: FitBlockTask) -> tuple[str, Any, TaskStats]:
     graphs = _block_graphs(payload.block, payload.graphs, payload.pipeline,
                            resolver.functions, cache,
                            features=payload.features,
-                           backend=payload.config.backend)
+                           backend=payload.config.backend,
+                           mask=payload.mask)
     fitted = resolver.fit_block(payload.block, graphs,
                                 training_seed=payload.training_seed)
     fitted._layer_cache = None
@@ -141,6 +145,8 @@ class PredictBlockTask:
     #: materialized features from an eager extraction stage (skips
     #: in-worker extraction when graphs are absent).
     features: dict | None = None
+    #: candidate-pair mask from the blocking stage (``None``: dense).
+    mask: frozenset | None = None
 
 
 def run_predict_block(payload: PredictBlockTask) -> tuple[str, Any, TaskStats]:
@@ -157,7 +163,8 @@ def run_predict_block(payload: PredictBlockTask) -> tuple[str, Any, TaskStats]:
                           blocks={payload.fitted.query_name: payload.fitted},
                           pipeline=payload.pipeline)
     kwargs = {"graphs": payload.graphs,
-              "model_block": payload.fitted.query_name}
+              "model_block": payload.fitted.query_name,
+              "mask": payload.mask}
     if payload.graphs is None and payload.features is not None:
         kwargs["features"] = payload.features
     if payload.evaluate:

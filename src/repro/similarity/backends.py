@@ -90,6 +90,7 @@ class ScoringBackend(ABC):
         ids: Sequence[str],
         features: dict[str, PageFeatures],
         functions: Sequence[SimilarityFunction],
+        mask: "frozenset[PairKey] | None" = None,
     ) -> dict[str, dict[PairKey, float]]:
         """Every function's scores over one block's unordered pairs.
 
@@ -98,11 +99,16 @@ class ScoringBackend(ABC):
                 with ``i < j`` in this order.
             features: extracted features covering ``ids``.
             functions: the battery to score; one weights dict per entry.
+            mask: optional candidate-pair mask (a blocker's output);
+                only pairs in the mask are scored — and only they appear
+                in the returned weights dicts.  ``None`` (the dense
+                default) scores every pair.  Masked scores must be
+                bit-identical to the dense scores of the same pairs.
 
         Returns:
             ``function name -> {pair_key: score}`` with each weights
             dict inserted in canonical pair order (the nested-loop order
-            the seed implementation produced).
+            the seed implementation produced, restricted to the mask).
         """
 
     @abstractmethod
@@ -132,12 +138,29 @@ class PythonBackend(ScoringBackend):
 
     name = "python"
 
-    def block_scores(self, ids, features, functions):
+    def block_scores(self, ids, features, functions, mask=None):
         scores: dict[str, dict[PairKey, float]] = {
             function.name: {} for function in functions}
         scorers = [(scores[function.name], function.prepared(features))
                    for function in functions]
         ids = list(ids)
+        if mask is not None:
+            # Iterate the candidates directly — O(candidates), not
+            # O(n²) — in the dense sweep's pair order (ascending block
+            # positions), with the sweep's argument order (earlier
+            # position on the left) so even an asymmetric scorer gets
+            # identical calls.
+            position = {doc_id: index for index, doc_id in enumerate(ids)}
+            ordered = sorted(
+                (sorted((position[left], position[right]))
+                 for left, right in mask
+                 if left in position and right in position))
+            for i, j in ordered:
+                left, right = features[ids[i]], features[ids[j]]
+                key = pair_key(ids[i], ids[j])
+                for weights, scorer in scorers:
+                    weights[key] = scorer(left, right)
+            return scores
         for i, left_id in enumerate(ids):
             left = features[left_id]
             for right_id in ids[i + 1:]:
@@ -161,6 +184,15 @@ class NumpyBackend(ScoringBackend):
     Functions without a kernel — or whose scorer was replaced in the
     registry — fall back per-function to the scalar sweep, so arbitrary
     batteries keep working.
+
+    Under a candidate-pair ``mask`` the block state gathers the
+    candidate rows (pages appearing in at least one candidate pair),
+    fills the kernels' matrices over that reduced page set, and reads
+    only the masked entries — so isolated pages cost nothing and a
+    dense-ish mask degrades gracefully to "fill and mask".  Reducing
+    the page set only removes exact no-op fold steps (columns zero on
+    both sides), so masked scores stay bit-identical to the dense
+    scores of the same pairs.
 
     The request path (:meth:`pair_scores`) vectorizes the sparse
     one-vs-many folds where that is exact and cheap (the vector, set and
@@ -194,12 +226,12 @@ class NumpyBackend(ScoringBackend):
             return None
         return batch
 
-    def block_scores(self, ids, features, functions):
+    def block_scores(self, ids, features, functions, mask=None):
         batch = self._kernels()
         if batch is None:
-            return _PYTHON.block_scores(ids, features, functions)
+            return _PYTHON.block_scores(ids, features, functions, mask=mask)
         ids = list(ids)
-        state = batch.BlockState(ids, features)
+        state = batch.BlockState(ids, features, mask=mask)
         scores: dict[str, dict[PairKey, float]] = {}
         fallback: list[SimilarityFunction] = []
         for function in functions:
@@ -209,7 +241,8 @@ class NumpyBackend(ScoringBackend):
                 continue
             scores[function.name] = state.pair_weights(kernel)
         if fallback:
-            scores.update(_PYTHON.block_scores(ids, features, fallback))
+            scores.update(_PYTHON.block_scores(ids, features, fallback,
+                                               mask=mask))
         return scores
 
     def pair_scores(self, function, new, others):

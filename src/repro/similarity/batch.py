@@ -157,11 +157,25 @@ class BlockState:
     One instance per ``block_scores`` call: the TF-IDF family (and its
     pairwise dot fold) is built once and reused by F8, F9 and F10; the
     concept family by F1 and F14; and so on.
+
+    A candidate-pair ``mask`` gathers the candidate rows — matrices are
+    built only over pages that appear in at least one candidate pair —
+    and restricts ``pair_weights`` to the masked entries.  Dropping
+    non-candidate pages only removes columns that are zero on both
+    sides of every surviving pair (exact no-op fold steps), so each
+    masked entry's float-operation sequence — and hence its bits — is
+    unchanged.  Pair order stays the scalar sweep's row-major order
+    restricted to the mask.
     """
 
     def __init__(self, ids: Sequence[str],
-                 features: dict[str, PageFeatures]):
-        self.ids = list(ids)
+                 features: dict[str, PageFeatures],
+                 mask: "frozenset[PairKey] | None" = None):
+        ids = list(ids)
+        if mask is not None:
+            candidates = {doc_id for pair in mask for doc_id in pair}
+            ids = [doc_id for doc_id in ids if doc_id in candidates]
+        self.ids = ids
         self.n = len(self.ids)
         self.pages = [features[doc_id] for doc_id in self.ids]
         self._vector_families: dict[str, _VectorFamily] = {}
@@ -170,12 +184,20 @@ class BlockState:
         self._dots: dict[str, np.ndarray] = {}
         if self.n >= 2:
             rows, cols = np.triu_indices(self.n, k=1)
-            self._triu = (rows, cols)
-            # Row-major upper triangle == the scalar sweep's pair order.
-            self._pair_keys: list[PairKey] = [
+            # Row-major upper triangle == the scalar sweep's pair order
+            # (a mask keeps the relative order: candidate rows preserve
+            # block order, so the restricted triangles coincide).
+            pair_keys: list[PairKey] = [
                 pair_key(self.ids[i], self.ids[j])
                 for i, j in zip(rows.tolist(), cols.tolist())
             ]
+            if mask is not None:
+                keep = [index for index, key in enumerate(pair_keys)
+                        if key in mask]
+                rows, cols = rows[keep], cols[keep]
+                pair_keys = [pair_keys[index] for index in keep]
+            self._triu = (rows, cols)
+            self._pair_keys = pair_keys
 
     def pair_weights(self, kernel: "Kernel") -> dict[PairKey, float]:
         """One kernel's scores as a canonical pair-ordered weights dict."""

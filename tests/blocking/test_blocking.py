@@ -64,6 +64,30 @@ class TestBlockingResult:
         result = BlockingResult(pages=[])
         assert result.reduction_ratio() == 0.0
 
+    def test_true_pairs_match_naive_double_loop(self, small_dataset):
+        """The grouped-by-person enumeration equals the O(n²) reference."""
+        from repro.graph.entity_graph import pair_key
+
+        pages = list(small_dataset.all_pages())
+        result = BlockingResult(pages=pages)
+        labels = {page.doc_id: page.person_id for page in pages}
+        ids = sorted(labels)
+        naive = {
+            pair_key(left, right)
+            for i, left in enumerate(ids)
+            for right in ids[i + 1:]
+            if labels[left] == labels[right]
+        }
+        assert result._true_pairs() == naive
+        assert naive  # the generator corpus has co-referent pages
+
+    def test_true_pairs_collapse_duplicate_doc_ids(self):
+        # A doc id listed twice must not produce a self-pair.
+        pages = [make_page("x/0", person="a"), make_page("x/0", person="a"),
+                 make_page("x/1", person="a")]
+        result = BlockingResult(pages=pages)
+        assert result._true_pairs() == {("x/0", "x/1")}
+
 
 class TestQueryNameBlocker:
     def test_blocks_by_name(self):

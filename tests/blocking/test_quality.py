@@ -1,0 +1,103 @@
+"""Blocking quality: pair completeness vs reduction ratio per scheme.
+
+Compares the paper's :class:`QueryNameBlocker` against the generic
+:class:`TokenBlocker` and :class:`SortedNeighborhoodBlocker` on labeled
+generator corpora — the standard blocking trade-off: the query-name
+scheme is lossless by construction on name-organized data, the generic
+schemes trade completeness for applicability to universes without
+usable names.
+"""
+
+import pytest
+
+from repro.blocking import (
+    QueryNameBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    blocks_from_candidates,
+)
+from repro.corpus.datasets import www05_like
+
+
+@pytest.fixture(scope="module")
+def universe():
+    """A mixed page universe: three names' pages in one flat list."""
+    collection = www05_like(
+        seed=29, pages_per_name=18,
+        names=["William Cohen", "Adam Cheyer", "Lynn Voss"])
+    return list(collection.all_pages())
+
+
+class TestBlockerQuality:
+    def test_query_name_blocker_is_lossless(self, universe):
+        result = QueryNameBlocker().block(universe)
+        assert result.pair_completeness() == 1.0
+
+    def test_query_name_blocker_reduces_mixed_universe(self, universe):
+        # Three similar-sized names: candidates ≈ a third of all pairs.
+        result = QueryNameBlocker().block(universe)
+        assert result.reduction_ratio() >= 0.5
+
+    def test_token_blocker_trades_completeness_for_generality(self, universe):
+        result = TokenBlocker().block(universe)
+        # Entity-token blocking keeps most true pairs on generated data...
+        assert result.pair_completeness() >= 0.5
+        # ...while producing a valid (possibly weak) reduction.
+        assert 0.0 <= result.reduction_ratio() <= 1.0
+
+    def test_sorted_neighborhood_window_bounds_candidates(self, universe):
+        window = 6
+        result = SortedNeighborhoodBlocker(window=window).block(universe)
+        n_pages = len(universe)
+        passes = 2  # title + domain keys
+        assert result.n_candidates() <= passes * (window - 1) * n_pages
+        assert result.reduction_ratio() > 0.0
+
+    def test_generic_blockers_rank_below_query_name_in_completeness(
+            self, universe):
+        query_name = QueryNameBlocker().block(universe).pair_completeness()
+        token = TokenBlocker().block(universe).pair_completeness()
+        neighborhood = SortedNeighborhoodBlocker(
+            window=6).block(universe).pair_completeness()
+        assert query_name == 1.0
+        assert token <= query_name
+        assert neighborhood <= query_name
+
+
+class TestBlocksFromCandidates:
+    def test_components_partition_the_universe(self, universe):
+        result = QueryNameBlocker().block(universe)
+        blocks, masks = blocks_from_candidates(universe,
+                                               result.candidate_pairs)
+        assert sum(len(block) for block in blocks) == len(universe)
+        assert {page.doc_id for block in blocks for page in block.pages} \
+            == {page.doc_id for page in universe}
+        # Query-name candidates are exactly the per-name components.
+        assert len(blocks) == 3
+        for block in blocks:
+            assert block.query_name.startswith("~block:")
+            assert len({page.query_name for page in block.pages}) == 1
+
+    def test_masks_cover_every_candidate_pair_exactly_once(self, universe):
+        result = TokenBlocker().block(universe)
+        blocks, masks = blocks_from_candidates(universe,
+                                               result.candidate_pairs)
+        assert set(masks) == {block.query_name for block in blocks}
+        union = set().union(*masks.values()) if masks else set()
+        assert union == result.candidate_pairs
+        assert sum(len(mask) for mask in masks.values()) \
+            == len(result.candidate_pairs)
+
+    def test_isolated_pages_become_singleton_blocks(self, universe):
+        pages = universe[:4]
+        blocks, masks = blocks_from_candidates(pages, [])
+        assert [len(block) for block in blocks] == [1, 1, 1, 1]
+        assert all(mask == frozenset() for mask in masks.values())
+
+    def test_deterministic_block_order_and_names(self, universe):
+        result = TokenBlocker().block(universe)
+        first = blocks_from_candidates(universe, result.candidate_pairs)
+        second = blocks_from_candidates(universe, result.candidate_pairs)
+        assert [block.query_name for block in first[0]] \
+            == [block.query_name for block in second[0]]
+        assert first[1] == second[1]

@@ -103,6 +103,27 @@ class TestDocumentCollection:
         with pytest.raises(KeyError):
             self.build().by_name("Nobody Here")
 
+    def test_by_name_first_match_after_duplicate_creating_replacement(self):
+        # Regression: an in-place same-length replacement that *creates*
+        # a duplicate of an already-indexed name used to resolve to the
+        # later (indexed) occurrence; first-match semantics must hold.
+        collection = self.build()
+        assert collection.by_name("John Doe").query_name == "John Doe"  # index built
+        earlier_doe = NameCollection(
+            "John Doe", [make_page(doc_id="d/9", query="John Doe",
+                                   person="doe#01")])
+        collection.collections[0] = earlier_doe
+        assert collection.by_name("John Doe") is earlier_doe
+        # ...and the rebuilt index keeps serving the first match.
+        assert collection.by_name("John Doe") is earlier_doe
+
+    def test_by_name_first_match_on_duplicates_at_build_time(self):
+        collection = self.build()
+        duplicate = NameCollection(
+            "Jane Roe", [make_page(doc_id="r/9", query="Jane Roe")])
+        collection.collections.append(duplicate)
+        assert collection.by_name("Jane Roe") is collection.collections[0]
+
     def test_n_pages_and_all_pages(self):
         collection = self.build()
         assert collection.n_pages() == 3

@@ -73,6 +73,28 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "process" in captured.out  # the fit itself reported the pool
 
+    def test_fit_with_blocker_saves_it_and_drives_predict(self, tmp_path,
+                                                          capsys):
+        """--blocker changes which pairs exist, so (unlike --backend and
+        --workers) it is baked into the artifact and re-drives predict."""
+        import json
+
+        data = tmp_path / "data.json"
+        model = tmp_path / "model.json"
+        assert main(FAST + ["generate", "--out", str(data)]) == 0
+        assert main(FAST + ["--blocker", "token", "fit", "--in", str(data),
+                            "--model", str(model)]) == 0
+        payload = json.loads(model.read_text())
+        assert payload["config"]["blocker"] == "token"
+        assert all(name.startswith("~block:") for name in payload["blocks"])
+        capsys.readouterr()
+
+        assert main(FAST + ["predict", "--in", str(data),
+                            "--model", str(model), "--evaluate"]) == 0
+        captured = capsys.readouterr()
+        assert "mean Fp" in captured.out
+        assert "~block:" in captured.out
+
     def test_figure1(self, capsys):
         assert main(FAST + ["figure1", "--name", "Cohen"]) == 0
         captured = capsys.readouterr()

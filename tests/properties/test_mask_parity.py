@@ -1,0 +1,125 @@
+"""Masked-scoring parity: candidate masks never change a pair's bits.
+
+Extends the backend-parity suite (:mod:`tests.properties.
+test_backend_parity`) to the candidate-pair masks the blocking layer
+threads through the similarity backends: for any mask, masked scoring
+must be IEEE-byte-identical across backends *and* equal to dense scoring
+restricted to the candidate pairs — in the dense sweep's pair order.
+Tolerance is zero everywhere.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ResolverConfig
+from repro.core.resolver import EntityResolver
+from repro.corpus.datasets import custom_dataset
+from repro.corpus.generator import GeneratorConfig
+from repro.graph.entity_graph import pair_key
+from repro.runtime.batch import batched_similarity_graphs
+from repro.similarity.backends import NumpyBackend, PythonBackend
+from repro.similarity.extended import full_battery
+from repro.similarity.functions import default_functions
+
+PYTHON = PythonBackend()
+NUMPY = NumpyBackend()
+
+
+def bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def generated_block(seed: int, pages: int):
+    config = GeneratorConfig(pages_per_name=pages, max_clusters=3,
+                             vocabulary_seed=7)
+    collection = custom_dataset(["Ada Wong"], seed=seed, config=config,
+                                cluster_counts={"Ada Wong": 2})
+    block = collection.collections[0]
+    pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
+    return block, pipeline.extract_block(block)
+
+
+def drawn_mask(draw, ids: list[str]) -> frozenset:
+    """A hypothesis-chosen subset of the block's pairs."""
+    all_pairs = [pair_key(left, right)
+                 for i, left in enumerate(ids) for right in ids[i + 1:]]
+    keep = draw(st.lists(st.booleans(), min_size=len(all_pairs),
+                         max_size=len(all_pairs)))
+    return frozenset(pair for pair, kept in zip(all_pairs, keep) if kept)
+
+
+@st.composite
+def masked_inputs(draw):
+    seed = draw(st.integers(0, 10_000))
+    pages = draw(st.integers(2, 10))
+    block, features = generated_block(seed, pages)
+    mask = drawn_mask(draw, block.page_ids())
+    return block, features, mask
+
+
+class TestMaskedScoringParity:
+    @settings(max_examples=15, deadline=None)
+    @given(masked_inputs())
+    def test_masked_equals_dense_restricted_and_backends_agree(self, inputs):
+        block, features, mask = inputs
+        ids = block.page_ids()
+        battery = full_battery()
+        dense = PYTHON.block_scores(ids, features, battery)
+        masked_python = PYTHON.block_scores(ids, features, battery, mask=mask)
+        masked_numpy = NUMPY.block_scores(ids, features, battery, mask=mask)
+        assert dense.keys() == masked_python.keys() == masked_numpy.keys()
+        for name in dense:
+            # Exactly the candidate pairs, in the dense sweep's order.
+            expected_keys = [key for key in dense[name] if key in mask]
+            assert list(masked_python[name]) == expected_keys
+            assert list(masked_numpy[name]) == expected_keys
+            for key in expected_keys:
+                reference = bits(dense[name][key])
+                assert bits(masked_python[name][key]) == reference, \
+                    (name, key)
+                assert bits(masked_numpy[name][key]) == reference, \
+                    (name, key)
+
+    @settings(max_examples=8, deadline=None)
+    @given(masked_inputs())
+    def test_masked_graphs_carry_candidate_edges_only(self, inputs):
+        block, features, mask = inputs
+        functions = default_functions()
+        for backend in ("python", "numpy"):
+            graphs = batched_similarity_graphs(block, features, functions,
+                                               backend=backend, mask=mask)
+            for name, graph in graphs.items():
+                assert set(graph.weights) == set(mask), (backend, name)
+                assert graph.nodes == block.page_ids()
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    def test_full_mask_equals_dense(self, seed, pages):
+        """A mask naming every pair is byte-for-byte the dense result."""
+        block, features = generated_block(seed, pages)
+        ids = block.page_ids()
+        full = frozenset(pair_key(left, right)
+                         for i, left in enumerate(ids)
+                         for right in ids[i + 1:])
+        battery = full_battery()
+        dense = PYTHON.block_scores(ids, features, battery)
+        for backend in (PYTHON, NUMPY):
+            masked = backend.block_scores(ids, features, battery, mask=full)
+            for name in dense:
+                assert list(masked[name]) == list(dense[name])
+                for key, value in dense[name].items():
+                    assert bits(masked[name][key]) == bits(value)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    def test_empty_mask_scores_nothing(self, seed, pages):
+        block, features = generated_block(seed, pages)
+        ids = block.page_ids()
+        for backend in (PYTHON, NUMPY):
+            scores = backend.block_scores(ids, features, full_battery(),
+                                          mask=frozenset())
+            assert all(weights == {} for weights in scores.values())

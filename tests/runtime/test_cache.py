@@ -69,10 +69,15 @@ class TestAccounting:
 
 
 class TestLifecycle:
-    def test_fingerprint_covers_name_and_exact_page_ids(self, small_block):
+    def test_fingerprint_covers_name_page_ids_and_mask(self, small_block):
         fingerprint = block_fingerprint(small_block)
         assert fingerprint == (small_block.query_name,
-                               tuple(small_block.page_ids()))
+                               tuple(small_block.page_ids()), None)
+        mask = frozenset({("a", "b")})
+        masked = block_fingerprint(small_block, mask)
+        assert masked == (small_block.query_name,
+                          tuple(small_block.page_ids()), mask)
+        assert masked != fingerprint
 
     def test_drop_block_evicts_entries_but_keeps_counters(self, small_block,
                                                           block_features):
