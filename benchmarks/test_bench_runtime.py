@@ -54,6 +54,7 @@ from repro.corpus.datasets import www05_like
 from repro.experiments.runner import ExperimentContext, run_config
 from repro.graph.entity_graph import WeightedPairGraph, pair_key
 from repro.ml.sampling import training_runs
+from repro.runtime.cache import SimilarityCache
 from repro.runtime.executor import available_cores, executor_for_workers
 from repro.similarity.base import SimilarityFunction
 from repro.similarity.functions import default_functions
@@ -206,9 +207,13 @@ def runtime_record():
     )
     del python_graphs, numpy_graphs
 
-    # engine, serial.
+    # engine, serial — prepared into a retained cache so the prepared
+    # per-page state can be served from later (the prepare-once /
+    # serve-many handoff measured below).
+    prepare_cache = SimilarityCache()
     started = time.perf_counter()
-    serial_context = ExperimentContext.prepare(collection, pipeline=pipeline)
+    serial_context = ExperimentContext.prepare(collection, pipeline=pipeline,
+                                               cache=prepare_cache)
     serial_prepare_seconds = time.perf_counter() - started
     started = time.perf_counter()
     serial_result = run_config(serial_context, config, seeds)
@@ -282,6 +287,21 @@ def runtime_record():
     model.predict_block(block)
     warm_serve_seconds = time.perf_counter() - started
     serving_snapshot = model.cache_stats()
+    model.release_fit_caches()
+
+    # prepared-state reuse: adopt the retained prepare cache, so serving
+    # the hot block recomputes nothing — its features and every
+    # function's pair weights were already scored during prepare.  The
+    # hit rate is measured on the prepare cache's lifetime counters
+    # (prepare itself is all misses), so it is > 0 exactly when predict
+    # calls actually reused prepared state.
+    hits_before_reuse = prepare_cache.stats().pair_hits
+    model.adopt_similarity_cache(prepare_cache)
+    started = time.perf_counter()
+    model.predict_block(block)
+    prepared_serve_seconds = time.perf_counter() - started
+    prepare_snapshot = prepare_cache.stats()
+    prepare_reused_pairs = prepare_snapshot.pair_hits - hits_before_reuse
     model.release_fit_caches()
 
     # mixed universe: every name's pages in one flat list (no pre-grouping
@@ -375,7 +395,9 @@ def runtime_record():
         "backend_speedup_ratio": python_graph_seconds / numpy_graph_seconds,
         "backends_bit_identical": backends_bit_identical,
         "pairs_scored": serial_context.stats.pairs_scored,
-        "prepare_cache_hit_rate": serial_context.stats.cache_hit_rate,
+        "prepare_cache_hit_rate": prepare_snapshot.hit_rate,
+        "prepare_reused_pairs": prepare_reused_pairs,
+        "prepared_serve_seconds": prepared_serve_seconds,
         "serving_cache_hit_rate": serving_snapshot.hit_rate,
         "serving_cold_seconds": cold_serve_seconds,
         "serving_warm_seconds": warm_serve_seconds,
@@ -457,6 +479,15 @@ class TestRuntimeBench:
         assert runtime_record["serving_cache_hit_rate"] == 0.5
         assert runtime_record["serving_warm_seconds"] <= \
             runtime_record["serving_cold_seconds"]
+
+    def test_prepared_state_serves_predict_calls(self, runtime_record):
+        """A model adopting the retained prepare cache must serve the hot
+        block entirely from prepared state: every pair lookup a hit, so
+        the prepare cache's lifetime hit rate rises above zero (it was
+        identically 0.0 before the handoff existed)."""
+        assert runtime_record["prepare_cache_hit_rate"] > 0.0, runtime_record
+        assert runtime_record["prepare_reused_pairs"] > 0
+        assert runtime_record["prepared_serve_seconds"] > 0.0
 
     def test_pipeline_overhead_within_5_percent(self, runtime_record):
         """The stage-plan drivers do the identical work of the direct

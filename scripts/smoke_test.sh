@@ -4,11 +4,12 @@
 # the process-pool executor (--workers 2), which must agree.  Inspect
 # the stage plans (pipeline explain) and run the online serving demo
 # loop (serve).  Exercise the generic blocking path (--blocker token)
-# with serial/parallel fit parity.  Then run the runtime benchmark at
-# smoke scale and
-# verify it emits a well-formed BENCH_runtime.json.  Exercises the full
-# fit -> save -> predict -> serve lifecycle plus the execution engine
-# through the CLI in under a minute.
+# with serial/parallel fit parity.  Round-trip a streamed scale corpus
+# (generate --dataset scale -> jsonl -> fit -> predict).  Then run the
+# runtime and scaling benchmarks at smoke scale and verify they emit
+# well-formed BENCH_runtime.json / BENCH_scaling.json.  Exercises the
+# full fit -> save -> predict -> serve lifecycle plus the execution
+# engine through the CLI in under a minute.
 #
 # Usage: sh scripts/smoke_test.sh
 set -eu
@@ -24,6 +25,20 @@ run() {
 
 echo "== generate =="
 run generate --out "$workdir/data.json"
+
+echo "== generate --dataset scale (streamed jsonl) + fit/predict round trip =="
+# The scale path streams blocks straight to disk (block-per-line JSONL)
+# and records the synthesized vocabulary sizes in the header metadata so
+# fit/predict rebuild the exact lexicon from the file alone.
+run generate --dataset scale --names 4 --collision 0.5 \
+    --out "$workdir/scale.jsonl" | tee "$workdir/scale_generate.out"
+grep -q "streamed jsonl" "$workdir/scale_generate.out" || {
+    echo "scale generate did not stream jsonl" >&2; exit 1; }
+head -n 1 "$workdir/scale.jsonl" | grep -q '"jsonl-blocks"' || {
+    echo "scale.jsonl lacks the jsonl-blocks header" >&2; exit 1; }
+run fit --in "$workdir/scale.jsonl" --model "$workdir/model_scale.json"
+run predict --in "$workdir/scale.jsonl" \
+    --model "$workdir/model_scale.json" --evaluate
 
 echo "== fit =="
 run fit --in "$workdir/data.json" --model "$workdir/model.json"
@@ -121,11 +136,13 @@ for key in ("speedup_vs_seed", "seed_path_seconds",
             "deterministic", "backend_speedup_ratio",
             "backends_bit_identical", "blocking_reduction_ratio",
             "blocking_pair_completeness", "masked_speedup_ratio",
-            "masked_matches_dense"):
+            "masked_matches_dense", "prepare_cache_hit_rate"):
     if key not in last:
         sys.exit(f"BENCH_runtime.json record lacks {key!r}")
 if not last["deterministic"]:
     sys.exit("runtime bench recorded a non-deterministic run")
+if not last["prepare_cache_hit_rate"] > 0.0:
+    sys.exit("retained prepare cache served no predict calls")
 if not last["backends_bit_identical"]:
     sys.exit("runtime bench recorded diverging scoring backends")
 if last["blocking_pair_completeness"] != 1.0:
@@ -136,6 +153,37 @@ print(f"BENCH_runtime.json OK: {len(runs)} run(s), last speedup "
       f"{last['speedup_vs_seed']:.2f}x, backend ratio "
       f"{last['backend_speedup_ratio']:.2f}x, masked ratio "
       f"{last['masked_speedup_ratio']:.2f}x")
+PY
+
+echo "== scaling benchmark emits BENCH_scaling.json =="
+REPRO_BENCH_SCALE_SIZES=120,240,480 REPRO_BENCH_SCALE_PPN=8 \
+    REPRO_BENCH_SCALE_BLOCKING_PAGES=120 \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/test_bench_scaling.py -q
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY'
+import json, sys
+try:
+    payload = json.load(open("BENCH_scaling.json"))
+except (OSError, json.JSONDecodeError) as error:
+    sys.exit(f"BENCH_scaling.json missing or malformed: {error}")
+runs = payload.get("runs")
+if payload.get("benchmark") != "scaling" or not runs:
+    sys.exit("BENCH_scaling.json has no scaling runs")
+sizes = runs[-1]["sizes"]
+if len(sizes) < 3:
+    sys.exit("scaling sweep recorded fewer than 3 sizes")
+for entry in sizes:
+    for key in ("n_pages", "throughput_pages_per_second", "stage_seconds",
+                "generation_stream_peak_bytes", "bcubed_f1_mean",
+                "blocking"):
+        if key not in entry:
+            sys.exit(f"BENCH_scaling.json size entry lacks {key!r}")
+peaks = [entry["generation_stream_peak_bytes"] for entry in sizes]
+if max(peaks) > 2.5 * min(peaks):
+    sys.exit(f"streaming generation peak memory grew with N: {peaks}")
+print(f"BENCH_scaling.json OK: {len(sizes)} sizes up to "
+      f"{sizes[-1]['n_pages']} pages, throughput "
+      f"{sizes[-1]['throughput_pages_per_second']:.0f} pages/s")
 PY
 
 echo "smoke test OK"

@@ -3,6 +3,8 @@
 Subcommands::
 
     python -m repro.cli generate --dataset www05 --out data.json
+    python -m repro.cli generate --dataset scale --names 500 --pages 20 \
+        --collision 0.3 --out corpus.jsonl
     python -m repro.cli fit      --model model.json [--in data.json]
     python -m repro.cli predict  --model model.json [--in data.json]
     python -m repro.cli serve    --model model.json [--requests 20]
@@ -46,7 +48,11 @@ from repro.core.config import ResolverConfig, table2_config
 from repro.core.model import ResolverModel
 from repro.core.resolver import EntityResolver
 from repro.corpus.datasets import surname, weps2_like, www05_like
-from repro.corpus.loaders import load_collection, save_collection
+from repro.corpus.loaders import (
+    load_collection,
+    save_blocks_jsonl,
+    save_collection,
+)
 from repro.experiments.analysis import profile_collection
 from repro.experiments.figures import (
     figure1_series,
@@ -101,10 +107,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands = parser.add_subparsers(dest="command", required=True)
 
-    generate = commands.add_parser("generate", help="generate a dataset")
-    generate.add_argument("--dataset", choices=("www05", "weps2"),
-                          default="www05")
-    generate.add_argument("--out", required=True, help="output JSON path")
+    generate = commands.add_parser(
+        "generate", help="generate a dataset and write it to disk")
+    generate.add_argument("--dataset", choices=("www05", "weps2", "scale"),
+                          default="www05",
+                          help="paper-shaped fixture or a 'scale' corpus "
+                               "with synthesized names (see --names, "
+                               "--collision)")
+    generate.add_argument("--out", required=True,
+                          help="output path; a .jsonl suffix (or --format "
+                               "jsonl) selects the streaming block-per-"
+                               "line format, which writes scale corpora "
+                               "in O(one block) memory")
+    generate.add_argument("--format", choices=("json", "jsonl"),
+                          default=None,
+                          help="on-disk format; default: inferred from "
+                               "the --out suffix")
+    generate.add_argument("--names", type=int, default=50,
+                          help="scale only: total ambiguous-name count "
+                               "(total pages = names x --pages; "
+                               "default 50)")
+    generate.add_argument("--collision", type=float, default=0.0,
+                          help="scale only: probability a synthesized "
+                               "name reuses an earlier name's surname "
+                               "(default 0.0)")
+    generate.add_argument("--cluster-skew", type=float, default=1.1,
+                          help="scale only: entities-per-name Zipf skew; "
+                               "0 = uniform (default 1.1)")
+    generate.add_argument("--length-skew", type=float, default=0.0,
+                          help="scale only: Pareto page-length tail "
+                               "exponent; 0 = uniform lengths (default)")
+    generate.add_argument("--vocab-zipf", type=float, default=1.05,
+                          help="scale only: Zipf exponent of the lexicon "
+                               "word frequencies; 0 = uniform "
+                               "(default 1.05)")
 
     fit = commands.add_parser(
         "fit", help="fit a resolver model on labeled data and save it")
@@ -242,8 +278,39 @@ def _seeds(args: argparse.Namespace, context: ExperimentContext) -> list[int]:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    collection = _dataset(args)
-    save_collection(collection, args.out)
+    out_format = args.format or (
+        "jsonl" if str(args.out).endswith(".jsonl") else "json")
+    if args.dataset == "scale":
+        from repro.corpus.datasets import scale_config, scale_generator
+
+        config = scale_config(pages_per_name=args.pages,
+                              cluster_count_skew=args.cluster_skew,
+                              page_length_skew=args.length_skew,
+                              vocabulary_zipf=args.vocab_zipf)
+        generator, names = scale_generator(
+            args.names, seed=args.seed, collision_rate=args.collision,
+            config=config)
+        dataset_name = f"scale-{args.names}x{args.pages}"
+        if out_format == "jsonl":
+            # True streaming: blocks go straight to disk, one at a time —
+            # this path never holds more than one block in memory.
+            pages = save_blocks_jsonl(
+                generator.iter_blocks(names, args.seed), args.out,
+                name=dataset_name,
+                metadata=generator.corpus_metadata(args.seed))
+            print(f"wrote {pages} pages / {len(names)} names to {args.out} "
+                  f"(streamed jsonl)")
+            return 0
+        collection = generator.generate(names, seed=args.seed,
+                                        dataset_name=dataset_name)
+    else:
+        collection = _dataset(args)
+    if out_format == "jsonl":
+        save_blocks_jsonl(collection.collections, args.out,
+                          name=collection.name,
+                          metadata=collection.metadata)
+    else:
+        save_collection(collection, args.out)
     summary = collection.summary()
     print(f"wrote {summary['pages']} pages / {summary['names']} names "
           f"to {args.out}")

@@ -102,7 +102,12 @@ def resolve_extraction_pipeline(
     if seed is None:
         raise ValueError(
             "collection has no vocabulary metadata; pass an ExtractionPipeline")
-    vocabulary = build_vocabulary(int(seed))
+    # Scale corpora record non-default lexicon sizes (see
+    # repro.corpus.vocabulary.vocabulary_sizes) so the exact vocabulary —
+    # and therefore the NER gazetteers — is reconstructible from disk.
+    sizes = collection.metadata.get("vocabulary_sizes") or {}
+    vocabulary = build_vocabulary(
+        int(seed), **{key: int(value) for key, value in sizes.items()})
     return ExtractionPipeline.from_vocabulary(
         vocabulary, query_names=collection.query_names())
 
@@ -503,6 +508,20 @@ class ResolverModel:
         reflects the process lifetime, not just the current entries.
         """
         return self._similarity_cache.stats()
+
+    def adopt_similarity_cache(self, cache: SimilarityCache) -> None:
+        """Serve predictions from an externally prepared cache.
+
+        Pass the retained cache of an
+        :meth:`~repro.experiments.runner.ExperimentContext.prepare` pass
+        (its ``cache=`` argument) and subsequent default-pipeline
+        ``predict_block``/``predict_fitted`` calls reuse the prepared
+        per-page features and pair weights instead of recomputing them —
+        the prepare-once/serve-many handoff.  The cache is shared, not
+        copied: hits and misses accumulate on the adopted instance, and
+        :meth:`release_fit_caches` clears *its* entries.
+        """
+        self._similarity_cache = cache
 
     def __contains__(self, query_name: object) -> bool:
         return query_name in self.blocks

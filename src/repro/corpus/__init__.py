@@ -10,19 +10,36 @@ per-name heterogeneity in which page features are informative.
 """
 
 from repro.corpus.documents import DocumentCollection, NameCollection, WebPage
-from repro.corpus.generator import CorpusGenerator, GeneratorConfig, NameTraits
+from repro.corpus.generator import (
+    CorpusGenerator,
+    GeneratorConfig,
+    NameTraits,
+    ZipfSampler,
+    independent_block_seed,
+    synthesize_query_names,
+)
 from repro.corpus.profiles import PersonProfile
-from repro.corpus.vocabulary import Vocabulary, build_vocabulary
+from repro.corpus.vocabulary import Vocabulary, build_vocabulary, vocabulary_sizes
 from repro.corpus.datasets import (
     WEPS2_ACL_NAMES,
     WWW05_NAMES,
     WWW05_CLUSTER_COUNTS,
     custom_dataset,
+    scale_config,
+    scale_corpus,
+    scale_generator,
+    scale_vocabulary,
     surname,
     weps2_like,
     www05_like,
 )
-from repro.corpus.loaders import load_collection, save_collection
+from repro.corpus.loaders import (
+    iter_blocks_jsonl,
+    load_collection,
+    read_jsonl_header,
+    save_blocks_jsonl,
+    save_collection,
+)
 
 __all__ = [
     "WebPage",
@@ -30,17 +47,28 @@ __all__ = [
     "DocumentCollection",
     "Vocabulary",
     "build_vocabulary",
+    "vocabulary_sizes",
     "PersonProfile",
     "CorpusGenerator",
     "GeneratorConfig",
     "NameTraits",
+    "ZipfSampler",
+    "independent_block_seed",
+    "synthesize_query_names",
     "WWW05_NAMES",
     "WWW05_CLUSTER_COUNTS",
     "WEPS2_ACL_NAMES",
     "www05_like",
     "weps2_like",
     "custom_dataset",
+    "scale_config",
+    "scale_corpus",
+    "scale_generator",
+    "scale_vocabulary",
     "surname",
     "save_collection",
     "load_collection",
+    "save_blocks_jsonl",
+    "iter_blocks_jsonl",
+    "read_jsonl_header",
 ]

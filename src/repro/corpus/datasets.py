@@ -10,10 +10,16 @@ substitution rationale.
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 
 from repro.corpus.documents import DocumentCollection
-from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.corpus.generator import (
+    CorpusGenerator,
+    GeneratorConfig,
+    synthesize_query_names,
+)
+from repro.corpus.vocabulary import Vocabulary, build_vocabulary
 
 #: The 12 ambiguous queries of the WWW'05 dataset.  The original queries
 #: are full person names (the paper's Table III labels rows by surname);
@@ -115,6 +121,103 @@ def weps2_like(seed: int = 2, pages_per_name: int = 150,
     generator = CorpusGenerator(config)
     return generator.generate(names, seed=seed, dataset_name="weps2-like",
                               cluster_counts=counts)
+
+
+def scale_config(pages_per_name: int = 20,
+                 collision_rate: float = 0.0,
+                 cluster_count_skew: float = 1.1,
+                 page_length_skew: float = 0.0,
+                 vocabulary_zipf: float = 1.05,
+                 vocabulary_seed: int = 7) -> GeneratorConfig:
+    """Generator config tuned for large synthetic sweeps.
+
+    Differences from the paper-shaped defaults: independent per-name
+    seeding (O(1) block regeneration — streaming and parallel-safe),
+    full-name doc ids (surname collisions are the point of scale
+    corpora), a skewed entities-per-name distribution and a Zipfian
+    lexicon.  ``collision_rate`` is accepted for signature symmetry with
+    :func:`scale_generator` but lives in name synthesis, not here.
+    """
+    del collision_rate  # applied by synthesize_query_names, not the config
+    return GeneratorConfig(
+        pages_per_name=pages_per_name,
+        min_clusters=2,
+        max_clusters=min(12, pages_per_name),
+        seeding="independent",
+        doc_id_scheme="full",
+        cluster_count_skew=cluster_count_skew,
+        page_length_skew=page_length_skew,
+        vocabulary_zipf=vocabulary_zipf,
+        vocabulary_seed=vocabulary_seed,
+    )
+
+
+def scale_vocabulary(n_names: int, seed: int = 7) -> Vocabulary:
+    """A vocabulary whose name pools comfortably fit ``n_names`` queries.
+
+    Default pools hold 70×90 = 6 300 distinct full names; million-page
+    corpora need tens of thousands.  Name pools grow with ``sqrt(n)``
+    (keeping ~4× headroom so synthesis never grinds against exhaustion);
+    every other category keeps its default size, and because
+    :func:`build_vocabulary` sub-seeds each category independently, the
+    rest of the lexicon — and hence the NER gazetteers — is unchanged.
+    """
+    side = math.isqrt(max(0, 4 * n_names - 1)) + 1
+    return build_vocabulary(
+        seed,
+        n_first_names=max(70, side),
+        n_last_names=max(90, side),
+    )
+
+
+def scale_generator(
+    n_names: int,
+    seed: int,
+    pages_per_name: int = 20,
+    collision_rate: float = 0.0,
+    config: GeneratorConfig | None = None,
+) -> tuple[CorpusGenerator, list[str]]:
+    """A generator plus synthesized query names for a scale corpus.
+
+    This is the streaming entry point: callers drive
+    ``generator.iter_blocks(names, seed)`` (O(one block) memory) or
+    ``generator.generate_block(name, seed)`` (O(1) regeneration of any
+    single block).  :func:`scale_corpus` materializes the same thing.
+
+    Args:
+        n_names: total ambiguous-name (block) count; total pages are
+            ``n_names * pages_per_name``.
+        seed: corpus seed — also drives name synthesis, so the whole
+            corpus is a pure function of the arguments.
+        pages_per_name: block size.
+        collision_rate: probability a synthesized name reuses an earlier
+            query name's surname (see :func:`synthesize_query_names`).
+        config: full config override (must use independent seeding for
+            ``generate_block`` to work).
+    """
+    config = config or scale_config(pages_per_name=pages_per_name)
+    vocabulary = scale_vocabulary(n_names, seed=config.vocabulary_seed)
+    generator = CorpusGenerator(config, vocabulary=vocabulary)
+    names = synthesize_query_names(vocabulary, n_names, seed=seed,
+                                   collision_rate=collision_rate)
+    return generator, names
+
+
+def scale_corpus(
+    n_names: int,
+    seed: int,
+    pages_per_name: int = 20,
+    collision_rate: float = 0.0,
+    config: GeneratorConfig | None = None,
+    dataset_name: str | None = None,
+) -> DocumentCollection:
+    """Materialize a scale corpus (see :func:`scale_generator`)."""
+    generator, names = scale_generator(
+        n_names, seed, pages_per_name=pages_per_name,
+        collision_rate=collision_rate, config=config)
+    if dataset_name is None:
+        dataset_name = f"scale-{n_names}x{generator.config.pages_per_name}"
+    return generator.generate(names, seed=seed, dataset_name=dataset_name)
 
 
 def custom_dataset(names: list[str], seed: int,

@@ -89,6 +89,50 @@ class Vocabulary:
         }
 
 
+#: Default category sizes of :func:`build_vocabulary`, keyed by its
+#: keyword arguments.  Collections built at other sizes record the
+#: non-default entries in their metadata (``"vocabulary_sizes"``) so the
+#: identical lexicon — and therefore the identical extraction pipeline —
+#: can be rebuilt from a saved corpus.
+DEFAULT_VOCABULARY_SIZES = {
+    "n_content_words": 2400,
+    "n_general_words": 220,
+    "n_concepts": 360,
+    "n_organizations": 240,
+    "n_first_names": 70,
+    "n_last_names": 90,
+    "n_locations": 110,
+    "n_domains": 160,
+}
+
+#: Maps each size keyword to the Vocabulary list it controls.
+_SIZE_FIELDS = {
+    "n_content_words": "content_words",
+    "n_general_words": "general_words",
+    "n_concepts": "concepts",
+    "n_organizations": "organizations",
+    "n_first_names": "first_names",
+    "n_last_names": "last_names",
+    "n_locations": "locations",
+    "n_domains": "domains",
+}
+
+
+def vocabulary_sizes(vocabulary: Vocabulary) -> dict[str, int]:
+    """The non-default category sizes of ``vocabulary``.
+
+    Returns a (possibly empty) mapping of :func:`build_vocabulary`
+    keyword arguments; ``build_vocabulary(v.seed, **vocabulary_sizes(v))``
+    rebuilds ``v`` exactly.  Empty for default-sized vocabularies, so
+    legacy corpus metadata stays unchanged.
+    """
+    return {
+        keyword: len(getattr(vocabulary, attr))
+        for keyword, attr in _SIZE_FIELDS.items()
+        if len(getattr(vocabulary, attr)) != DEFAULT_VOCABULARY_SIZES[keyword]
+    }
+
+
 def build_vocabulary(
     seed: int = 0,
     n_content_words: int = 2400,

@@ -56,7 +56,8 @@ class ExperimentContext:
                 functions: list | None = None,
                 workers: int = 1,
                 executor: BlockExecutor | None = None,
-                backend: str | None = None) -> "ExperimentContext":
+                backend: str | None = None,
+                cache: SimilarityCache | None = None) -> "ExperimentContext":
         """Run extraction and the quadratic similarity step once.
 
         All ten Table I functions are computed by default so every
@@ -70,23 +71,42 @@ class ExperimentContext:
         are identical to a serial run.  ``backend`` selects the scoring
         backend for the quadratic step (``None``: ambient default;
         bit-identical either way).
+
+        By default the serial path streams: each block's cache entries
+        are dropped before the next block is touched.  Pass an external
+        ``cache`` (serial only) to *retain* the prepared features and
+        pair weights instead — hand it to
+        :meth:`~repro.core.model.ResolverModel.adopt_similarity_cache`
+        and subsequent predict calls serve from the prepared state
+        rather than recomputing the quadratic step.
         """
         if pipeline is None:
             pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
         functions = functions if functions is not None else default_functions()
         executor = executor or executor_for_workers(workers)
+        if cache is not None and not executor.is_serial:
+            raise ValueError(
+                "a retained prepare cache requires serial execution; "
+                "parallel workers fill transient per-process caches")
         started = time.perf_counter()
         stats = RunStats(phase="prepare", executor=executor.name,
                          workers=executor.workers)
         features_by_name = {}
         graphs_by_name = {}
         if executor.is_serial:
-            cache = SimilarityCache()
+            retain = cache is not None
+            cache = cache if retain else SimilarityCache()
             for block in collection:
                 block_started = time.perf_counter()
                 misses_before = cache.pair_misses
                 hits_before = cache.pair_hits
-                features = pipeline.extract_block(block)
+                if retain:
+                    # Through the cache, so the retained entries serve
+                    # later predict calls feature-for-feature.
+                    features = cache.features_for(block,
+                                                  pipeline.extract_block)
+                else:
+                    features = pipeline.extract_block(block)
                 features_by_name[block.query_name] = features
                 graphs_by_name[block.query_name] = compute_similarity_graphs(
                     block, features, functions, cache=cache, backend=backend)
@@ -97,7 +117,8 @@ class ExperimentContext:
                     cache_hits=cache.pair_hits - hits_before,
                     cache_misses=cache.pair_misses - misses_before,
                 ))
-                cache.drop_block(block)
+                if not retain:
+                    cache.drop_block(block)
         else:
             from repro.runtime.tasks import PrepareBlockTask, run_prepare_block
 

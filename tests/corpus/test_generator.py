@@ -42,6 +42,48 @@ class TestZipfClusterSizes:
         sizes = _zipf_cluster_sizes(rng, 10, 10, alpha=1.0)
         assert sizes == [1] * 10
 
+    def test_exact_split_under_any_alpha(self):
+        """k == n leaves no pages to apportion, so alpha is irrelevant."""
+        for alpha in (0.0, 0.5, 1.7, 50.0):
+            rng = random.Random(4)
+            assert _zipf_cluster_sizes(rng, 8, 8, alpha=alpha) == [1] * 8
+
+    def test_alpha_zero_splits_evenly(self):
+        """alpha → 0 degenerates to equal weights: when the leftover
+        divides evenly, every cluster gets exactly its share."""
+        rng = random.Random(5)
+        sizes = _zipf_cluster_sizes(rng, 100, 10, alpha=0.0)
+        assert sizes == [10] * 10
+
+    def test_large_alpha_concentrates_mass(self):
+        """A huge exponent gives one cluster everything beyond the
+        per-cluster minimum — without overflow or a zero-size cluster."""
+        rng = random.Random(6)
+        sizes = _zipf_cluster_sizes(rng, 200, 10, alpha=50.0)
+        assert sum(sizes) == 200
+        assert sorted(sizes, reverse=True)[0] == 200 - 9
+        assert min(sizes) == 1
+
+    def test_leftover_apportionment_sums_exactly(self):
+        """Largest-remainder apportionment never drops or invents a page,
+        for any (pages, clusters, alpha) combination with fractional
+        quotas."""
+        for n_pages in (7, 10, 23, 97):
+            for n_clusters in (1, 2, 3, 5, 7):
+                if n_clusters > n_pages:
+                    continue
+                for alpha in (0.0, 0.3, 1.0, 1.7, 3.0):
+                    rng = random.Random(n_pages * 31 + n_clusters)
+                    sizes = _zipf_cluster_sizes(rng, n_pages, n_clusters,
+                                                alpha=alpha)
+                    assert sum(sizes) == n_pages, (n_pages, n_clusters, alpha)
+                    assert len(sizes) == n_clusters
+                    assert all(size >= 1 for size in sizes)
+
+    def test_single_cluster_takes_all_pages(self):
+        rng = random.Random(7)
+        assert _zipf_cluster_sizes(rng, 42, 1, alpha=1.7) == [42]
+
 
 class TestNameTraits:
     def test_sample_in_bounds(self):
@@ -53,6 +95,33 @@ class TestNameTraits:
             assert 0.0 <= traits.offtopic_rate <= 0.5
             assert 0.0 <= traits.boilerplate_rate <= 0.5
             assert traits.min_tokens < traits.max_tokens
+
+    def test_sample_fields_within_documented_ranges(self):
+        """Every sampled field stays inside the uniform range its draw is
+        defined over — the contract downstream probability checks (e.g.
+        mention-rate assertions) rely on."""
+        ranges = {
+            "p_home_domain": (0.3, 0.95),
+            "p_missing_orgs": (0.1, 0.6),
+            "p_missing_concepts": (0.05, 0.4),
+            "concept_noise": (0.0, 0.35),
+            "org_noise": (0.0, 0.3),
+            "associate_noise": (0.0, 0.3),
+            "name_confusion": (0.05, 0.3),
+            "shared_word_rate": (0.05, 0.22),
+            "noise_word_rate": (0.05, 0.2),
+            "boilerplate_rate": (0.02, 0.16),
+            "offtopic_rate": (0.0, 0.15),
+        }
+        rng = random.Random(1)
+        for _ in range(200):
+            traits = NameTraits.sample(rng)
+            for field_name, (low, high) in ranges.items():
+                value = getattr(traits, field_name)
+                assert low <= value <= high, (field_name, value)
+            # sampling never touches the token range defaults
+            assert traits.min_tokens == NameTraits.min_tokens
+            assert traits.max_tokens == NameTraits.max_tokens
 
     def test_samples_vary(self):
         rng = random.Random(0)

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.corpus.loaders import load_collection, save_collection
+from repro.corpus.loaders import (
+    iter_blocks_jsonl,
+    load_collection,
+    read_jsonl_header,
+    save_blocks_jsonl,
+    save_collection,
+)
 
 
 class TestRoundTrip:
@@ -50,3 +56,74 @@ class TestRoundTrip:
             payload = json.load(handle)
         assert payload["format_version"] == 1
         assert len(payload["collections"]) == len(small_dataset)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.jsonl"
+        written = save_blocks_jsonl(small_dataset.collections, path,
+                                    name=small_dataset.name,
+                                    metadata=small_dataset.metadata)
+        assert written == len(list(small_dataset.all_pages()))
+        loaded = load_collection(path)
+        assert loaded.name == small_dataset.name
+        assert loaded.metadata == small_dataset.metadata
+        assert list(loaded.all_pages()) == list(small_dataset.all_pages())
+
+    def test_streaming_reader_yields_blocks_in_order(self, small_dataset,
+                                                     tmp_path):
+        path = tmp_path / "dataset.jsonl"
+        save_blocks_jsonl(small_dataset.collections, path)
+        streamed = list(iter_blocks_jsonl(path))
+        assert [block.query_name for block in streamed] == \
+            [block.query_name for block in small_dataset.collections]
+        assert [block.pages for block in streamed] == \
+            [block.pages for block in small_dataset.collections]
+
+    def test_header_round_trips_metadata(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.jsonl"
+        save_blocks_jsonl(small_dataset.collections, path, name="named",
+                          metadata={"seed": 3})
+        header = read_jsonl_header(path)
+        assert header["kind"] == "jsonl-blocks"
+        assert header["name"] == "named"
+        assert header["metadata"] == {"seed": 3}
+
+    def test_writer_consumes_lazily(self, small_dataset, tmp_path):
+        """The writer must not materialize the iterable — pull one block
+        at a time so generator pipelines stay O(one block)."""
+        pulled = []
+
+        def blocks():
+            for block in small_dataset.collections:
+                pulled.append(block.query_name)
+                yield block
+
+        path = tmp_path / "dataset.jsonl"
+        save_blocks_jsonl(blocks(), path)
+        assert pulled == [b.query_name for b in small_dataset.collections]
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"format_version": 999,
+                                     "kind": "jsonl-blocks",
+                                     "name": "x"}) + "\n")
+        with pytest.raises(ValueError, match="format version"):
+            load_collection(path)
+        with pytest.raises(ValueError, match="format version"):
+            list(iter_blocks_jsonl(path))
+
+    def test_rejects_non_jsonl_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        with open(path, "w") as handle:
+            json.dump({"format_version": 1, "name": "x", "collections": []},
+                      handle)
+        with pytest.raises(ValueError, match="block-per-line"):
+            read_jsonl_header(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="block-per-line"):
+            read_jsonl_header(path)

@@ -95,6 +95,44 @@ class TestCommands:
         assert "mean Fp" in captured.out
         assert "~block:" in captured.out
 
+    def test_generate_scale_jsonl_streams_and_resolves(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "scale.jsonl"
+        assert main(FAST + ["generate", "--dataset", "scale",
+                            "--names", "4", "--collision", "0.5",
+                            "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "streamed jsonl" in captured.out
+        assert "4 names" in captured.out
+
+        model = tmp_path / "model.json"
+        assert main(FAST + ["fit", "--in", str(out),
+                            "--model", str(model)]) == 0
+        capsys.readouterr()
+        assert main(FAST + ["predict", "--in", str(out),
+                            "--model", str(model), "--evaluate"]) == 0
+        captured = capsys.readouterr()
+        assert "mean Fp" in captured.out
+
+    def test_generate_scale_json_materializes(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "scale.json"
+        assert main(FAST + ["generate", "--dataset", "scale",
+                            "--names", "3", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["name"] == "scale-3x12"
+        assert len(payload["collections"]) == 3
+
+    def test_generate_format_flag_overrides_suffix(self, tmp_path, capsys):
+        out = tmp_path / "data.txt"
+        assert main(FAST + ["generate", "--format", "jsonl",
+                            "--out", str(out)]) == 0
+        first_line = out.read_text().splitlines()[0]
+        import json
+
+        assert json.loads(first_line)["kind"] == "jsonl-blocks"
+
     def test_figure1(self, capsys):
         assert main(FAST + ["figure1", "--name", "Cohen"]) == 0
         captured = capsys.readouterr()
