@@ -3,11 +3,13 @@
 # it (labels unused), and score the predictions — serially and through
 # the process-pool executor (--workers 2), which must agree.  Inspect
 # the stage plans (pipeline explain) and run the online serving demo
-# loop (serve).  Exercise the generic blocking path (--blocker token)
-# with serial/parallel fit parity.  Round-trip a streamed scale corpus
-# (generate --dataset scale -> jsonl -> fit -> predict).  Then run the
-# runtime and scaling benchmarks at smoke scale and verify they emit
-# well-formed BENCH_runtime.json / BENCH_scaling.json.  Exercises the
+# loop (serve), serially and through the concurrent ServingEngine
+# (serve --threads 4, with a mid-stream hot swap).  Exercise the
+# generic blocking path (--blocker token) with serial/parallel fit
+# parity.  Round-trip a streamed scale corpus (generate --dataset scale
+# -> jsonl -> fit -> predict).  Then run the runtime, serving and
+# scaling benchmarks at smoke scale and verify they emit well-formed
+# BENCH_runtime.json / BENCH_scaling.json.  Exercises the
 # full fit -> save -> predict -> serve lifecycle plus the execution
 # engine through the CLI in under a minute.
 #
@@ -59,6 +61,25 @@ run serve --in "$workdir/data.json" --model "$workdir/model.json" \
     --requests 6 | tee "$workdir/serve.out"
 grep -q "\[session\]" "$workdir/serve.out" || {
     echo "serve did not print a session summary" >&2; exit 1; }
+
+echo "== serve --threads 4 (concurrent ServingEngine) =="
+# A second fit (different seed) doubles as the hot-swap generation; the
+# engine must finish every request, report latency percentiles, and
+# perform exactly one swap.
+run --seed 4 fit --in "$workdir/data.json" --model "$workdir/model_b.json"
+run serve --in "$workdir/data.json" --model "$workdir/model.json" \
+    --requests 16 --threads 4 --batch-window 2 \
+    --swap-model "$workdir/model_b.json" | tee "$workdir/serve_mt.out"
+grep -q "Load report (4 threads)" "$workdir/serve_mt.out" || {
+    echo "concurrent serve did not print a load report" >&2; exit 1; }
+grep -q "\[engine\]" "$workdir/serve_mt.out" || {
+    echo "concurrent serve did not print an engine summary" >&2; exit 1; }
+grep -q "p99" "$workdir/serve_mt.out" || {
+    echo "concurrent serve did not report latency percentiles" >&2; exit 1; }
+grep -q "1 swaps" "$workdir/serve_mt.out" || {
+    echo "concurrent serve did not hot-swap the model" >&2; exit 1; }
+grep -q "^16  *0  " "$workdir/serve_mt.out" || {
+    echo "concurrent serve lost requests" >&2; exit 1; }
 
 echo "== fit/predict --workers 2 + --backend numpy (engine parity) =="
 # Comparing fits across *separate interpreter processes* needs a pinned
@@ -153,6 +174,35 @@ print(f"BENCH_runtime.json OK: {len(runs)} run(s), last speedup "
       f"{last['speedup_vs_seed']:.2f}x, backend ratio "
       f"{last['backend_speedup_ratio']:.2f}x, masked ratio "
       f"{last['masked_speedup_ratio']:.2f}x")
+PY
+
+echo "== serving benchmark records a serving scenario =="
+# Smoke scale gates the QPS comparison off (needs scoring-bound
+# requests); serial-replay bit-identity and the hot swap still assert.
+REPRO_BENCH_SERVING_PAGES=24 REPRO_BENCH_SERVING_REPS=1 \
+    REPRO_BENCH_SERVING_THREADS=4 \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/test_bench_serving.py -q
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY'
+import json, sys
+payload = json.load(open("BENCH_runtime.json"))
+serving = [run for run in payload.get("runs", [])
+           if run.get("scenario") == "serving"]
+if not serving:
+    sys.exit("BENCH_runtime.json has no serving scenario record")
+last = serving[-1]
+for key in ("single_thread_qps", "best_multi_thread_qps",
+            "multi_over_single_qps_ratio", "runs", "mixed", "swap"):
+    if key not in last:
+        sys.exit(f"serving record lacks {key!r}")
+for label, run in last["runs"].items():
+    if not run["replay_identical"]:
+        sys.exit(f"serving run {label} diverged from serial replay")
+if last["swap"]["failed"] or not last["swap"]["replay_identical"]:
+    sys.exit("hot swap lost requests or diverged from serial replay")
+print(f"serving scenario OK: {len(last['runs'])} configs, "
+      f"multi/single QPS ratio {last['multi_over_single_qps_ratio']:.2f}, "
+      f"swap stall {last['swap']['swap_stall_seconds'] * 1000:.2f}ms")
 PY
 
 echo "== scaling benchmark emits BENCH_scaling.json =="

@@ -7,7 +7,8 @@ Subcommands::
         --collision 0.3 --out corpus.jsonl
     python -m repro.cli fit      --model model.json [--in data.json]
     python -m repro.cli predict  --model model.json [--in data.json]
-    python -m repro.cli serve    --model model.json [--requests 20]
+    python -m repro.cli serve    --model model.json [--requests 20] \
+        [--threads 4 --batch-window 2 --swap-model model2.json]
     python -m repro.cli pipeline explain [--column C10]
     python -m repro.cli resolve  --dataset www05 [--in data.json]
     python -m repro.cli figure1  [--function F3] [--name Cohen]
@@ -21,7 +22,10 @@ labels* (add ``--evaluate`` to also score against labels when present).
 ``pipeline explain`` prints the stage plans a configuration resolves to
 (artifact types included); ``serve`` demos the online request path — it
 loads a model once and streams simulated single-page requests through a
-:class:`~repro.pipeline.session.ResolutionSession`.
+:class:`~repro.pipeline.session.ResolutionSession`; with ``--threads N``
+(N > 1) or ``--swap-model`` it serves the same stream through the
+concurrent :class:`~repro.serving.engine.ServingEngine` from a
+closed-loop thread pool and reports QPS with exact latency percentiles.
 
 Common options: ``--pages`` (pages per name), ``--runs`` (protocol runs),
 ``--seed`` (corpus seed), ``--workers`` (block-executor fan-out: ``N > 1``
@@ -185,6 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model-block", default=None,
                        help="fitted block whose state serves names the "
                             "model was never fitted on")
+    serve.add_argument("--threads", type=int, default=1,
+                       help="closed-loop load-generator threads; > 1 "
+                            "serves through the concurrent ServingEngine "
+                            "(default 1: the serial demo loop)")
+    serve.add_argument("--batch-window", type=float, default=2.0,
+                       help="milliseconds a lane leader holds a "
+                            "non-full batch open for coalescing "
+                            "(engine mode only; default 2.0)")
+    serve.add_argument("--swap-model", default=None,
+                       help="second fitted model hot-swapped in halfway "
+                            "through the request stream (engine mode)")
 
     pipeline_cmd = commands.add_parser(
         "pipeline", help="inspect the resolver's stage plans")
@@ -426,6 +441,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"cannot serve: {error}", file=sys.stderr)
         return 2
+    if args.threads < 1:
+        print(f"cannot serve: threads must be >= 1, got {args.threads}",
+              file=sys.stderr)
+        return 2
+    if args.threads > 1 or args.swap_model:
+        return _serve_concurrently(args, model, collection, pipeline)
     session = ResolutionSession(model, pipeline=pipeline,
                                 max_blocks=args.max_blocks,
                                 model_block=args.model_block)
@@ -470,6 +491,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ["name", "page", "decision", "P(link)", "ms"], rows,
         title=f"Served {served} requests"))
     print(session.stats.summary())
+    return 0
+
+
+def _serve_concurrently(args: argparse.Namespace, model, collection,
+                        pipeline) -> int:
+    """``serve --threads N``: drive a ServingEngine with closed-loop load."""
+    from repro.serving import LoadRequest, ServingEngine, run_load
+
+    engine = ServingEngine(model, pipeline=pipeline,
+                           max_blocks=args.max_blocks,
+                           model_block=args.model_block,
+                           batch_window=max(0.0, args.batch_window) / 1000.0)
+    streams: list[list] = []
+    try:
+        for block in collection:
+            pages = list(block.pages)
+            warm_count = max(1, len(pages) // 2)
+            engine.resolve(pages[:warm_count])
+            streams.append(pages[warm_count:])
+    except KeyError as error:
+        print(f"cannot serve: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    requests = []
+    position = 0
+    while len(requests) < args.requests and any(streams):
+        stream = streams[position % len(streams)]
+        position += 1
+        if stream:
+            requests.append(LoadRequest(pages=[stream.pop(0)]))
+
+    swap_plan = None
+    if args.swap_model:
+        swap_plan = {max(1, len(requests) // 2):
+                     ResolverModel.load(args.swap_model)}
+    print(f"warmed {len(streams)} blocks ({engine.stats.pages} pages); "
+          f"offering {len(requests)} single-page requests from "
+          f"{args.threads} closed-loop threads "
+          f"(batch window {args.batch_window:.1f}ms"
+          + (", hot swap at halfway)" if swap_plan else ")"))
+    report = run_load(engine, requests, threads=args.threads,
+                      swap_plan=swap_plan)
+    print(format_table(
+        ["requests", "failed", "QPS", "p50 ms", "p95 ms", "p99 ms"],
+        [[str(report.completed), str(report.failed), f"{report.qps:.1f}",
+          f"{report.p50_seconds * 1000:.2f}",
+          f"{report.p95_seconds * 1000:.2f}",
+          f"{report.p99_seconds * 1000:.2f}"]],
+        title=f"Load report ({args.threads} threads)"))
+    print(engine.stats.summary())
+    if report.failed:
+        for error in report.errors[:3]:
+            print(f"failed request: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import ResolverConfig
+from repro.graph.entity_graph import PairKey, pair_key
 from repro.core.model import (
     BlockPrediction,
     FittedBlock,
@@ -250,6 +251,32 @@ class IncrementalResolver:
         self._features = dict(features)
         self._clusters = [set(cluster) for cluster in prediction.predicted]
 
+    def indexed_features(self) -> list[PageFeatures]:
+        """Features of every indexed page, in the order they were added.
+
+        The request-coalescing layer scores a whole micro-batch of new
+        pages against exactly this ordered set in one masked backend
+        call; exposing it (rather than the raw dict) keeps the add order
+        — which fixes the scoring block's page positions — part of the
+        contract.
+        """
+        self._require_fitted()
+        return list(self._features.values())
+
+    def scoring_function_names(self) -> list[str]:
+        """Similarity functions a link decision actually consults.
+
+        Best-graph selection decides with the chosen layer's function
+        alone; weighted averaging folds every layer, so it needs the
+        whole battery.  Batched scorers use this to avoid computing
+        functions whose scores the combiner would ignore.
+        """
+        self._require_fitted()
+        state = self._state
+        if state.chosen_layer is not None:
+            return [state.chosen_layer.function_name]
+        return list(state.functions)
+
     def link_probability(self, new: PageFeatures,
                          existing: PageFeatures) -> float:
         """Combined link probability of (new page, existing page).
@@ -260,8 +287,10 @@ class IncrementalResolver:
         self._require_fitted()
         return self._pair_probabilities(new, [existing])[0]
 
-    def _pair_probabilities(self, new: PageFeatures,
-                            existing: list[PageFeatures]) -> list[float]:
+    def _pair_probabilities(
+        self, new: PageFeatures, existing: list[PageFeatures],
+        scores: dict[str, dict[PairKey, float]] | None = None,
+    ) -> list[float]:
         """Combined link probabilities of ``new`` against many pages.
 
         One batched :meth:`~repro.similarity.backends.ScoringBackend.
@@ -269,18 +298,36 @@ class IncrementalResolver:
         function reuse its scores — the values are pure per pair), then
         the combiner's stored parameters fold the per-layer
         probabilities exactly as the one-pair path always has.
+
+        ``scores`` (``function name -> {pair_key: score}``) substitutes
+        precomputed pair scores for the backend calls — the coalescing
+        path of :mod:`repro.serving` scores a whole micro-batch in one
+        masked pass and feeds the values through here.  Precomputed
+        scores must be bit-identical to what ``pair_scores`` would
+        return (the backends' masked block sweep guarantees this), so
+        the fold below never knows the difference.
         """
         state = self._state
         if state.chosen_layer is not None:
             layer = state.chosen_layer
             function = state.functions[layer.function_name]
             link = layer.fitted.link_probability
+            if scores is not None:
+                table = scores[layer.function_name]
+                return [link(table[pair_key(new.doc_id, other.doc_id)])
+                        for other in existing]
             return [link(score)
                     for score in self._backend.pair_scores(function, new,
                                                            existing)]
-        scores_by_function = {
-            name: self._backend.pair_scores(function, new, existing)
-            for name, function in state.functions.items()}
+        if scores is not None:
+            scores_by_function = {
+                name: [scores[name][pair_key(new.doc_id, other.doc_id)]
+                       for other in existing]
+                for name in state.functions}
+        else:
+            scores_by_function = {
+                name: self._backend.pair_scores(function, new, existing)
+                for name, function in state.functions.items()}
         total = sum(state.layer_weights)
         probabilities = []
         for index in range(len(existing)):
@@ -300,12 +347,21 @@ class IncrementalResolver:
         return state.combination_threshold if (
             state.combination_threshold is not None) else 0.5
 
-    def add_page(self, features: PageFeatures) -> Assignment:
+    def add_page(self, features: PageFeatures,
+                 scores: dict[str, dict[PairKey, float]] | None = None,
+                 ) -> Assignment:
         """Assign one new page to an entity (or create a new one).
 
         The page joins the cluster with the highest *mean* link probability
         over its members, provided that mean clears the fitted decision
         threshold; otherwise it becomes a new singleton entity.
+
+        Args:
+            features: the new page's extracted features.
+            scores: optional precomputed pair scores (``function name ->
+                {pair_key: score}``) covering this page against every
+                indexed page — the request-coalescing fast path; must be
+                bit-identical to backend ``pair_scores`` values.
 
         Raises:
             RuntimeError: before :meth:`fit`.
@@ -320,7 +376,8 @@ class IncrementalResolver:
         members = [member for cluster in self._clusters
                    for member in cluster]
         probabilities = dict(zip(members, self._pair_probabilities(
-            features, [self._features[member] for member in members])))
+            features, [self._features[member] for member in members],
+            scores=scores)))
         best_index = -1
         best_probability = -1.0
         for index, cluster in enumerate(self._clusters):

@@ -55,6 +55,7 @@ from repro.corpus.documents import NameCollection, WebPage
 from repro.extraction.features import PageFeatures
 from repro.extraction.pipeline import ExtractionPipeline
 from repro.metrics.clusterings import Clustering
+from repro.runtime.stats import LatencyReservoir
 
 __all__ = ["ResolutionSession", "SessionStats"]
 
@@ -75,6 +76,10 @@ class SessionStats:
             including rebuilds after eviction).
         evicted_blocks: prepared states dropped by the LRU bound.
         seconds_total: wall time spent inside ``resolve``.
+        latency: bounded reservoir of per-request latencies (seconds);
+            feeds the ``p50/p95/p99`` properties.  A serial mean hides
+            tail behavior — the percentiles are what a deployment's SLO
+            is written against.
     """
 
     requests: int = 0
@@ -85,6 +90,14 @@ class SessionStats:
     prepared_blocks: int = 0
     evicted_blocks: int = 0
     seconds_total: float = 0.0
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    def record_request(self, seconds: float, pages: int = 0) -> None:
+        """Fold one served request into the counters and the reservoir."""
+        self.requests += 1
+        self.pages += pages
+        self.seconds_total += seconds
+        self.latency.record(seconds)
 
     @property
     def mean_request_seconds(self) -> float:
@@ -93,24 +106,78 @@ class SessionStats:
             return 0.0
         return self.seconds_total / self.requests
 
+    @property
+    def p50_request_seconds(self) -> float:
+        """Median ``resolve`` latency over the reservoir sample."""
+        return self.latency.percentile(50)
+
+    @property
+    def p95_request_seconds(self) -> float:
+        """95th-percentile ``resolve`` latency over the reservoir sample."""
+        return self.latency.percentile(95)
+
+    @property
+    def p99_request_seconds(self) -> float:
+        """99th-percentile ``resolve`` latency over the reservoir sample."""
+        return self.latency.percentile(99)
+
     def summary(self) -> str:
         """One line for CLI output."""
         return (f"[session] {self.requests} requests / {self.pages} pages; "
                 f"{self.prepared_blocks} blocks prepared, "
                 f"{self.evicted_blocks} evicted; "
                 f"{self.new_entities} new entities; "
-                f"mean latency {self.mean_request_seconds * 1000:.2f}ms")
+                f"latency mean {self.mean_request_seconds * 1000:.2f}ms, "
+                f"p50 {self.p50_request_seconds * 1000:.2f}ms, "
+                f"p95 {self.p95_request_seconds * 1000:.2f}ms, "
+                f"p99 {self.p99_request_seconds * 1000:.2f}ms")
 
 
 @dataclass
 class _PreparedBlock:
-    """One name's request-path state: adopted layers + live entity index."""
+    """One name's request-path state: adopted layers + live entity index.
+
+    ``incremental`` may be ``None`` transiently: the serving engine
+    *reserves* a slot at request admission (so LRU accounting happens in
+    admission order) and fills the resolver in when the bootstrap pass
+    completes.  The session's own paths always store built state.
+    """
 
     query_name: str
-    incremental: IncrementalResolver
+    incremental: IncrementalResolver | None = None
     #: raw pages seen so far — the extraction context for new pages
     #: (TF-IDF is fit per block, so a page is extracted among its block).
     pages: list[WebPage] = field(default_factory=list)
+
+
+def assignments_from_partition(
+    clustering: Clustering, pages: list[WebPage],
+) -> tuple[list[Assignment], int]:
+    """Per-page assignments synthesized from a batch partition.
+
+    A batch bootstrap resolves its pages jointly, so no single pair
+    probability applies to any one page; each page reports probability
+    1.0 and "creates" its entity iff it is the first request page landing
+    there.  Returns the assignments in page order plus the number of
+    entities founded (for stats accounting).
+    """
+    index_of: dict[str, int] = {}
+    for index, cluster in enumerate(clustering):
+        for doc_id in cluster:
+            index_of[doc_id] = index
+    assignments = []
+    seen_clusters: set[int] = set()
+    for page in pages:
+        index = index_of[page.doc_id]
+        created = index not in seen_clusters
+        seen_clusters.add(index)
+        assignments.append(Assignment(
+            doc_id=page.doc_id,
+            cluster_index=index,
+            created_new_cluster=created,
+            link_probability=1.0,
+        ))
+    return assignments, len(seen_clusters)
 
 
 class ResolutionSession:
@@ -229,9 +296,8 @@ class ResolutionSession:
                 assignment = self._assign(prepared, page, features)
                 by_doc[assignment.doc_id] = assignment
 
-        self.stats.requests += 1
-        self.stats.pages += len(page_list)
-        self.stats.seconds_total += time.perf_counter() - started
+        self.stats.record_request(time.perf_counter() - started,
+                                  pages=len(page_list))
         return [by_doc[page.doc_id] for page in page_list]
 
     def warm(self, block: NameCollection,
@@ -246,13 +312,19 @@ class ResolutionSession:
         deployments that pre-load hot names (and lets callers pass
         precomputed ``graphs``).
 
-        Returns the block's initial entity partition.
+        Warming a name that is *already* prepared refreshes its LRU
+        recency and returns the live partition unchanged — it must not
+        re-bootstrap (which would discard incremental assignments served
+        since the first warm, double-count ``prepared_blocks``, and
+        churn the eviction accounting).
+
+        Returns the block's entity partition.
         """
-        block_features = self._block_features(block, features)
-        fallback = self._fallback_for(block.query_name)
-        incremental = IncrementalResolver.from_model(
-            self.model, block, block_features, model_block=fallback,
-            graphs=graphs)
+        prepared = self._lookup(block.query_name)
+        if prepared is not None and prepared.incremental is not None:
+            return prepared.incremental.clusters()
+        incremental = self._build_incremental(
+            block, self._block_features(block, features), graphs=graphs)
         self._store(_PreparedBlock(
             query_name=block.query_name,
             incremental=incremental,
@@ -377,44 +449,56 @@ class ResolutionSession:
             self._unindex(evicted_name)
             self.stats.evicted_blocks += 1
 
+    def _reserve(self, query_name: str) -> _PreparedBlock:
+        """Store an empty slot for a name whose bootstrap is in flight.
+
+        The serving engine admits requests under a lock but runs the
+        expensive bootstrap outside it; reserving at admission makes the
+        LRU bookkeeping (prepared/evicted counts, eviction *order*)
+        happen at admission time, so a serial replay of the admission
+        order reproduces it exactly.  The caller fills
+        ``prepared.incremental`` when the bootstrap completes.
+        """
+        prepared = _PreparedBlock(query_name=query_name)
+        self._store(prepared)
+        return prepared
+
+    def _build_incremental(self, block: NameCollection,
+                           features: dict[str, PageFeatures],
+                           graphs: dict | None = None) -> IncrementalResolver:
+        """The batch-bootstrap predict pass, without bookkeeping.
+
+        Shared by :meth:`warm` and the serving engine's coalesced
+        bootstrap; resolves ``block`` once with the model and adopts the
+        result into an :class:`IncrementalResolver`.
+        """
+        fallback = self._fallback_for(block.query_name)
+        return IncrementalResolver.from_model(
+            self.model, block, features, model_block=fallback,
+            graphs=graphs)
+
+    def _adopt_empty(self, query_name: str) -> IncrementalResolver:
+        """Cold-adopt fitted state for a name, with an empty entity index."""
+        fallback = self._fallback_for(query_name)
+        fitted = self.model.blocks[fallback or query_name]
+        return IncrementalResolver.from_fitted(self.model.config, fitted)
+
     def _bootstrap_batch(self, query_name: str, group: list[WebPage],
                          features: dict[str, PageFeatures] | None,
                          ) -> list[Assignment]:
         """First contact with several pages: batch-resolve, then adopt."""
         block = NameCollection(query_name=query_name, pages=list(group))
         clustering = self.warm(block, features=features)
-        # Synthesize per-page assignments from the batch partition: a
-        # page "creates" its entity iff it is the first request page
-        # landing there.  Batch decisions are joint, so no single pair
-        # probability applies; report 1.0.
-        index_of: dict[str, int] = {}
-        for index, cluster in enumerate(clustering):
-            for doc_id in cluster:
-                index_of[doc_id] = index
-        assignments = []
-        seen_clusters: set[int] = set()
-        for page in group:
-            index = index_of[page.doc_id]
-            created = index not in seen_clusters
-            seen_clusters.add(index)
-            if created:
-                self.stats.new_entities += 1
-            assignments.append(Assignment(
-                doc_id=page.doc_id,
-                cluster_index=index,
-                created_new_cluster=created,
-                link_probability=1.0,
-            ))
+        assignments, new_entities = assignments_from_partition(clustering,
+                                                               group)
+        self.stats.new_entities += new_entities
         return assignments
 
     def _bootstrap_empty(self, query_name: str) -> _PreparedBlock:
         """First contact with a single page: adopt state, empty index."""
-        fallback = self._fallback_for(query_name)
-        fitted = self.model.blocks[fallback or query_name]
         prepared = _PreparedBlock(
             query_name=query_name,
-            incremental=IncrementalResolver.from_fitted(
-                self.model.config, fitted),
+            incremental=self._adopt_empty(query_name),
         )
         self._store(prepared)
         return prepared

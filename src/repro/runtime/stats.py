@@ -10,7 +10,76 @@ them across revisions.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass, field
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 for an empty list).
+
+    ``q`` is in percent (50 -> median).  Nearest-rank keeps the value an
+    actual observed sample — the convention latency dashboards use — and
+    is exact for the small reservoirs kept here.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyReservoir:
+    """Bounded uniform sample of per-request latencies.
+
+    A serving process must answer "what is p99 right now?" without
+    holding every latency it ever measured; Vitter's Algorithm R keeps a
+    fixed-size uniform sample of the stream so percentiles stay
+    representative at O(capacity) memory.  The replacement choices come
+    from a private seeded :class:`random.Random`, so two sessions fed the
+    identical latency stream report identical percentiles — benchmark
+    records stay reproducible.
+    """
+
+    __slots__ = ("capacity", "_samples", "_seen", "_random")
+
+    def __init__(self, capacity: int = 2048, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._seen = 0
+        self._random = random.Random(seed)
+
+    def record(self, value: float) -> None:
+        """Fold one observation into the reservoir."""
+        self._seen += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._random.randrange(self._seen)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the current sample (0.0 empty)."""
+        return percentile(self._samples, q)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded over the reservoir's lifetime."""
+        return self._seen
+
+    def samples(self) -> list[float]:
+        """A copy of the current sample (at most ``capacity`` values)."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return (f"LatencyReservoir({len(self._samples)}/{self.capacity} "
+                f"samples, {self._seen} seen)")
 
 
 @dataclass

@@ -1,0 +1,80 @@
+"""Request coalescing — one masked scoring pass per micro-batch.
+
+The incremental request path scores each new page against every indexed
+page with one ``pair_scores`` call per similarity function
+(:meth:`~repro.core.incremental.IncrementalResolver._pair_probabilities`).
+Served page by page that re-derives every indexed page's prepared inputs
+— vector norms, parsed URLs, key sets — once *per request*.  When
+concurrent requests for the same block arrive together, the engine
+instead scores the whole micro-batch in **one masked block sweep**
+through the PR 5 mask machinery
+(:meth:`~repro.similarity.backends.ScoringBackend.block_scores` with a
+candidate-pair mask): every page is prepared once for the batch, and
+only the (new page, predecessor) pairs the sequential path would score
+are computed.
+
+**Bit-identity.**  The sequential path calls ``function(new, other)``
+with the new page as the *left* argument; the block sweep scores pair
+``(i, j)`` with the earlier block position on the left.  Most of the
+battery is argument-order symmetric to the last bit, but not all of it
+(F9's fold can differ in the final ulp), so the coalesced block lays
+pages out in **reverse add order** — each new page occupies an earlier
+position than every page it is scored against, existing pages come
+last.  Every masked score is then produced by ``scorer(new, other)``
+with exactly the sequential argument order, and the prepared-scorer /
+kernel contracts (PR 4) make those bytes equal to ``pair_scores``.
+``tests/serving/test_coalescing.py`` enforces equality at tolerance
+zero on both backends.
+"""
+
+from __future__ import annotations
+
+from repro.core.incremental import IncrementalResolver
+from repro.extraction.features import PageFeatures
+from repro.graph.entity_graph import PairKey, pair_key
+
+__all__ = ["coalesced_pair_scores"]
+
+
+def coalesced_pair_scores(
+    incremental: IncrementalResolver,
+    new_features: list[PageFeatures],
+) -> dict[str, dict[PairKey, float]] | None:
+    """Pair scores for adding ``new_features`` in order, in one sweep.
+
+    Computes, per similarity function the combiner consults, the scores
+    of every ``(new page, predecessor)`` pair that the sequential
+    ``add_page`` chain would request: new page *k* against all indexed
+    pages plus new pages ``0..k-1``.  The result feeds
+    ``add_page(features, scores=...)`` and is bit-identical to the
+    scores the backend's ``pair_scores`` would return at each step.
+
+    Returns ``None`` when coalescing cannot apply: a doc id duplicated
+    within the batch or against the index (the sequential path owns the
+    error), or an empty batch.  Callers fall back to sequential adds.
+    """
+    if not new_features:
+        return None
+    existing = incremental.indexed_features()
+    features = {page.doc_id: page for page in existing}
+    new_ids = []
+    for page in new_features:
+        if page.doc_id in features:
+            return None  # duplicate — let add_page raise its ValueError
+        features[page.doc_id] = page
+        new_ids.append(page.doc_id)
+
+    existing_ids = [page.doc_id for page in existing]
+    # Reverse add order puts every new page at an earlier block position
+    # than all of its scoring partners (see module docstring).
+    ids = list(reversed(new_ids)) + existing_ids
+    mask = frozenset(
+        pair_key(new_id, other_id)
+        for index, new_id in enumerate(new_ids)
+        for other_id in existing_ids + new_ids[:index]
+    )
+    state = incremental._state
+    functions = [state.functions[name]
+                 for name in incremental.scoring_function_names()]
+    return incremental._backend.block_scores(ids, features, functions,
+                                             mask=mask)

@@ -1,0 +1,77 @@
+"""Copy-on-write model snapshots — hot-swappable serving state.
+
+A :class:`ModelSnapshot` binds one immutable fitted model to its own
+serving-state container (a fresh :class:`~repro.pipeline.session.
+ResolutionSession` holding the per-name LRU, token-routing index and
+session counters).  The engine publishes exactly one *live* snapshot at
+a time; :meth:`~repro.serving.engine.ServingEngine.swap` builds the next
+snapshot entirely off-line and then replaces the pointer under the
+admission lock — the only thing concurrent traffic can ever observe is
+"old snapshot" or "new snapshot", never a half-initialized one.
+
+Requests pin the snapshot they were admitted under, so in-flight work
+finishes on the model it started with while new admissions land on the
+replacement; the old snapshot's prepared blocks die with its last
+in-flight request (plain garbage collection — nothing is copied,
+invalidated, or locked).  Prepared state for the new model is rebuilt
+lazily on first contact per name, exactly like any cold name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import ResolverModel
+from repro.extraction.pipeline import ExtractionPipeline
+from repro.pipeline.session import ResolutionSession
+
+__all__ = ["ModelSnapshot"]
+
+
+@dataclass
+class ModelSnapshot:
+    """One immutable (model, serving state) generation.
+
+    Attributes:
+        version: monotonically increasing generation number (the first
+            engine snapshot is 1; every ``swap`` increments it).
+        model: the fitted resolver model this generation serves from.
+        session: the generation's private serving state — per-name
+            prepared blocks, LRU bookkeeping, token-routing index and
+            session counters.  Never shared between snapshots.
+        requests_admitted: requests admitted under this snapshot
+            (maintained by the engine; observability only).
+    """
+
+    version: int
+    model: ResolverModel
+    session: ResolutionSession
+    requests_admitted: int = 0
+
+    @property
+    def pipeline(self) -> ExtractionPipeline | None:
+        """The extraction pipeline serving this generation's requests."""
+        return self.session.extraction
+
+    @classmethod
+    def create(cls, version: int, model: ResolverModel,
+               pipeline: ExtractionPipeline | None = None,
+               max_blocks: int = 32,
+               model_block: str | None = None) -> "ModelSnapshot":
+        """Build a generation with a fresh, empty serving state.
+
+        Raises:
+            ValueError: for model combiners the request path cannot
+                serve, or a non-positive ``max_blocks`` (the session's
+                own validation — a swap to an unservable model fails
+                here, *before* the live pointer moves).
+        """
+        session = ResolutionSession(model, pipeline=pipeline,
+                                    max_blocks=max_blocks,
+                                    model_block=model_block)
+        return cls(version=version, model=model, session=session)
+
+    def __repr__(self) -> str:
+        return (f"ModelSnapshot(v{self.version}, "
+                f"{len(self.session.prepared_names())} blocks prepared, "
+                f"{self.requests_admitted} requests admitted)")

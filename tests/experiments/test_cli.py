@@ -146,3 +146,56 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "Dataset profile" in captured.out
         assert "dominance" in captured.out
+
+
+class TestServe:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("serve-cli")
+        data = workdir / "data.json"
+        model = workdir / "model.json"
+        second = workdir / "model2.json"
+        assert main(FAST + ["generate", "--out", str(data)]) == 0
+        assert main(FAST + ["fit", "--in", str(data),
+                            "--model", str(model)]) == 0
+        assert main(["--pages", "12", "--runs", "1", "--seed", "4",
+                     "fit", "--in", str(data), "--model", str(second)]) == 0
+        return data, model, second
+
+    def test_serial_demo_loop(self, artifacts, capsys):
+        data, model, _ = artifacts
+        assert main(FAST + ["serve", "--in", str(data),
+                            "--model", str(model), "--requests", "6"]) == 0
+        captured = capsys.readouterr()
+        assert "Served 6 requests" in captured.out
+        assert "[session]" in captured.out
+        assert "p99" in captured.out
+
+    def test_concurrent_engine_mode(self, artifacts, capsys):
+        data, model, _ = artifacts
+        assert main(FAST + ["serve", "--in", str(data),
+                            "--model", str(model), "--requests", "16",
+                            "--threads", "4",
+                            "--batch-window", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "4 closed-loop threads" in captured.out
+        assert "Load report (4 threads)" in captured.out
+        assert "[engine]" in captured.out
+        assert "p99" in captured.out
+
+    def test_hot_swap_mid_stream(self, artifacts, capsys):
+        data, model, second = artifacts
+        assert main(FAST + ["serve", "--in", str(data),
+                            "--model", str(model), "--requests", "12",
+                            "--threads", "2",
+                            "--swap-model", str(second)]) == 0
+        captured = capsys.readouterr()
+        assert "hot swap at halfway" in captured.out
+        assert "1 swaps" in captured.out
+
+    def test_invalid_threads_rejected(self, artifacts, capsys):
+        data, model, _ = artifacts
+        assert main(FAST + ["serve", "--in", str(data),
+                            "--model", str(model),
+                            "--threads", "0"]) == 2
+        assert "threads must be >= 1" in capsys.readouterr().err

@@ -205,7 +205,49 @@ class TestLruAndStats:
         assert "3 requests" in stats.summary()
 
     def test_empty_stats(self):
-        assert SessionStats().mean_request_seconds == 0.0
+        stats = SessionStats()
+        assert stats.mean_request_seconds == 0.0
+        assert stats.p50_request_seconds == 0.0
+        assert stats.p99_request_seconds == 0.0
+
+    def test_latency_percentiles_come_from_the_reservoir(self):
+        stats = SessionStats()
+        for ms in range(1, 101):  # 1ms..100ms, uniform
+            stats.record_request(ms / 1000.0, pages=1)
+        assert stats.requests == 100
+        assert stats.latency.count == 100
+        assert stats.p50_request_seconds == pytest.approx(0.050)
+        assert stats.p95_request_seconds == pytest.approx(0.095)
+        assert stats.p99_request_seconds == pytest.approx(0.099)
+        assert "p50" in stats.summary() and "p99" in stats.summary()
+
+    def test_warm_of_a_hot_block_refreshes_without_rebootstrap(
+            self, small_dataset, pipeline):
+        """Re-warming a prepared name must not discard its incremental
+        state: served assignments survive, ``prepared_blocks`` does not
+        double-count, and only the LRU recency moves."""
+        model = EntityResolver(ResolverConfig()).fit(small_dataset,
+                                                     training_seed=0)
+        session = ResolutionSession(model, pipeline=pipeline, max_blocks=2)
+        names = small_dataset.query_names()
+        first = small_dataset.by_name(names[0])
+        head = NameCollection(query_name=names[0],
+                              pages=list(first.pages)[:20])
+        session.warm(head)
+        # Serve pages the warm batch did not contain, then re-warm with
+        # the original head: the partition must keep the served pages.
+        for page in list(first.pages)[20:24]:
+            session.resolve(page)
+        partition = session.clusters(names[0])
+        session.resolve(list(small_dataset.by_name(names[1]).pages)[:10])
+        assert session.warm(head) == partition
+        assert session.stats.prepared_blocks == 2  # one per name, no redo
+        assert session.stats.evicted_blocks == 0
+        # The re-warm refreshed recency: a third name now evicts the
+        # *other* block, not the re-warmed one.
+        session.resolve(list(small_dataset.by_name(names[2]).pages)[:10])
+        assert names[0] in session
+        assert names[1] not in session
 
     def test_invalid_max_blocks(self, fitted_model):
         with pytest.raises(ValueError, match="max_blocks"):

@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-from repro.runtime.stats import RunStats, TaskStats
+from repro.runtime.stats import (LatencyReservoir, RunStats,
+                                 TaskStats, percentile)
 
 
 class TestRunStats:
@@ -58,3 +59,52 @@ class TestRunStats:
                          cache_hits=50, cache_misses=50)
         line = stats.summary()
         assert "[fit]" in line and "process" in line and "50%" in line
+
+
+class TestPercentile:
+    def test_nearest_rank_returns_observed_samples(self):
+        samples = [0.001 * k for k in range(1, 101)]
+        assert percentile(samples, 50) == pytest.approx(0.050)
+        assert percentile(samples, 95) == pytest.approx(0.095)
+        assert percentile(samples, 99) == pytest.approx(0.099)
+        assert percentile(samples, 100) == pytest.approx(0.100)
+
+    def test_order_insensitive(self):
+        shuffled = [0.4, 0.1, 0.3, 0.2]
+        assert percentile(shuffled, 50) == 0.2
+        assert percentile(shuffled, 100) == 0.4
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([0.7], 1) == 0.7
+        assert percentile([0.7], 99) == 0.7
+
+
+class TestLatencyReservoir:
+    def test_exact_below_capacity(self):
+        reservoir = LatencyReservoir(capacity=100)
+        for ms in range(1, 51):
+            reservoir.record(ms / 1000.0)
+        assert reservoir.count == 50
+        assert reservoir.percentile(50) == pytest.approx(0.025)
+
+    def test_capacity_bounds_memory_not_count(self):
+        reservoir = LatencyReservoir(capacity=16)
+        for ms in range(1000):
+            reservoir.record(ms / 1000.0)
+        assert reservoir.count == 1000
+        assert len(reservoir._samples) == 16
+
+    def test_identical_streams_report_identical_percentiles(self):
+        a, b = LatencyReservoir(capacity=32), LatencyReservoir(capacity=32)
+        for ms in range(500):
+            a.record(ms / 1000.0)
+            b.record(ms / 1000.0)
+        for q in (50, 90, 95, 99):
+            assert a.percentile(q) == b.percentile(q)
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)

@@ -1,0 +1,63 @@
+"""Serving fixtures: models fitted over the full small dataset.
+
+The engine tests need every block fitted (requests fan out across all
+three names), unlike the session tests which fit one block.  Two
+training seeds give the hot-swap tests a genuinely different second
+generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.resolver import EntityResolver
+from repro.serving import LoadRequest
+
+
+@pytest.fixture(scope="package")
+def serving_model(small_dataset, pipeline):
+    return EntityResolver(ResolverConfig()).fit(
+        small_dataset, training_seed=0, pipeline=pipeline)
+
+
+@pytest.fixture(scope="package")
+def second_model(small_dataset, pipeline):
+    return EntityResolver(ResolverConfig()).fit(
+        small_dataset, training_seed=1, pipeline=pipeline)
+
+
+@pytest.fixture(scope="package")
+def all_features(small_dataset, pipeline):
+    features = {}
+    for name in small_dataset.query_names():
+        features.update(pipeline.extract_block(small_dataset.by_name(name)))
+    return features
+
+
+@pytest.fixture(scope="package")
+def single_page_requests(small_dataset, all_features):
+    """One single-page LoadRequest per page past ``skip``, name-major."""
+    def build(skip=0):
+        requests = []
+        for name in small_dataset.query_names():
+            for page in small_dataset.by_name(name).pages[skip:]:
+                requests.append(LoadRequest(
+                    pages=[page],
+                    features={page.doc_id: all_features[page.doc_id]}))
+        return requests
+    return build
+
+
+@pytest.fixture(scope="package")
+def warm_requests(small_dataset, all_features):
+    """One ``head``-page warm batch per name."""
+    def build(head):
+        requests = []
+        for name in small_dataset.query_names():
+            pages = list(small_dataset.by_name(name).pages)[:head]
+            requests.append(LoadRequest(
+                pages=pages,
+                features={p.doc_id: all_features[p.doc_id] for p in pages}))
+        return requests
+    return build

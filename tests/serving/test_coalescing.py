@@ -1,0 +1,100 @@
+"""coalesced_pair_scores — bit-identity with sequential adds.
+
+The coalescing sweep's contract is tolerance-zero: feeding its scores
+into ``add_page(..., scores=...)`` must reproduce, to the last bit, the
+assignments and partitions of adding the same pages one at a time with
+no precomputed scores — on every scoring backend (the reverse-add-order
+block layout exists precisely so argument-order-asymmetric functions
+like F9 stay bitwise equal; see the module docstring of
+:mod:`repro.serving.coalescing`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ResolverConfig
+from repro.core.resolver import EntityResolver
+from repro.pipeline.session import ResolutionSession
+from repro.serving import coalesced_pair_scores
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"])
+def backend_model(request, small_block, block_features):
+    """A model fitted once per scoring backend."""
+    return EntityResolver(ResolverConfig(backend=request.param)).fit(
+        small_block, training_seed=0, features=block_features)
+
+
+@pytest.fixture()
+def backend_session_pair(backend_model, small_block, block_features,
+                         pipeline):
+    """Two identically bootstrapped fresh sessions on one backend."""
+    base = list(small_block.pages)[:20]
+    feats = {p.doc_id: block_features[p.doc_id] for p in base}
+    sessions = []
+    for _ in range(2):
+        session = ResolutionSession(backend_model, pipeline=pipeline)
+        session.resolve(base, features=feats)
+        sessions.append(session)
+    return sessions
+
+
+@pytest.fixture()
+def incrementals(backend_session_pair, small_block):
+    name = small_block.query_name
+    return [session._prepared[name].incremental
+            for session in backend_session_pair]
+
+
+@pytest.fixture(scope="module")
+def tail_features(small_block, block_features):
+    return [block_features[p.doc_id] for p in list(small_block.pages)[20:26]]
+
+
+class TestBitIdentity:
+    def test_coalesced_adds_match_sequential_adds(self, incrementals,
+                                                  tail_features):
+        sequential, coalesced = incrementals
+        scores = coalesced_pair_scores(coalesced, tail_features)
+        assert scores is not None
+        for features in tail_features:
+            a = sequential.add_page(features)
+            b = coalesced.add_page(features, scores=scores)
+            # Dataclass equality covers doc id, entity id, novelty flag
+            # and the link probability as an exact float.
+            assert a == b, (a, b)
+        assert sequential.clusters() == coalesced.clusters()
+
+    def test_scores_cover_exactly_the_sequential_pairs(self, incrementals,
+                                                       tail_features):
+        from repro.graph.entity_graph import pair_key
+        incremental = incrementals[1]
+        existing = [page.doc_id for page in incremental.indexed_features()]
+        new_ids = [page.doc_id for page in tail_features]
+        scores = coalesced_pair_scores(incremental, tail_features)
+        expected = {
+            pair_key(new_id, other)
+            for index, new_id in enumerate(new_ids)
+            for other in existing + new_ids[:index]
+        }
+        for name in incremental.scoring_function_names():
+            assert set(scores[name]) == expected
+
+
+class TestFallbacks:
+    def test_empty_batch_returns_none(self, incrementals):
+        assert coalesced_pair_scores(incrementals[1], []) is None
+
+    def test_duplicate_within_batch_returns_none(self, incrementals,
+                                                 tail_features):
+        batch = [tail_features[0], tail_features[1], tail_features[0]]
+        assert coalesced_pair_scores(incrementals[1], batch) is None
+
+    def test_duplicate_against_index_returns_none(self, incrementals,
+                                                  tail_features,
+                                                  block_features,
+                                                  small_block):
+        indexed = block_features[list(small_block.pages)[0].doc_id]
+        batch = [tail_features[0], indexed]
+        assert coalesced_pair_scores(incrementals[1], batch) is None

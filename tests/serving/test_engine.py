@@ -1,0 +1,153 @@
+"""ServingEngine — single-threaded semantics.
+
+The engine's single-caller behavior must be indistinguishable from a
+plain :class:`~repro.pipeline.session.ResolutionSession`: same
+assignments, same partitions, same LRU bookkeeping, same rejections.
+Concurrency is exercised separately in ``test_concurrency.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.session import ResolutionSession
+from repro.serving import ServingEngine, verify_serial_equivalence
+
+
+@pytest.fixture()
+def engine(serving_model, pipeline):
+    return ServingEngine(serving_model, pipeline=pipeline,
+                         record_journal=True)
+
+
+class TestSingleThreadParity:
+    def test_resolve_matches_plain_session(self, engine, serving_model,
+                                           pipeline, small_dataset,
+                                           all_features):
+        session = ResolutionSession(serving_model, pipeline=pipeline)
+        for name in small_dataset.query_names():
+            pages = list(small_dataset.by_name(name).pages)
+            feats = {p.doc_id: all_features[p.doc_id] for p in pages}
+            base, rest = pages[:20], pages[20:]
+            assert (engine.resolve(base, features=feats)
+                    == session.resolve(base, features=feats))
+            for page in rest:
+                assert (engine.resolve(page, features=feats)
+                        == session.resolve(page, features=feats))
+        for name in small_dataset.query_names():
+            assert engine.clusters(name) == session.clusters(name)
+        assert engine.prepared_names() == session.prepared_names()
+
+    def test_single_thread_run_replays_identically(self, engine,
+                                                   small_dataset,
+                                                   all_features):
+        for name in small_dataset.query_names():
+            pages = list(small_dataset.by_name(name).pages)
+            feats = {p.doc_id: all_features[p.doc_id] for p in pages}
+            engine.resolve(pages[:15], features=feats)
+            for page in pages[15:]:
+                engine.resolve(page, features=feats)
+        report = verify_serial_equivalence(engine)
+        assert report["identical"], report["diffs"]
+        assert report["versions"] == [1]
+        assert report["units"] == engine.stats.units
+
+    def test_stats_track_requests_pages_and_lru(self, engine, small_block,
+                                                all_features):
+        pages = list(small_block.pages)
+        feats = {p.doc_id: all_features[p.doc_id] for p in pages}
+        engine.resolve(pages[:10], features=feats)
+        for page in pages[10:14]:
+            engine.resolve(page, features=feats)
+        stats = engine.stats
+        assert stats.requests == 5
+        assert stats.pages == 14
+        assert stats.bootstraps == 1
+        assert stats.lru_hits == 4  # every incremental found the block hot
+        assert stats.failed_requests == 0
+        assert stats.latency.count == 5
+        assert 0.0 < stats.p50_request_seconds <= stats.p99_request_seconds
+
+
+class TestValidation:
+    @pytest.mark.parametrize("knobs", [
+        {"max_batch": 0},
+        {"batch_window": -0.001},
+        {"queue_depth": 0},
+    ])
+    def test_invalid_knobs_raise(self, serving_model, pipeline, knobs):
+        with pytest.raises(ValueError):
+            ServingEngine(serving_model, pipeline=pipeline, **knobs)
+
+    def test_unknown_name_rejected_atomically(self, engine, small_block,
+                                              all_features):
+        from dataclasses import replace
+        pages = list(small_block.pages)
+        feats = {p.doc_id: all_features[p.doc_id] for p in pages}
+        stranger = replace(pages[0], query_name="No Such Person")
+        with pytest.raises(KeyError):
+            engine.resolve([stranger, *pages[1:4]], features=feats)
+        # Nothing from the rejected request leaked into engine state.
+        assert engine.stats.pages == 0
+        assert engine.journal == []
+        assert engine.prepared_names() == []
+        # The engine stays serviceable.
+        assert engine.resolve(pages[:5], features=feats)
+
+    def test_duplicate_page_fails_only_that_request(self, engine,
+                                                    small_block,
+                                                    all_features):
+        pages = list(small_block.pages)
+        feats = {p.doc_id: all_features[p.doc_id] for p in pages}
+        engine.resolve(pages[:10], features=feats)
+        with pytest.raises(ValueError):
+            engine.resolve(pages[0], features=feats)
+        assert engine.stats.failed_requests == 1
+        assert engine.resolve(pages[10], features=feats)
+        # The failed unit fails identically under serial replay.
+        report = verify_serial_equivalence(engine)
+        assert report["identical"], report["diffs"]
+
+
+class TestSubmitFlush:
+    def test_submitted_futures_complete_on_flush(self, engine, small_block,
+                                                 all_features):
+        pages = list(small_block.pages)
+        feats = {p.doc_id: all_features[p.doc_id] for p in pages}
+        engine.resolve(pages[:10], features=feats)
+        futures = [engine.submit(page, features=feats)
+                   for page in pages[10:14]]
+        assert not any(future.done() for future in futures)
+        engine.flush()
+        assignments = [future.result(timeout=5) for future in futures]
+        assert [a.doc_id for (a,) in assignments] \
+            == [page.doc_id for page in pages[10:14]]
+        report = verify_serial_equivalence(engine)
+        assert report["identical"], report["diffs"]
+
+
+class TestSwap:
+    def test_swap_publishes_fresh_generation(self, engine, second_model,
+                                             small_block, all_features):
+        pages = list(small_block.pages)
+        feats = {p.doc_id: all_features[p.doc_id] for p in pages}
+        engine.resolve(pages[:10], features=feats)
+        before = engine.snapshot
+        replacement = engine.swap(second_model)
+        assert engine.snapshot is replacement
+        assert replacement.version == 2
+        assert list(engine.snapshots) == [1, 2]
+        assert engine.stats.swaps == 1
+        # Prepared state does not carry over; the old snapshot keeps its.
+        assert engine.prepared_names() == []
+        assert before.session.prepared_names() == [small_block.query_name]
+        # Same doc ids are fresh to the new generation.
+        engine.resolve(pages[:10], features=feats)
+        report = verify_serial_equivalence(engine)
+        assert report["identical"], report["diffs"]
+        assert report["versions"] == [1, 2]
+
+    def test_swap_inherits_pipeline_when_not_given(self, engine,
+                                                   second_model):
+        replacement = engine.swap(second_model)
+        assert replacement.pipeline is engine.snapshots[1].pipeline
