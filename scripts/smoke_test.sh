@@ -157,11 +157,20 @@ for key in ("speedup_vs_seed", "seed_path_seconds",
             "deterministic", "backend_speedup_ratio",
             "backends_bit_identical", "blocking_reduction_ratio",
             "blocking_pair_completeness", "masked_speedup_ratio",
-            "masked_matches_dense", "prepare_cache_hit_rate"):
+            "masked_matches_dense", "prepare_cache_hit_rate",
+            "requested_workers", "effective_workers", "available_cores",
+            "host_cores", "cpuset_limited", "fork_waves",
+            "parallel_speedup_ratio"):
     if key not in last:
         sys.exit(f"BENCH_runtime.json record lacks {key!r}")
 if not last["deterministic"]:
     sys.exit("runtime bench recorded a non-deterministic run")
+if last["effective_workers"] != min(last["requested_workers"],
+                                    last["available_cores"]):
+    sys.exit("effective_workers does not honor the core cap")
+if last["available_cores"] > 1 and last["effective_workers"] == 1:
+    sys.exit(f"--workers {last['requested_workers']} degraded to serial "
+             f"with {last['available_cores']} cores available")
 if not last["prepare_cache_hit_rate"] > 0.0:
     sys.exit("retained prepare cache served no predict calls")
 if not last["backends_bit_identical"]:

@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "figure/table protocol loops stay serial); "
                              "default 1 = serial; parallel runs are "
                              "bit-identical to serial")
+    parser.add_argument("--oversubscribe", action="store_true",
+                        help="let --workers exceed the host's core count "
+                             "(normally the worker count is capped at "
+                             "the cores the scheduling affinity grants; "
+                             "useful when the environment mis-reports "
+                             "cores)")
     parser.add_argument("--backend", default=None,
                         help="pairwise-scoring backend for the similarity "
                              "hot path ('python' or 'numpy'); default: the "
@@ -250,9 +256,11 @@ def _context(args: argparse.Namespace, which: str | None = None,
         collection = load_collection(input_path)
     else:
         collection = _dataset(args, which)
-    return ExperimentContext.prepare(collection,
-                                     workers=getattr(args, "workers", 1),
-                                     backend=getattr(args, "backend", None))
+    return ExperimentContext.prepare(
+        collection,
+        workers=getattr(args, "workers", 1),
+        oversubscribe=getattr(args, "oversubscribe", False),
+        backend=getattr(args, "backend", None))
 
 
 def _apply_overrides(config: ResolverConfig,
@@ -345,9 +353,10 @@ def cmd_fit(args: argparse.Namespace) -> int:
     # --workers is a runtime choice of *this* process, passed as an
     # explicit executor so it is never baked into the saved artifact — a
     # model fitted with --workers 4 must not make later loaders fan out.
-    model = EntityResolver(config).fit(
-        collection, training_seed=args.train_seed,
-        executor=executor_for_workers(args.workers))
+    with executor_for_workers(args.workers,
+                              oversubscribe=args.oversubscribe) as executor:
+        model = EntityResolver(config).fit(
+            collection, training_seed=args.train_seed, executor=executor)
     model.save(args.model)
     _print_stats(model.fit_stats)
     _print_stage_stats(model.fit_stage_stats)
@@ -366,47 +375,49 @@ def cmd_predict(args: argparse.Namespace) -> int:
     # serving pass; the saved artifact is untouched.
     model.config = _apply_overrides(model.config, args)
     collection = _load_or_generate(args)
-    executor = executor_for_workers(args.workers)
-    if args.evaluate:
-        unlabeled = [page.doc_id for page in collection.all_pages()
-                     if page.person_id is None]
-        if unlabeled:
-            print(f"cannot evaluate: {len(unlabeled)} pages have no "
-                  f"ground-truth label (e.g. {unlabeled[0]!r}); drop "
-                  "--evaluate to predict without labels", file=sys.stderr)
-            return 2
-        try:
-            resolution = model.evaluate(collection,
-                                        model_block=args.model_block,
-                                        executor=executor)
-        except KeyError as error:
-            print(f"cannot predict: {error.args[0]}", file=sys.stderr)
-            return 2
-        rows = [[surname(block.query_name), len(block.predicted),
-                 block.report.fp, block.report.f1, block.chosen_layer or "-"]
-                for block in resolution.blocks]
-        print(format_table(["name", "entities", "Fp", "F", "layer"], rows,
-                           title="Predictions (scored against labels)"))
-        mean = resolution.mean_report()
-        print(f"mean Fp = {mean.fp:.4f}, F = {mean.f1:.4f}")
-        _print_stats(resolution.stats)
-        _print_stage_stats(resolution.stage_stats)
-    else:
-        try:
-            prediction = model.predict(collection,
-                                       model_block=args.model_block,
-                                       executor=executor)
-        except KeyError as error:
-            print(f"cannot predict: {error.args[0]}", file=sys.stderr)
-            return 2
-        rows = [[surname(block.query_name),
-                 len(block.predicted.items), len(block.predicted),
-                 block.chosen_layer or "-"]
-                for block in prediction.blocks]
-        print(format_table(["name", "pages", "entities", "layer"], rows,
-                           title="Predictions (ground truth unused)"))
-        _print_stats(prediction.stats)
-        _print_stage_stats(prediction.stage_stats)
+    with executor_for_workers(args.workers,
+                              oversubscribe=args.oversubscribe) as executor:
+        if args.evaluate:
+            unlabeled = [page.doc_id for page in collection.all_pages()
+                         if page.person_id is None]
+            if unlabeled:
+                print(f"cannot evaluate: {len(unlabeled)} pages have no "
+                      f"ground-truth label (e.g. {unlabeled[0]!r}); drop "
+                      "--evaluate to predict without labels", file=sys.stderr)
+                return 2
+            try:
+                resolution = model.evaluate(collection,
+                                            model_block=args.model_block,
+                                            executor=executor)
+            except KeyError as error:
+                print(f"cannot predict: {error.args[0]}", file=sys.stderr)
+                return 2
+            rows = [[surname(block.query_name), len(block.predicted),
+                     block.report.fp, block.report.f1,
+                     block.chosen_layer or "-"]
+                    for block in resolution.blocks]
+            print(format_table(["name", "entities", "Fp", "F", "layer"], rows,
+                               title="Predictions (scored against labels)"))
+            mean = resolution.mean_report()
+            print(f"mean Fp = {mean.fp:.4f}, F = {mean.f1:.4f}")
+            _print_stats(resolution.stats)
+            _print_stage_stats(resolution.stage_stats)
+        else:
+            try:
+                prediction = model.predict(collection,
+                                           model_block=args.model_block,
+                                           executor=executor)
+            except KeyError as error:
+                print(f"cannot predict: {error.args[0]}", file=sys.stderr)
+                return 2
+            rows = [[surname(block.query_name),
+                     len(block.predicted.items), len(block.predicted),
+                     block.chosen_layer or "-"]
+                    for block in prediction.blocks]
+            print(format_table(["name", "pages", "entities", "layer"], rows,
+                               title="Predictions (ground truth unused)"))
+            _print_stats(prediction.stats)
+            _print_stage_stats(prediction.stage_stats)
     return 0
 
 

@@ -53,6 +53,11 @@ class ResolverConfig:
         workers: worker count for parallel executors (ignored by
             ``"serial"``); the CLI's ``--workers N`` maps onto these two
             fields.
+        oversubscribe: let parallel executors schedule more workers than
+            the host has cores (default off: block work is CPU-bound, so
+            oversubscription normally just adds overhead — the knob
+            exists for core-miscounting environments and tests; the
+            CLI's ``--oversubscribe`` maps onto it).
         backend: pairwise-scoring backend for the similarity hot path —
             ``"python"`` (prepared scalar scorers) or ``"numpy"``
             (vectorized block kernels); see
@@ -75,6 +80,7 @@ class ResolverConfig:
     blocker: str = "query_name"
     executor: str = "serial"
     workers: int = 1
+    oversubscribe: bool = False
     backend: str = field(default_factory=default_backend)
 
     def __post_init__(self) -> None:
@@ -125,6 +131,7 @@ class ResolverConfig:
             "blocker": self.blocker,
             "executor": self.executor,
             "workers": self.workers,
+            "oversubscribe": self.oversubscribe,
         }
 
     @classmethod
@@ -146,6 +153,7 @@ class ResolverConfig:
             blocker=str(payload.get("blocker", "query_name")),
             executor=str(payload.get("executor", "serial")),
             workers=int(payload.get("workers", 1)),
+            oversubscribe=bool(payload.get("oversubscribe", False)),
             backend=str(payload.get("backend") or default_backend()),
         )
 

@@ -752,6 +752,7 @@ class ResolverModel:
         from repro.pipeline.plan import predict_plan
         from repro.pipeline.stage import PipelineContext
 
+        owns_executor = executor is None
         executor = executor or executor_from_config(self.config)
         plan = plan or predict_plan(self.config, evaluate=evaluate)
         started = time.perf_counter()
@@ -766,15 +767,20 @@ class ResolverModel:
             model_block=model_block,
             evaluate=evaluate,
         )
-        resolution = plan.run(Corpus(collection=collection), ctx)
+        try:
+            resolution = plan.run(Corpus(collection=collection), ctx)
+        finally:
+            # Close only pools this call created from the config; a
+            # caller-provided executor persists across its runs.
+            if owns_executor:
+                executor.close()
         if not isinstance(resolution, Resolution):
             raise TypeError(
                 f"predict plan {plan.name!r} produced "
                 f"{type(resolution).__name__}, expected Resolution")
         self.release_fit_caches()
-        stats = ctx.engine_stats() or RunStats(
-            phase="evaluate" if evaluate else "predict",
-            executor=executor.name, workers=executor.workers)
+        stats = ctx.engine_stats() or RunStats.for_executor(
+            "evaluate" if evaluate else "predict", executor)
         # The pass's wall clock covers the whole plan, not just the
         # cluster stage (matching the pre-pipeline accounting).
         stats.wall_seconds = time.perf_counter() - started

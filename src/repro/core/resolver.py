@@ -196,6 +196,7 @@ class EntityResolver:
         from repro.pipeline.plan import fit_plan
         from repro.pipeline.stage import PipelineContext
 
+        owns_executor = executor is None
         executor = executor or executor_from_config(self.config)
         plan = plan or fit_plan(self.config)
         started = time.perf_counter()
@@ -208,13 +209,18 @@ class EntityResolver:
             graphs_by_name=graphs_by_name,
             training_seed=training_seed,
         )
-        decisions = plan.run(Corpus(collection=data), ctx)
+        try:
+            decisions = plan.run(Corpus(collection=data), ctx)
+        finally:
+            # Close only pools this call created from the config; a
+            # caller-provided executor persists across its runs.
+            if owns_executor:
+                executor.close()
         if not isinstance(decisions, Decisions):
             raise TypeError(
                 f"fit plan {plan.name!r} produced "
                 f"{type(decisions).__name__}, expected Decisions")
-        stats = ctx.engine_stats() or RunStats(
-            phase="fit", executor=executor.name, workers=executor.workers)
+        stats = ctx.engine_stats() or RunStats.for_executor("fit", executor)
         # The pass's wall clock covers the whole plan, not just the fit
         # stage (matching the pre-pipeline accounting).
         stats.wall_seconds = time.perf_counter() - started

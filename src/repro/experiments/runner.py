@@ -55,6 +55,7 @@ class ExperimentContext:
                 pipeline: ExtractionPipeline | None = None,
                 functions: list | None = None,
                 workers: int = 1,
+                oversubscribe: bool = False,
                 executor: BlockExecutor | None = None,
                 backend: str | None = None,
                 cache: SimilarityCache | None = None) -> "ExperimentContext":
@@ -68,7 +69,11 @@ class ExperimentContext:
         Blocks are independent, so preparation parallelizes perfectly:
         ``workers=N`` (or an explicit ``executor``) fans the per-block
         work out to a process pool; results are merged in block order and
-        are identical to a serial run.  ``backend`` selects the scoring
+        are identical to a serial run.  A pool built here from
+        ``workers=`` is closed before returning; an explicit ``executor``
+        stays open for the caller to reuse (and close).
+        ``oversubscribe`` lifts the worker-count core cap
+        (see :class:`~repro.runtime.executor.ProcessPoolBlockExecutor`).  ``backend`` selects the scoring
         backend for the quadratic step (``None``: ambient default;
         bit-identical either way).
 
@@ -83,14 +88,15 @@ class ExperimentContext:
         if pipeline is None:
             pipeline = EntityResolver(ResolverConfig()).pipeline_for(collection)
         functions = functions if functions is not None else default_functions()
-        executor = executor or executor_for_workers(workers)
+        owns_executor = executor is None
+        executor = executor or executor_for_workers(
+            workers, oversubscribe=oversubscribe)
         if cache is not None and not executor.is_serial:
             raise ValueError(
                 "a retained prepare cache requires serial execution; "
                 "parallel workers fill transient per-process caches")
         started = time.perf_counter()
-        stats = RunStats(phase="prepare", executor=executor.name,
-                         workers=executor.workers)
+        stats = RunStats.for_executor("prepare", executor)
         features_by_name = {}
         graphs_by_name = {}
         if executor.is_serial:
@@ -120,18 +126,26 @@ class ExperimentContext:
                 if not retain:
                     cache.drop_block(block)
         else:
-            from repro.runtime.tasks import PrepareBlockTask, run_prepare_block
+            from repro.runtime.tasks import PrepareBlockTask, run_block_tasks
 
-            payloads = [PrepareBlockTask(pipeline=pipeline, block=block,
-                                         functions=tuple(functions),
-                                         backend=backend)
-                        for block in collection]
-            for name, features, graphs, task_stats in executor.run(
-                    run_prepare_block, payloads):
-                features_by_name[name] = features
-                graphs_by_name[name] = graphs
-                stats.add_task(task_stats)
+            try:
+                payloads = [PrepareBlockTask(pipeline=pipeline, block=block,
+                                             functions=tuple(functions),
+                                             backend=backend)
+                            for block in collection]
+                weights = [len(block) for block in collection]
+                for name, features, graphs, task_stats in run_block_tasks(
+                        executor, "prepare", payloads, weights=weights):
+                    features_by_name[name] = features
+                    graphs_by_name[name] = graphs
+                    stats.add_task(task_stats)
+            finally:
+                # The pool is ours only if we built it from `workers=`;
+                # caller-provided executors stay open for reuse.
+                if owns_executor:
+                    executor.close()
         stats.wall_seconds = time.perf_counter() - started
+        stats.finish_executor(executor)
         return cls(collection=collection,
                    features_by_name=features_by_name,
                    graphs_by_name=graphs_by_name,
@@ -196,26 +210,39 @@ def run_config(context: ExperimentContext, config: ResolverConfig,
     passes are stage-plan executions; their per-stage timings accumulate
     on the result's ``stage_seconds`` alongside the merged engine stats.
     ``executor`` (default: the config's) schedules the per-block work of
-    both passes.
+    both passes; when the config selects a parallel backend, one
+    persistent pool is built here and reused by every seed's fit and
+    evaluate pass — a whole protocol run pays a single fork wave.
     """
+    from repro.runtime.executor import executor_from_config
+
     resolver = EntityResolver(config)
     result = RunResult(label=label or config.combiner)
-    for seed in seeds:
-        model = resolver.fit(context.collection, training_seed=seed,
-                             graphs_by_name=context.graphs_by_name,
-                             executor=executor)
-        resolution = model.evaluate_collection(
-            context.collection, graphs_by_name=context.graphs_by_name,
-            executor=executor)
-        result.per_seed_reports.append(
-            {block.query_name: block.report for block in resolution.blocks})
-        for stats in (model.fit_stats, resolution.stats):
-            if stats is None:
-                continue
-            result.stats = (stats if result.stats is None
-                            else result.stats.merged(stats, phase="protocol"))
-        result.add_stage_stats(model.fit_stage_stats)
-        result.add_stage_stats(resolution.stage_stats)
+    owns_executor = executor is None
+    if owns_executor:
+        executor = executor_from_config(config)
+    try:
+        for seed in seeds:
+            model = resolver.fit(context.collection, training_seed=seed,
+                                 graphs_by_name=context.graphs_by_name,
+                                 executor=executor)
+            resolution = model.evaluate_collection(
+                context.collection, graphs_by_name=context.graphs_by_name,
+                executor=executor)
+            result.per_seed_reports.append(
+                {block.query_name: block.report
+                 for block in resolution.blocks})
+            for stats in (model.fit_stats, resolution.stats):
+                if stats is None:
+                    continue
+                result.stats = (
+                    stats if result.stats is None
+                    else result.stats.merged(stats, phase="protocol"))
+            result.add_stage_stats(model.fit_stage_stats)
+            result.add_stage_stats(resolution.stage_stats)
+    finally:
+        if owns_executor:
+            executor.close()
     return result
 
 

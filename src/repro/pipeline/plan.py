@@ -105,6 +105,13 @@ class Pipeline:
         ``ctx.stage_stats``; a stage that ran an engine pass has its
         :class:`~repro.runtime.stats.RunStats` attached to its record.
 
+        Every stage schedules through the *same* ``ctx.executor``: a
+        parallel run's persistent worker pool forks once, on the first
+        stage that fans out, and is reused by every later stage.  The
+        plan does not close the executor — its lifecycle belongs to
+        whoever created it (the ``fit``/``predict`` drivers for
+        config-built executors, the caller for explicit ones).
+
         Raises:
             PlanError: when ``artifact`` (or an intermediate artifact)
                 is not an instance of the next stage's ``consumes``.

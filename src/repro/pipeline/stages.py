@@ -196,13 +196,13 @@ class FitDecisionsStage(Stage):
     def run(self, graphs: SimilarityGraphs,
             ctx: PipelineContext) -> Decisions:
         started = time.perf_counter()
-        stats = RunStats(phase="fit", executor=ctx.executor.name,
-                         workers=ctx.executor.workers)
+        stats = RunStats.for_executor("fit", ctx.executor)
         if ctx.executor.is_serial:
             fitted = self._run_serial(graphs, ctx, stats)
         else:
             fitted = self._run_parallel(graphs, ctx, stats)
         stats.wall_seconds = time.perf_counter() - started
+        stats.finish_executor(ctx.executor)
         ctx.pending_run_stats = stats
         return Decisions(graphs=graphs, fitted=fitted)
 
@@ -238,9 +238,10 @@ class FitDecisionsStage(Stage):
 
     def _run_parallel(self, graphs: SimilarityGraphs, ctx: PipelineContext,
                       stats: RunStats):
-        from repro.runtime.tasks import FitBlockTask, run_fit_block
+        from repro.runtime.tasks import FitBlockTask, run_block_tasks
 
         payloads = []
+        weights = []
         for block in graphs.blocks:
             block_graphs = graphs.by_name.get(block.query_name)
             features = graphs.features.by_name.get(block.query_name)
@@ -256,9 +257,10 @@ class FitDecisionsStage(Stage):
                 features=features,
                 mask=graphs.blocks.mask_for(block.query_name),
             ))
+            weights.append(len(block))
         fitted = {}
-        for query_name, fitted_block, task_stats in ctx.executor.run(
-                run_fit_block, payloads):
+        for query_name, fitted_block, task_stats in run_block_tasks(
+                ctx.executor, "fit", payloads, weights=weights):
             fitted[query_name] = fitted_block
             stats.add_task(task_stats)
         return fitted
@@ -316,14 +318,14 @@ class ClusterStage(Stage):
                 "the cluster stage serves a fitted model; run it through "
                 "ResolverModel.predict/evaluate or set ctx.model")
         started = time.perf_counter()
-        stats = RunStats(phase="evaluate" if ctx.evaluate else "predict",
-                         executor=ctx.executor.name,
-                         workers=ctx.executor.workers)
+        stats = RunStats.for_executor(
+            "evaluate" if ctx.evaluate else "predict", ctx.executor)
         if ctx.executor.is_serial:
             results = self._run_serial(decisions, ctx, stats)
         else:
             results = self._run_parallel(decisions, ctx, stats)
         stats.wall_seconds = time.perf_counter() - started
+        stats.finish_executor(ctx.executor)
         ctx.pending_run_stats = stats
         return Resolution(dataset=decisions.blocks.dataset, results=results)
 
@@ -362,10 +364,11 @@ class ClusterStage(Stage):
     def _run_parallel(self, decisions: Decisions, ctx: PipelineContext,
                       stats: RunStats):
         from repro.core.model import detach_fitted
-        from repro.runtime.tasks import PredictBlockTask, run_predict_block
+        from repro.runtime.tasks import PredictBlockTask, run_block_tasks
 
         graphs = decisions.graphs
         payloads = []
+        weights = []
         for block in graphs.blocks:
             block_graphs = graphs.by_name.get(block.query_name)
             features = graphs.features.by_name.get(block.query_name)
@@ -382,9 +385,10 @@ class ClusterStage(Stage):
                 features=features,
                 mask=graphs.blocks.mask_for(block.query_name),
             ))
+            weights.append(len(block))
         results = []
-        for _, result, task_stats in ctx.executor.run(run_predict_block,
-                                                      payloads):
+        for _, result, task_stats in run_block_tasks(
+                ctx.executor, "predict", payloads, weights=weights):
             results.append(result)
             stats.add_task(task_stats)
         return results

@@ -14,25 +14,37 @@ from repro.runtime.batch import batched_similarity_graphs
 from repro.runtime.cache import CacheStats, SimilarityCache, block_fingerprint
 from repro.runtime.executor import (
     BlockExecutor,
+    DegradedParallelismWarning,
     ProcessPoolBlockExecutor,
     SerialExecutor,
+    available_cores,
     build_executor,
+    core_report,
     executor_for_workers,
     executor_from_config,
+    host_cores,
 )
+from repro.runtime.shards import ShardHandle, ShardStore, load_shard
 from repro.runtime.stats import RunStats, TaskStats
 
 __all__ = [
     "BlockExecutor",
     "CacheStats",
+    "DegradedParallelismWarning",
     "ProcessPoolBlockExecutor",
     "RunStats",
     "SerialExecutor",
+    "ShardHandle",
+    "ShardStore",
     "SimilarityCache",
     "TaskStats",
+    "available_cores",
     "batched_similarity_graphs",
     "block_fingerprint",
     "build_executor",
+    "core_report",
     "executor_for_workers",
     "executor_from_config",
+    "host_cores",
+    "load_shard",
 ]

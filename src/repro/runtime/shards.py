@@ -1,0 +1,245 @@
+"""Shared-memory shard publication for the persistent process pool.
+
+The old parallel runtime pickled every block task's full payload —
+config, extraction pipeline, features, graphs — through the pool's task
+pipe, once per block.  At realistic block counts the serialization cost
+ate the parallel win.  This module inverts the data flow: the scheduling
+side publishes the whole fan-out's data **once** as a *shard* (a single
+pickled buffer in a ``multiprocessing.shared_memory`` segment), and the
+per-task payloads shrink to ``(shard handle, block index)`` descriptors
+of a few dozen bytes.  Workers attach the segment by name, deserialize
+the shard once, and serve every task of the run from their process-local
+copy.
+
+Three access paths, all bit-identical because they read the same bytes:
+
+* **Same process** (serial fallbacks, the single-payload fast path):
+  :func:`load_shard` finds the published object in the process-local
+  registry and returns it without any serialization at all.
+* **Forked after publish**: a worker forked while the shard was live
+  inherits the registry entry copy-on-write — also zero-copy.
+* **Forked before publish** (the persistent-pool steady state): the
+  worker attaches the shared-memory segment by name, unpickles once,
+  and caches the result in a small per-process LRU keyed by shard id.
+
+When ``multiprocessing.shared_memory`` is unavailable or refuses to
+allocate (no ``/dev/shm``, exotic platforms), publication degrades to a
+memory-mapped scratch file with identical semantics — the handle records
+which transport to use, so callers never branch.
+
+Lifecycle: a :class:`ShardStore` owns every segment it published and
+unlinks them on :meth:`~ShardStore.close` (it is a context manager; the
+scheduling side wraps each executor fan-out in one).  On Linux, workers
+that are still attached keep the memory alive until they close, so
+unlinking immediately after the run is safe.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ShardHandle", "ShardStore", "load_shard"]
+
+#: Shards a worker process keeps deserialized at once.  Persistent pools
+#: see one shard per pipeline stage; a small LRU covers a whole
+#: fit/predict run while bounding memory when many runs share a pool.
+WORKER_SHARD_CACHE = 4
+
+
+@dataclass(frozen=True)
+class ShardHandle:
+    """A picklable pointer to one published shard.
+
+    Attributes:
+        shard_id: globally unique id (also the registry/cache key).
+        via: transport — ``"shm"`` (shared memory segment) or ``"file"``
+            (memory-mapped scratch file).
+        location: segment name (``shm``) or file path (``file``).
+        nbytes: payload length inside the segment.
+    """
+
+    shard_id: str
+    via: str
+    location: str
+    nbytes: int
+
+
+#: Parent-side registry of live shard payloads: same-process loads (and
+#: children forked while a shard is live) resolve here without touching
+#: the segment.  Keyed by shard_id; entries die with their store.
+_LOCAL: dict[str, Any] = {}
+
+#: Worker-side cache of shards deserialized from their segments.
+_ATTACHED: "OrderedDict[str, Any]" = OrderedDict()
+
+_SEQUENCE = 0
+
+
+def _next_shard_id(label: str) -> str:
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return f"{label}-{os.getpid()}-{_SEQUENCE}"
+
+
+def _shared_memory_module():
+    """The shared_memory module, or ``None`` where unsupported."""
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - exotic platforms
+        return None
+    return shared_memory
+
+
+def _untrack(segment) -> None:
+    """Detach an *attached* segment from the resource tracker.
+
+    Before 3.13 every ``SharedMemory(name=...)`` attach registers the
+    segment with the process's resource tracker, which then both warns
+    and unlinks it at exit — wrong for workers that merely read a
+    segment the parent owns.  Unregistering restores owner-only
+    cleanup semantics.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+class ShardStore:
+    """Publishes payloads as shards and owns their segments.
+
+    A context manager: ``close()`` (or scope exit) unlinks every
+    published segment and drops the local registry entries.  One store
+    per executor fan-out is the intended granularity — publish, run,
+    close.
+    """
+
+    def __init__(self, prefer_shared_memory: bool = True):
+        self.prefer_shared_memory = prefer_shared_memory
+        self._segments: list[tuple[str, Any]] = []
+        self._shard_ids: list[str] = []
+        self._closed = False
+
+    def publish(self, payload: Any, label: str = "shard") -> ShardHandle:
+        """Serialize ``payload`` once and place it in a shared segment.
+
+        Returns the :class:`ShardHandle` tasks should carry.  Falls back
+        from shared memory to a memory-mapped scratch file when the
+        segment cannot be allocated.
+
+        Raises:
+            RuntimeError: when the store is already closed.
+        """
+        if self._closed:
+            raise RuntimeError("ShardStore is closed; create a fresh one "
+                               "per executor fan-out")
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        shard_id = _next_shard_id(label)
+        handle = None
+        if self.prefer_shared_memory:
+            handle = self._publish_shm(shard_id, data)
+        if handle is None:
+            handle = self._publish_file(shard_id, data)
+        _LOCAL[shard_id] = payload
+        self._shard_ids.append(shard_id)
+        return handle
+
+    def _publish_shm(self, shard_id: str, data: bytes) -> ShardHandle | None:
+        shared_memory = _shared_memory_module()
+        if shared_memory is None:
+            return None
+        try:
+            segment = shared_memory.SharedMemory(create=True,
+                                                 size=max(1, len(data)))
+        except OSError:  # pragma: no cover - /dev/shm missing or full
+            return None
+        segment.buf[:len(data)] = data
+        self._segments.append(("shm", segment))
+        return ShardHandle(shard_id=shard_id, via="shm",
+                           location=segment.name, nbytes=len(data))
+
+    def _publish_file(self, shard_id: str, data: bytes) -> ShardHandle:
+        descriptor, path = tempfile.mkstemp(prefix=f"repro-{shard_id}-",
+                                            suffix=".shard")
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+        self._segments.append(("file", path))
+        return ShardHandle(shard_id=shard_id, via="file", location=path,
+                           nbytes=len(data))
+
+    def close(self) -> None:
+        """Unlink every published segment and drop registry entries."""
+        if self._closed:
+            return
+        self._closed = True
+        for kind, segment in self._segments:
+            try:
+                if kind == "shm":
+                    segment.close()
+                    segment.unlink()
+                else:
+                    os.unlink(segment)
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._segments.clear()
+        for shard_id in self._shard_ids:
+            _LOCAL.pop(shard_id, None)
+        self._shard_ids.clear()
+
+    def __enter__(self) -> "ShardStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _read_segment(handle: ShardHandle) -> bytes:
+    if handle.via == "shm":
+        shared_memory = _shared_memory_module()
+        if shared_memory is None:  # pragma: no cover - publisher had it
+            raise RuntimeError(
+                f"shard {handle.shard_id} was published via shared memory "
+                f"but this process cannot import it")
+        segment = shared_memory.SharedMemory(name=handle.location)
+        _untrack(segment)
+        try:
+            return bytes(segment.buf[:handle.nbytes])
+        finally:
+            segment.close()
+    with open(handle.location, "rb") as stream:
+        with mmap.mmap(stream.fileno(), 0, access=mmap.ACCESS_READ) as view:
+            return view[:handle.nbytes]
+
+
+def load_shard(handle: ShardHandle) -> Any:
+    """The shard's payload, deserializing at most once per process.
+
+    Resolution order: the process-local registry (publisher process, or
+    a worker forked while the shard was live — zero-copy either way),
+    then the worker cache, then an attach-and-unpickle of the segment.
+    """
+    payload = _LOCAL.get(handle.shard_id)
+    if payload is not None:
+        return payload
+    cached = _ATTACHED.get(handle.shard_id)
+    if cached is not None:
+        _ATTACHED.move_to_end(handle.shard_id)
+        return cached
+    payload = pickle.loads(_read_segment(handle))
+    _ATTACHED[handle.shard_id] = payload
+    while len(_ATTACHED) > WORKER_SHARD_CACHE:
+        _ATTACHED.popitem(last=False)
+    return payload

@@ -106,7 +106,18 @@ class RunStats:
         phase: what the pass did — ``"prepare"``, ``"fit"``, ``"predict"``
             or ``"evaluate"``.
         executor: executor backend name the pass ran under.
-        workers: worker count the executor was configured with.
+        workers: worker count the executor was configured with (what the
+            run *requested* — also exposed as ``requested_workers``).
+        effective_workers: workers actually scheduled after the core cap
+            (1 for serial backends; honest accounting means this can be
+            smaller than ``workers`` and the record says so).
+        available_cores: cores the process's scheduling affinity grants.
+        host_cores: cores the host physically reports; a gap between
+            this and ``available_cores`` means a cpuset/container limit.
+        cpuset_limited: ``available_cores < host_cores``.
+        fork_waves: worker-pool creations this pass caused (0 for
+            serial; a persistent pool shared across stages reports 1 on
+            the first stage and 0 on the rest).
         wall_seconds: end-to-end wall time of the pass.
         n_blocks: number of blocks scheduled.
         pairs_scored: pairwise similarity values actually computed (cache
@@ -121,12 +132,56 @@ class RunStats:
     phase: str
     executor: str = "serial"
     workers: int = 1
+    effective_workers: int = 1
+    available_cores: int = 1
+    host_cores: int = 1
+    cpuset_limited: bool = False
+    fork_waves: int = 0
     wall_seconds: float = 0.0
     n_blocks: int = 0
     pairs_scored: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     per_block_seconds: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def for_executor(cls, phase: str, executor) -> "RunStats":
+        """A record pre-filled with an executor's worker accounting.
+
+        Duck-typed over any :class:`~repro.runtime.executor.BlockExecutor`:
+        serial backends lack ``effective_workers``/``fork_waves`` and
+        report 1 effective worker, 0 fork waves.  ``fork_waves`` captures
+        the executor's *current* wave count; stages that reuse a
+        persistent pool subtract their starting count to report only the
+        waves they caused (see ``finish_executor``).
+        """
+        from repro.runtime.executor import core_report
+        report = core_report()
+        return cls(
+            phase=phase,
+            executor=executor.name,
+            workers=executor.workers,
+            effective_workers=getattr(executor, "effective_workers", 1),
+            available_cores=report["available_cores"],
+            host_cores=report["host_cores"],
+            cpuset_limited=report["cpuset_limited"],
+            fork_waves=getattr(executor, "fork_waves", 0),
+        )
+
+    def finish_executor(self, executor) -> None:
+        """Convert ``fork_waves`` from a snapshot into this pass's delta.
+
+        Called after the executor ran: ``for_executor`` stored the wave
+        count *before* the pass; the difference to the executor's count
+        now is how many fork waves this pass itself triggered.
+        """
+        self.fork_waves = (getattr(executor, "fork_waves", 0)
+                           - self.fork_waves)
+
+    @property
+    def requested_workers(self) -> int:
+        """Alias for ``workers`` — the count the run asked for."""
+        return self.workers
 
     @property
     def cache_hit_rate(self) -> float:
@@ -151,6 +206,12 @@ class RunStats:
             phase=phase or self.phase,
             executor=self.executor,
             workers=self.workers,
+            effective_workers=max(self.effective_workers,
+                                  other.effective_workers),
+            available_cores=self.available_cores,
+            host_cores=self.host_cores,
+            cpuset_limited=self.cpuset_limited,
+            fork_waves=self.fork_waves + other.fork_waves,
             wall_seconds=self.wall_seconds + other.wall_seconds,
             n_blocks=self.n_blocks + other.n_blocks,
             pairs_scored=self.pairs_scored + other.pairs_scored,
@@ -169,6 +230,12 @@ class RunStats:
             "phase": self.phase,
             "executor": self.executor,
             "workers": self.workers,
+            "requested_workers": self.requested_workers,
+            "effective_workers": self.effective_workers,
+            "available_cores": self.available_cores,
+            "host_cores": self.host_cores,
+            "cpuset_limited": self.cpuset_limited,
+            "fork_waves": self.fork_waves,
             "wall_seconds": self.wall_seconds,
             "n_blocks": self.n_blocks,
             "pairs_scored": self.pairs_scored,
@@ -180,8 +247,11 @@ class RunStats:
 
     def summary(self) -> str:
         """One line for CLI output."""
+        workers = f"workers={self.workers}"
+        if self.effective_workers != self.workers:
+            workers += f"->{self.effective_workers}"
         return (f"[{self.phase}] {self.n_blocks} blocks in "
                 f"{self.wall_seconds:.2f}s via {self.executor}"
-                f"(workers={self.workers}); "
+                f"({workers}); "
                 f"{self.pairs_scored} pairs scored, "
                 f"cache hit rate {self.cache_hit_rate:.0%}")

@@ -10,19 +10,31 @@ processes cannot touch the parent's caches or counters.
 ``repro.core`` modules are imported inside the task bodies: the core
 imports the runtime package, so importing it back at module level would
 cycle.
+
+Fan-outs should go through :func:`run_block_tasks` rather than handing
+payload lists to ``executor.run`` directly: for parallel executors it
+publishes the whole payload list **once** as a shared-memory shard
+(config, pipeline, functions and features are pickled a single time for
+the entire run instead of once per block) and dispatches
+:class:`ShardedBlockTask` descriptors of a few dozen bytes; for serial
+executors it degrades to the plain loop with zero shard overhead.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.corpus.documents import NameCollection
 from repro.runtime.batch import batched_similarity_graphs
 from repro.runtime.cache import SimilarityCache
+from repro.runtime.shards import ShardHandle, ShardStore, load_shard
 from repro.runtime.stats import TaskStats
 from repro.similarity.base import SimilarityFunction
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.runtime.executor import BlockExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.config import ResolverConfig
@@ -175,3 +187,65 @@ def run_predict_block(payload: PredictBlockTask) -> tuple[str, Any, TaskStats]:
                         time.perf_counter() - started,
                         model._similarity_cache)
     return (payload.block.query_name, result, stats)
+
+
+#: Task kinds dispatchable through a shard (name -> worker body).
+TASK_KINDS: dict[str, Callable[[Any], Any]] = {
+    "prepare": run_prepare_block,
+    "fit": run_fit_block,
+    "predict": run_predict_block,
+}
+
+
+@dataclass(frozen=True)
+class BlockShard:
+    """One fan-out's full payload list, published as a single shard.
+
+    Pickling the list in one buffer lets the pickle memo deduplicate
+    everything the payloads share — the config, the extraction pipeline,
+    the similarity functions, eager feature dicts — so shared state
+    crosses the process boundary exactly once per run instead of once
+    per block.
+    """
+
+    kind: str
+    payloads: tuple
+
+
+@dataclass(frozen=True)
+class ShardedBlockTask:
+    """A few-dozen-byte descriptor of one task inside a published shard."""
+
+    handle: ShardHandle
+    index: int
+
+
+def run_sharded_block(task: ShardedBlockTask) -> Any:
+    """Worker body: resolve the shard (cached per process) and run one task."""
+    shard: BlockShard = load_shard(task.handle)
+    return TASK_KINDS[shard.kind](shard.payloads[task.index])
+
+
+def run_block_tasks(executor: "BlockExecutor", kind: str,
+                    payloads: Sequence[Any],
+                    weights: Sequence[int] | None = None) -> list[Any]:
+    """Run one fan-out of block tasks, results in payload order.
+
+    The scheduling entry point stages should use.  Serial executors run
+    the plain loop directly — no shard is published, so degraded and
+    single-payload paths never touch shared memory.  Parallel executors
+    get the shard treatment: payloads are published once
+    (:class:`BlockShard`), tasks shrink to :class:`ShardedBlockTask`
+    descriptors, and ``weights`` (per-payload cost, e.g. block page
+    counts) drives largest-first chunk packing.  Results are identical
+    to ``executor.run(task, payloads)`` in value and order.
+    """
+    task = TASK_KINDS[kind]
+    if len(payloads) <= 1 or executor.is_serial:
+        return executor.run(task, payloads, weights=weights)
+    with ShardStore() as store:
+        handle = store.publish(BlockShard(kind=kind, payloads=tuple(payloads)),
+                               label=kind)
+        sharded = [ShardedBlockTask(handle=handle, index=index)
+                   for index in range(len(payloads))]
+        return executor.run(run_sharded_block, sharded, weights=weights)

@@ -93,14 +93,28 @@ class _VectorFamily:
         for vector in vectors:
             vocab.update(vector)
         self.index = {key: column for column, key in enumerate(sorted(vocab))}
-        self.values = np.zeros((n, len(self.index)))
-        self.presence = np.zeros((n, len(self.index)), dtype=bool)
-        for row, vector in enumerate(vectors):
-            if not vector:
-                continue
-            columns = [self.index[key] for key in vector]
-            self.values[row, columns] = list(vector.values())
-            self.presence[row, columns] = True
+        # Explicit C-contiguous float64 buffers, filled with one fancy
+        # assignment over the flattened (row, column) coordinates: one
+        # numpy dispatch for the whole family instead of two per page.
+        # Values are assigned, never accumulated, so the bits match the
+        # per-row fill exactly.
+        self.values = np.zeros((n, len(self.index)), dtype=np.float64,
+                               order="C")
+        self.presence = np.zeros((n, len(self.index)), dtype=bool, order="C")
+        total = sum(len(vector) for vector in vectors)
+        if total:
+            rows = np.empty(total, dtype=np.intp)
+            columns = np.empty(total, dtype=np.intp)
+            entries = np.empty(total, dtype=np.float64)
+            cursor = 0
+            for row, vector in enumerate(vectors):
+                for key, value in vector.items():
+                    rows[cursor] = row
+                    columns[cursor] = self.index[key]
+                    entries[cursor] = value
+                    cursor += 1
+            self.values[rows, columns] = entries
+            self.presence[rows, columns] = True
         self.nnz = np.asarray([len(vector) for vector in vectors],
                               dtype=np.int64)
         self.sums = np.asarray([sum(vector.values()) for vector in vectors],

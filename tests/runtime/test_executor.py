@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import os
 
 import pytest
@@ -9,11 +10,18 @@ import pytest
 from repro.core.config import ResolverConfig
 from repro.core.registry import EXECUTORS
 from repro.runtime.executor import (
+    CHUNKS_PER_WORKER,
+    DegradedParallelismWarning,
     ProcessPoolBlockExecutor,
     SerialExecutor,
     available_cores,
     build_executor,
+    core_report,
+    env_default_workers,
     executor_for_workers,
+    executor_from_config,
+    host_cores,
+    pack_chunks,
 )
 
 
@@ -24,6 +32,12 @@ def _square(value: int) -> int:
 
 def _worker_pid(_: object) -> int:
     return os.getpid()
+
+
+def _fail_on_negative(value: int) -> int:
+    if value < 0:
+        raise RuntimeError(f"poisoned payload {value}")
+    return value
 
 
 class TestRegistry:
@@ -97,7 +111,211 @@ class TestProcessExecutor:
                             lambda: 1)
         executor = ProcessPoolBlockExecutor(workers=4)
         assert executor.is_serial
-        assert executor.run(_worker_pid, [None, None]) == [os.getpid()] * 2
+        with pytest.warns(DegradedParallelismWarning):
+            assert executor.run(_worker_pid, [None, None]) \
+                == [os.getpid()] * 2
+
+
+class TestPersistentPool:
+    def test_one_fork_wave_across_many_runs(self):
+        """The regression the rework exists for: run() must not re-fork."""
+        with ProcessPoolBlockExecutor(workers=2,
+                                      oversubscribe=True) as executor:
+            first = set(executor.run(_worker_pid, [None] * 8))
+            second = set(executor.run(_worker_pid, [None] * 8))
+            third = set(executor.run(_worker_pid, [None] * 8))
+            assert executor.fork_waves == 1
+            # The same worker processes served every wave of tasks.
+            assert first == second == third
+
+    def test_close_is_idempotent_and_reopens_on_demand(self):
+        executor = ProcessPoolBlockExecutor(workers=2, oversubscribe=True)
+        assert executor.run(_square, [1, 2, 3]) == [1, 4, 9]
+        executor.close()
+        executor.close()
+        # A fresh run after close builds a second pool (second wave).
+        assert executor.run(_square, [1, 2, 3]) == [1, 4, 9]
+        assert executor.fork_waves == 2
+        executor.close()
+
+    def test_serial_close_is_a_noop(self):
+        executor = SerialExecutor()
+        executor.close()
+        assert executor.run(_square, [2]) == [4]
+
+    def test_task_exception_shuts_the_pool_down(self):
+        """A failing task must not leave orphaned workers behind."""
+        executor = ProcessPoolBlockExecutor(workers=2, oversubscribe=True)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            executor.run(_fail_on_negative, [1, 2, -1, 4])
+        assert executor._pool is None
+        # The executor stays usable: the next run forks a fresh pool.
+        assert executor.run(_square, [1, 2, 3]) == [1, 4, 9]
+        assert executor.fork_waves == 2
+        executor.close()
+
+    def test_workers_beyond_payload_count_still_correct(self):
+        with ProcessPoolBlockExecutor(workers=8,
+                                      oversubscribe=True) as executor:
+            assert executor.run(_square, [3, 5]) == [9, 25]
+
+
+class TestChunking:
+    def test_chunksize_scales_with_payload_count(self):
+        executor = ProcessPoolBlockExecutor(workers=4, oversubscribe=True)
+        lanes = 4 * CHUNKS_PER_WORKER
+        assert executor.chunksize(1) == 1
+        assert executor.chunksize(lanes) == 1
+        assert executor.chunksize(400) == math.ceil(400 / lanes)
+
+    def test_pack_chunks_contiguous_without_weights(self):
+        chunks = pack_chunks(10, 3)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_pack_chunks_caps_chunk_count_at_payloads(self):
+        assert pack_chunks(2, 8) == [[0], [1]]
+
+    def test_pack_chunks_largest_first_bin_packing(self):
+        # One giant block plus four small ones: LPT isolates the giant
+        # in its own chunk and dispatches it first.
+        chunks = pack_chunks(5, 2, weights=[10, 1, 1, 1, 1])
+        assert chunks[0] == [0]
+        assert sorted(chunks[1]) == [1, 2, 3, 4]
+
+    def test_pack_chunks_covers_every_index_exactly_once(self):
+        weights = [(index * 7919) % 13 + 1 for index in range(57)]
+        chunks = pack_chunks(57, 8, weights=weights)
+        flat = sorted(index for chunk in chunks for index in chunk)
+        assert flat == list(range(57))
+
+    def test_pack_chunks_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            pack_chunks(3, 2, weights=[1, 2])
+
+    def test_weighted_run_preserves_payload_order(self):
+        with ProcessPoolBlockExecutor(workers=3,
+                                      oversubscribe=True) as executor:
+            payloads = list(range(23))
+            weights = [(value * 31) % 7 + 1 for value in payloads]
+            assert (executor.run(_square, payloads, weights=weights)
+                    == [value * value for value in payloads])
+
+
+class TestDegradation:
+    def test_core_cap_to_serial_warns_loudly(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.executor.available_cores",
+                            lambda: 1)
+        executor = ProcessPoolBlockExecutor(workers=4)
+        with pytest.warns(DegradedParallelismWarning, match="core cap"):
+            assert executor.run(_worker_pid, [None, None]) \
+                == [os.getpid()] * 2
+
+    def test_degradation_warns_only_once(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.executor.available_cores",
+                            lambda: 1)
+        executor = ProcessPoolBlockExecutor(workers=4)
+        with pytest.warns(DegradedParallelismWarning):
+            executor.run(_square, [1, 2])
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert executor.run(_square, [1, 2]) == [1, 4]
+
+    def test_fork_unavailable_falls_back_inline(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.executor._fork_context",
+                            lambda: None)
+        executor = ProcessPoolBlockExecutor(workers=2, oversubscribe=True)
+        with pytest.warns(DegradedParallelismWarning, match="fork"):
+            assert executor.run(_worker_pid, [None, None]) \
+                == [os.getpid()] * 2
+        assert executor.fork_waves == 0
+
+    def test_single_payload_never_pays_pool_overhead(self):
+        executor = ProcessPoolBlockExecutor(workers=4, oversubscribe=True)
+        assert executor.run(_worker_pid, [None]) == [os.getpid()]
+        assert executor.fork_waves == 0
+
+    def test_empty_payloads_return_empty(self):
+        executor = ProcessPoolBlockExecutor(workers=4, oversubscribe=True)
+        assert executor.run(_square, []) == []
+        assert executor.fork_waves == 0
+
+
+class TestCoreReport:
+    def test_report_is_internally_consistent(self):
+        report = core_report()
+        assert report["available_cores"] >= 1
+        assert report["host_cores"] >= 1
+        assert report["available_cores"] <= report["host_cores"]
+        assert report["cpuset_limited"] == (
+            report["available_cores"] < report["host_cores"])
+        assert report["available_cores"] == available_cores()
+        assert report["host_cores"] == host_cores()
+
+    def test_cpuset_underreport_is_flagged(self, monkeypatch):
+        """A container cpuset granting 2 of 8 cores must be recorded."""
+        monkeypatch.setattr("repro.runtime.executor.available_cores",
+                            lambda: 2)
+        monkeypatch.setattr("repro.runtime.executor.host_cores", lambda: 8)
+        report = core_report()
+        assert report == {"available_cores": 2, "host_cores": 8,
+                          "cpuset_limited": True}
+        # The effective worker cap follows the affinity, not the host.
+        assert ProcessPoolBlockExecutor(workers=8).effective_workers == 2
+
+
+class TestEnvWorkers:
+    def test_env_default_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert env_default_workers() is None
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert env_default_workers() is None
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert env_default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        assert env_default_workers() is None
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert env_default_workers() is None
+
+    def test_serial_config_widens_to_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        executor = executor_from_config(ResolverConfig())
+        assert (executor.name, executor.workers) == ("process", 3)
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        executor = executor_from_config(
+            ResolverConfig(executor="process", workers=2))
+        assert (executor.name, executor.workers) == ("process", 2)
+
+    def test_env_of_one_stays_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert executor_from_config(ResolverConfig()).name == "serial"
+
+
+class TestOversubscribeThreading:
+    def test_build_executor_threads_the_knob(self):
+        executor = build_executor("process", workers=4096, oversubscribe=True)
+        assert executor.effective_workers == 4096
+
+    def test_build_executor_ignores_knob_for_serial(self):
+        assert build_executor("serial", oversubscribe=True).name == "serial"
+
+    def test_executor_for_workers_threads_the_knob(self):
+        executor = executor_for_workers(4096, oversubscribe=True)
+        assert executor.effective_workers == 4096
+
+    def test_config_oversubscribe_reaches_the_pool(self):
+        config = ResolverConfig(executor="process", workers=4096,
+                                oversubscribe=True)
+        assert executor_from_config(config).effective_workers == 4096
+
+    def test_config_roundtrips_oversubscribe(self):
+        config = ResolverConfig(oversubscribe=True)
+        assert ResolverConfig.from_dict(config.to_dict()).oversubscribe
+        payload = ResolverConfig().to_dict()
+        del payload["oversubscribe"]
+        assert not ResolverConfig.from_dict(payload).oversubscribe
 
 
 class TestSelection:

@@ -124,3 +124,48 @@ class TestEndToEndDeterminism:
                         == graph.weights)
         assert pooled.stats.executor == "process"
         assert pooled.stats.pairs_scored == context.stats.pairs_scored
+
+
+class TestPoolAccounting:
+    def test_one_fork_wave_per_run(self, context):
+        """Regression: fit + evaluate through one executor fork once."""
+        with ProcessPoolBlockExecutor(workers=2,
+                                      oversubscribe=True) as executor:
+            resolver = EntityResolver(ResolverConfig())
+            model = resolver.fit(context.collection, training_seed=0,
+                                 graphs_by_name=context.graphs_by_name,
+                                 executor=executor)
+            resolution = model.evaluate_collection(
+                context.collection, graphs_by_name=context.graphs_by_name,
+                executor=executor)
+            assert executor.fork_waves == 1
+            # The stats records agree: the fit pass paid the fork wave,
+            # the evaluate pass reused the pool.
+            assert model.fit_stats.fork_waves == 1
+            assert resolution.stats.fork_waves == 0
+
+    def test_run_stats_carry_honest_worker_accounting(self, context,
+                                                      parallel):
+        resolver = EntityResolver(ResolverConfig())
+        model = resolver.fit(context.collection, training_seed=0,
+                             graphs_by_name=context.graphs_by_name,
+                             executor=parallel)
+        stats = model.fit_stats
+        assert stats.requested_workers == 2
+        assert stats.effective_workers == 2  # oversubscribed fixture
+        assert stats.host_cores >= 1
+        assert stats.available_cores >= 1
+        assert stats.cpuset_limited == (
+            stats.available_cores < stats.host_cores)
+        payload = stats.to_dict()
+        for key in ("requested_workers", "effective_workers",
+                    "available_cores", "host_cores", "cpuset_limited",
+                    "fork_waves"):
+            assert key in payload
+
+    def test_serial_stats_report_no_fork_waves(self, context):
+        resolver = EntityResolver(ResolverConfig())
+        model = resolver.fit(context.collection, training_seed=0,
+                             graphs_by_name=context.graphs_by_name)
+        assert model.fit_stats.effective_workers == 1
+        assert model.fit_stats.fork_waves == 0

@@ -1,0 +1,154 @@
+"""Shared-memory shard publication and the sharded task dispatch."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.runtime import shards as shards_module
+from repro.runtime.executor import ProcessPoolBlockExecutor
+from repro.runtime.shards import ShardHandle, ShardStore, load_shard
+from repro.runtime.tasks import (
+    TASK_KINDS,
+    BlockShard,
+    ShardedBlockTask,
+    run_block_tasks,
+    run_sharded_block,
+)
+
+
+def _echo(payload):
+    """Module-level task body for the dispatch tests."""
+    return ("echo", payload, os.getpid())
+
+
+@pytest.fixture
+def echo_kind():
+    TASK_KINDS["echo"] = _echo
+    yield "echo"
+    TASK_KINDS.pop("echo", None)
+
+
+class TestShardStore:
+    def test_same_process_load_is_zero_copy(self):
+        payload = {"matrix": list(range(100)), "label": "block-a"}
+        with ShardStore() as store:
+            handle = store.publish(payload, label="test")
+            assert load_shard(handle) is payload
+
+    def test_handle_is_tiny_compared_to_payload(self):
+        payload = {"blob": "x" * 100_000}
+        with ShardStore() as store:
+            handle = store.publish(payload)
+            assert len(pickle.dumps(handle)) < 200
+            assert handle.nbytes > 100_000
+
+    def test_segment_roundtrips_without_local_registry(self):
+        """The worker path: attach the segment and unpickle."""
+        payload = {"values": [1.5, 2.5], "name": "roundtrip"}
+        with ShardStore() as store:
+            handle = store.publish(payload)
+            shards_module._LOCAL.pop(handle.shard_id)
+            loaded = load_shard(handle)
+            assert loaded == payload
+            assert loaded is not payload
+            shards_module._ATTACHED.pop(handle.shard_id, None)
+
+    def test_file_fallback_roundtrips(self):
+        payload = {"via": "file", "data": list(range(50))}
+        with ShardStore(prefer_shared_memory=False) as store:
+            handle = store.publish(payload)
+            assert handle.via == "file"
+            assert os.path.exists(handle.location)
+            shards_module._LOCAL.pop(handle.shard_id)
+            assert load_shard(handle) == payload
+            shards_module._ATTACHED.pop(handle.shard_id, None)
+        assert not os.path.exists(handle.location)
+
+    def test_close_unlinks_segments_and_registry(self):
+        store = ShardStore()
+        handle = store.publish({"gone": True})
+        store.close()
+        assert handle.shard_id not in shards_module._LOCAL
+        with pytest.raises((FileNotFoundError, OSError)):
+            load_shard(handle)
+
+    def test_publish_after_close_raises(self):
+        store = ShardStore()
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.publish({"late": True})
+
+    def test_close_is_idempotent(self):
+        store = ShardStore()
+        store.publish({"a": 1})
+        store.close()
+        store.close()
+
+    def test_worker_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(shards_module, "WORKER_SHARD_CACHE", 2)
+        with ShardStore() as store:
+            handles = [store.publish({"index": index}) for index in range(4)]
+            for handle in handles:
+                shards_module._LOCAL.pop(handle.shard_id)
+            for handle in handles:
+                assert load_shard(handle) == {"index": handles.index(handle)}
+            assert len(shards_module._ATTACHED) <= 2
+            # Evicted shards reload from their segment on demand.
+            assert load_shard(handles[0]) == {"index": 0}
+            shards_module._ATTACHED.clear()
+
+
+class TestShardedDispatch:
+    def test_run_sharded_block_dispatches_by_kind(self, echo_kind):
+        with ShardStore() as store:
+            handle = store.publish(
+                BlockShard(kind=echo_kind, payloads=("a", "b")))
+            assert run_sharded_block(
+                ShardedBlockTask(handle=handle, index=1))[:2] == ("echo", "b")
+
+    def test_run_block_tasks_serial_matches_direct(self, echo_kind):
+        from repro.runtime.executor import SerialExecutor
+
+        results = run_block_tasks(SerialExecutor(), echo_kind,
+                                  ["x", "y", "z"])
+        assert [r[:2] for r in results] == [("echo", "x"), ("echo", "y"),
+                                            ("echo", "z")]
+        assert all(pid == os.getpid() for _, _, pid in results)
+
+    def test_run_block_tasks_parallel_crosses_processes(self, echo_kind):
+        with ProcessPoolBlockExecutor(workers=2,
+                                      oversubscribe=True) as executor:
+            payloads = [f"payload-{index}" for index in range(8)]
+            results = run_block_tasks(executor, echo_kind, payloads,
+                                      weights=[1] * 8)
+            assert [r[1] for r in results] == payloads
+            assert os.getpid() not in {pid for _, _, pid in results}
+
+    def test_workers_forked_before_publish_attach_segments(self, echo_kind):
+        """The persistent-pool steady state: pool outlives many shards."""
+        with ProcessPoolBlockExecutor(workers=2,
+                                      oversubscribe=True) as executor:
+            first = run_block_tasks(executor, echo_kind, ["a", "b", "c", "d"])
+            # Second fan-out publishes a fresh shard; the pool (forked
+            # during the first) must attach it via shared memory.
+            second = run_block_tasks(executor, echo_kind,
+                                     ["e", "f", "g", "h"])
+            assert executor.fork_waves == 1
+            assert [r[1] for r in first] == ["a", "b", "c", "d"]
+            assert [r[1] for r in second] == ["e", "f", "g", "h"]
+
+    def test_single_payload_skips_shard_publication(self, echo_kind):
+        with ProcessPoolBlockExecutor(workers=2,
+                                      oversubscribe=True) as executor:
+            results = run_block_tasks(executor, echo_kind, ["solo"])
+            assert results[0][:2] == ("echo", "solo")
+            assert results[0][2] == os.getpid()
+            assert executor.fork_waves == 0
+
+    def test_handle_dataclass_shape(self):
+        handle = ShardHandle(shard_id="s", via="shm", location="loc",
+                             nbytes=10)
+        assert (handle.shard_id, handle.via) == ("s", "shm")

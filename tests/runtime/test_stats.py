@@ -55,10 +55,76 @@ class TestRunStats:
 
     def test_summary_mentions_the_essentials(self):
         stats = RunStats(phase="fit", executor="process", workers=2,
+                         effective_workers=2,
                          wall_seconds=1.0, n_blocks=5, pairs_scored=50,
                          cache_hits=50, cache_misses=50)
         line = stats.summary()
         assert "[fit]" in line and "process" in line and "50%" in line
+
+    def test_summary_shows_degraded_worker_count(self):
+        stats = RunStats(phase="fit", executor="process", workers=4,
+                         effective_workers=1)
+        assert "workers=4->1" in stats.summary()
+
+
+class TestWorkerAccounting:
+    def test_for_executor_snapshots_pool_accounting(self):
+        from repro.runtime.executor import ProcessPoolBlockExecutor
+
+        executor = ProcessPoolBlockExecutor(workers=3, oversubscribe=True)
+        stats = RunStats.for_executor("fit", executor)
+        assert stats.phase == "fit"
+        assert stats.executor == "process"
+        assert stats.workers == 3
+        assert stats.requested_workers == 3
+        assert stats.effective_workers == 3
+        assert stats.available_cores >= 1
+        assert stats.host_cores >= stats.available_cores
+        assert stats.cpuset_limited == (
+            stats.available_cores < stats.host_cores)
+        assert stats.fork_waves == 0
+
+    def test_for_executor_handles_serial_backends(self):
+        from repro.runtime.executor import SerialExecutor
+
+        stats = RunStats.for_executor("prepare", SerialExecutor())
+        assert stats.executor == "serial"
+        assert stats.effective_workers == 1
+        assert stats.fork_waves == 0
+
+    def test_finish_executor_reports_the_delta(self):
+        class FakePool:
+            name = "process"
+            workers = 2
+            effective_workers = 2
+            fork_waves = 3
+
+        pool = FakePool()
+        stats = RunStats.for_executor("fit", pool)
+        pool.fork_waves = 4  # this pass forked once
+        stats.finish_executor(pool)
+        assert stats.fork_waves == 1
+
+    def test_merged_sums_fork_waves(self):
+        fit = RunStats(phase="fit", effective_workers=2, fork_waves=1,
+                       host_cores=4, available_cores=4)
+        predict = RunStats(phase="predict", effective_workers=2,
+                           fork_waves=0)
+        combined = fit.merged(predict, phase="protocol")
+        assert combined.fork_waves == 1
+        assert combined.effective_workers == 2
+        assert combined.host_cores == 4
+
+    def test_to_dict_includes_accounting_fields(self):
+        payload = RunStats(phase="fit", workers=4, effective_workers=2,
+                           available_cores=2, host_cores=8,
+                           cpuset_limited=True, fork_waves=1).to_dict()
+        assert payload["requested_workers"] == 4
+        assert payload["effective_workers"] == 2
+        assert payload["available_cores"] == 2
+        assert payload["host_cores"] == 8
+        assert payload["cpuset_limited"] is True
+        assert payload["fork_waves"] == 1
 
 
 class TestPercentile:
