@@ -135,7 +135,8 @@ class ExperimentContext:
                             for block in collection]
                 weights = [len(block) for block in collection]
                 for name, features, graphs, task_stats in run_block_tasks(
-                        executor, "prepare", payloads, weights=weights):
+                        executor, "prepare", payloads, weights=weights,
+                        stats=stats):
                     features_by_name[name] = features
                     graphs_by_name[name] = graphs
                     stats.add_task(task_stats)

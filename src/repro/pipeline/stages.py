@@ -260,7 +260,8 @@ class FitDecisionsStage(Stage):
             weights.append(len(block))
         fitted = {}
         for query_name, fitted_block, task_stats in run_block_tasks(
-                ctx.executor, "fit", payloads, weights=weights):
+                ctx.executor, "fit", payloads, weights=weights,
+                stats=stats):
             fitted[query_name] = fitted_block
             stats.add_task(task_stats)
         return fitted
@@ -388,7 +389,8 @@ class ClusterStage(Stage):
             weights.append(len(block))
         results = []
         for _, result, task_stats in run_block_tasks(
-                ctx.executor, "predict", payloads, weights=weights):
+                ctx.executor, "predict", payloads, weights=weights,
+                stats=stats):
             results.append(result)
             stats.add_task(task_stats)
         return results

@@ -160,13 +160,21 @@ def core_report() -> dict[str, object]:
     ``cpuset_limited`` is true when the scheduling affinity grants fewer
     cores than the host has — the container-cpuset situation that used
     to surface only as an unexplained ``effective_workers: 1``.
+
+    ``shard_planes`` and ``shard_cache_bytes`` report the zero-copy
+    shard knobs (``REPRO_SHARD_PLANES`` / ``REPRO_SHARD_CACHE_BYTES``)
+    so a benchmark record says which payload path workers actually ran.
     """
+    from repro.runtime.shards import shard_cache_budget
+    from repro.runtime.tasks import planes_enabled
     available = available_cores()
     host = host_cores()
     return {
         "available_cores": available,
         "host_cores": host,
         "cpuset_limited": available < host,
+        "shard_planes": planes_enabled(),
+        "shard_cache_bytes": shard_cache_budget(),
     }
 
 

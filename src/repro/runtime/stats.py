@@ -96,6 +96,10 @@ class TaskStats:
     pairs_scored: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: time this task spent resolving its shard — segment attach,
+    #: residual unpickle, plane binding (0.0 on cache hits and for
+    #: serial/local execution).
+    attach_unpickle_seconds: float = 0.0
 
 
 @dataclass
@@ -127,6 +131,20 @@ class RunStats:
         per_block_seconds: wall time per query name (in the parallel
             backends this is each task's own clock, so the sum can exceed
             ``wall_seconds``).
+        shard_bytes_published: total segment bytes this pass published
+            (pickled residual + raw plane region; 0 for serial passes).
+        pickled_bytes: bytes of the pickled residual inside those
+            segments — on the plane path this is config/pipeline/slot
+            headers only, never the numeric bulk.
+        plane_bytes: bytes of raw plane arrays published zero-copy.
+        plane_payloads: payload fields (features/graphs) shipped as
+            planes instead of pickle.
+        plane_fallback_payloads: plane-eligible fields that failed to
+            encode and were pickled anyway (should stay 0; the CI bench
+            validation fails when it is not).
+        attach_unpickle_seconds: summed worker time spent attaching
+            segments and unpickling residuals (near zero once the
+            per-process shard cache is warm).
     """
 
     phase: str
@@ -143,6 +161,12 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     per_block_seconds: dict[str, float] = field(default_factory=dict)
+    shard_bytes_published: int = 0
+    pickled_bytes: int = 0
+    plane_bytes: int = 0
+    plane_payloads: int = 0
+    plane_fallback_payloads: int = 0
+    attach_unpickle_seconds: float = 0.0
 
     @classmethod
     def for_executor(cls, phase: str, executor) -> "RunStats":
@@ -197,6 +221,8 @@ class RunStats:
         self.pairs_scored += task.pairs_scored
         self.cache_hits += task.cache_hits
         self.cache_misses += task.cache_misses
+        self.attach_unpickle_seconds += getattr(
+            task, "attach_unpickle_seconds", 0.0)
         self.per_block_seconds[task.query_name] = (
             self.per_block_seconds.get(task.query_name, 0.0) + task.seconds)
 
@@ -218,6 +244,15 @@ class RunStats:
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
             per_block_seconds=dict(self.per_block_seconds),
+            shard_bytes_published=(self.shard_bytes_published
+                                   + other.shard_bytes_published),
+            pickled_bytes=self.pickled_bytes + other.pickled_bytes,
+            plane_bytes=self.plane_bytes + other.plane_bytes,
+            plane_payloads=self.plane_payloads + other.plane_payloads,
+            plane_fallback_payloads=(self.plane_fallback_payloads
+                                     + other.plane_fallback_payloads),
+            attach_unpickle_seconds=(self.attach_unpickle_seconds
+                                     + other.attach_unpickle_seconds),
         )
         for name, seconds in other.per_block_seconds.items():
             combined.per_block_seconds[name] = (
@@ -243,6 +278,12 @@ class RunStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "per_block_seconds": dict(self.per_block_seconds),
+            "shard_bytes_published": self.shard_bytes_published,
+            "pickled_bytes": self.pickled_bytes,
+            "plane_bytes": self.plane_bytes,
+            "plane_payloads": self.plane_payloads,
+            "plane_fallback_payloads": self.plane_fallback_payloads,
+            "attach_unpickle_seconds": self.attach_unpickle_seconds,
         }
 
     def summary(self) -> str:

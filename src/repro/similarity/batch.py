@@ -52,6 +52,7 @@ default ``python`` backend never touches numpy.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -65,7 +66,7 @@ from repro.similarity.strings import levenshtein
 from repro.similarity.urls import domain_similarity, parse_url
 from repro.similarity.vectors import norm, norm_squared
 
-__all__ = ["BlockState", "Kernel", "kernel_for"]
+__all__ = ["BlockState", "Kernel", "PlaneArena", "kernel_for"]
 
 #: Columns folded per vectorized step.  Folding stays sequential per
 #: column (exactness); chunking only amortizes Python-loop overhead and
@@ -84,9 +85,23 @@ class _VectorFamily:
     membership (not value truthiness), matching ``key in vector``
     semantics; per-page norms and sums come from the scalar helpers so
     their bits match the scalar scorers'.
+
+    Two construction paths produce identical matrices: the dict path
+    below, and :meth:`from_plane`, which fills the same (row, column,
+    entry) triples straight from a shard's CSR views — the stored entry
+    order is the dicts' iteration order and the stored vocabulary is
+    already ascending, so the fancy assignment and the per-page scalar
+    folds replay the exact same float operations.
+
+    ``approx`` switches the family to the opt-in float32 mode of the
+    ``numpy32`` backend: values are downcast to a float32 matrix (from
+    an optional :class:`PlaneArena` scratch) and the per-page moments
+    are recomputed as float64 numpy reductions over it — deterministic,
+    but *not* bit-identical to the scalar path.
     """
 
-    def __init__(self, vectors: list[dict[str, float]]):
+    def __init__(self, vectors: list[dict[str, float]],
+                 approx: bool = False, arena: "PlaneArena | None" = None):
         self.vectors = vectors
         n = len(vectors)
         vocab: set[str] = set()
@@ -123,6 +138,72 @@ class _VectorFamily:
                                 dtype=float)
         self.squared_norms = np.asarray(
             [norm_squared(vector) for vector in vectors], dtype=float)
+        if approx:
+            self._to_approx(arena)
+
+    @classmethod
+    def from_plane(cls, counts: np.ndarray, cols: np.ndarray,
+                   entries: np.ndarray, n_columns: int,
+                   approx: bool = False,
+                   arena: "PlaneArena | None" = None) -> "_VectorFamily":
+        """Build the family from a shard's CSR views, no dicts touched.
+
+        ``n_columns`` is the plane's full-block vocabulary width.  Under
+        a mask this can be wider than the dict path's selected-page
+        vocabulary, but only by columns that are zero on every selected
+        row — exact no-op fold steps for every kernel (the hapax filter
+        in :func:`_pair_dot_fold` even drops them before folding), so
+        scores stay bit-identical.
+        """
+        family = cls.__new__(cls)
+        family.vectors = None
+        family.index = None
+        n = len(counts)
+        family.values = np.zeros((n, n_columns), dtype=np.float64, order="C")
+        family.presence = np.zeros((n, n_columns), dtype=bool, order="C")
+        if cols.size:
+            rows = np.repeat(np.arange(n, dtype=np.intp), counts)
+            family.values[rows, cols] = entries
+            family.presence[rows, cols] = True
+        family.nnz = counts.astype(np.int64)
+        if approx:
+            family._to_approx(arena)
+            return family
+        bounds = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        scalars = entries.tolist()
+        sums: list[float] = []
+        norms: list[float] = []
+        squares: list[float] = []
+        for row in range(n):
+            chunk = scalars[bounds[row]:bounds[row + 1]]
+            # The scalar helpers' folds (sum / norm / norm_squared),
+            # replayed over the stored order — the dicts' iteration
+            # order — so the broadcast moments keep their exact bits.
+            sums.append(sum(chunk))
+            square = sum(value * value for value in chunk)
+            squares.append(square)
+            norms.append(math.sqrt(square))
+        family.sums = np.asarray(sums, dtype=float)
+        family.norms = np.asarray(norms, dtype=float)
+        family.squared_norms = np.asarray(squares, dtype=float)
+        return family
+
+    def _to_approx(self, arena: "PlaneArena | None") -> None:
+        shape = self.values.shape
+        if arena is not None:
+            values32 = arena.take(shape, np.float32)
+        else:
+            values32 = np.zeros(shape, dtype=np.float32)
+        np.copyto(values32, self.values, casting="unsafe")
+        self.values = values32
+        # Moments in float64 over the rounded float32 values: cheap
+        # O(n·d) reductions whose error stays ~1e-7 relative, keeping
+        # the expensive approximation confined to the O(n²·d) dots.
+        self.sums = self.values.sum(axis=1, dtype=np.float64)
+        self.squared_norms = (self.values * self.values).sum(
+            axis=1, dtype=np.float64)
+        self.norms = np.sqrt(self.squared_norms)
 
     def nonempty_pairs(self) -> np.ndarray:
         """Mask of pairs where both pages carry evidence."""
@@ -146,6 +227,20 @@ class _SetFamily:
         self.sizes = np.asarray([len(members) for members in sets],
                                 dtype=np.int64)
 
+    @classmethod
+    def from_plane(cls, counts: np.ndarray, cols: np.ndarray,
+                   n_columns: int) -> "_SetFamily":
+        """Build the indicator from CSR views (set or counter planes —
+        a counter's columns are exactly its key set)."""
+        family = cls.__new__(cls)
+        n = len(counts)
+        family.indicator = np.zeros((n, n_columns), dtype=np.int64)
+        if cols.size:
+            rows = np.repeat(np.arange(n, dtype=np.intp), counts)
+            family.indicator[rows, cols] = 1
+        family.sizes = counts.astype(np.int64)
+        return family
+
 
 class _CounterFamily:
     """Count matrix for one multiset (Counter) page attribute."""
@@ -164,6 +259,59 @@ class _CounterFamily:
                                 dtype=np.int64)
         self.totals = self.counts.sum(axis=1)
 
+    @classmethod
+    def from_plane(cls, counts_per_row: np.ndarray, cols: np.ndarray,
+                   entries: np.ndarray, n_columns: int) -> "_CounterFamily":
+        """Build the count matrix from CSR views (all-integer, exact)."""
+        family = cls.__new__(cls)
+        n = len(counts_per_row)
+        family.counts = np.zeros((n, n_columns), dtype=np.int64)
+        if cols.size:
+            rows = np.repeat(np.arange(n, dtype=np.intp), counts_per_row)
+            family.counts[rows, cols] = entries
+        family.sizes = counts_per_row.astype(np.int64)
+        family.totals = family.counts.sum(axis=1)
+        return family
+
+
+class PlaneArena:
+    """Grow-only scratch buffers for the ``numpy32`` backend's planes.
+
+    The float32 backend trades exactness for speed; re-zeroing a
+    preallocated buffer is much cheaper than faulting fresh pages per
+    block, so each backend thread keeps one arena and bump-allocates
+    every block's dense family planes from it.  ``reset`` (called per
+    :class:`BlockState`) recycles the space; growth allocates a bigger
+    buffer and strands the old one with whatever views still hold it.
+    Not thread-safe by design — the backend keeps one arena per thread.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self._used: dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Recycle all space (outstanding views keep their buffers)."""
+        for key in self._used:
+            self._used[key] = 0
+
+    def take(self, shape: tuple, dtype) -> np.ndarray:
+        """A zeroed C-contiguous view of ``shape`` from the scratch."""
+        dtype = np.dtype(dtype)
+        key = dtype.str
+        need = int(math.prod(shape))
+        used = self._used.get(key, 0)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.size < used + need:
+            size = max(used + need, 2 * (buffer.size if buffer is not None
+                                         else 0))
+            buffer = np.empty(size, dtype=dtype)
+            self._buffers[key] = buffer
+        view = buffer[used:used + need].reshape(shape)
+        self._used[key] = used + need
+        view[...] = 0
+        return view
+
 
 class BlockState:
     """Lazily materialized matrices shared by every kernel of one block.
@@ -180,18 +328,48 @@ class BlockState:
     masked entry's float-operation sequence — and hence its bits — is
     unchanged.  Pair order stays the scalar sweep's row-major order
     restricted to the mask.
+
+    When ``features`` is a :class:`~repro.runtime.planes.
+    PlaneFeatureMap` (detected via its ``planes`` attribute), families
+    are built straight from the shard's CSR views — no ``PageFeatures``
+    is ever materialized on the kernel path, and ``pages`` stays
+    untouched unless a scalar fallback asks for it.  Plane-backed and
+    dict-backed construction are bit-identical (see
+    :meth:`_VectorFamily.from_plane`).
+
+    ``approx32=True`` selects the ``numpy32`` backend's float32 mode:
+    vector families downcast to float32 (allocated from ``arena`` when
+    given) and pairwise dots go through BLAS instead of the exact fold.
+    Integer kernels (F4–F6, F11, F13) and string kernels (F2) remain
+    exact; only the float-vector measures are approximate.
     """
 
     def __init__(self, ids: Sequence[str],
-                 features: dict[str, PageFeatures],
-                 mask: "frozenset[PairKey] | None" = None):
+                 features: "dict[str, PageFeatures]",
+                 mask: "frozenset[PairKey] | None" = None,
+                 approx32: bool = False,
+                 arena: PlaneArena | None = None):
         ids = list(ids)
         if mask is not None:
             candidates = {doc_id for pair in mask for doc_id in pair}
             ids = [doc_id for doc_id in ids if doc_id in candidates]
         self.ids = ids
         self.n = len(self.ids)
-        self.pages = [features[doc_id] for doc_id in self.ids]
+        self._features = features
+        self._pages: list[PageFeatures] | None = None
+        self._approx = approx32
+        self._arena = arena if approx32 else None
+        if self._arena is not None:
+            self._arena.reset()
+        planes = getattr(features, "planes", None)
+        self._rows: list[int] | None = None
+        if planes is not None:
+            row_of = planes.row_index()
+            try:
+                self._rows = [row_of[doc_id] for doc_id in self.ids]
+            except KeyError:  # pragma: no cover - planes missing a page
+                planes = None
+        self._planes = planes
         self._vector_families: dict[str, _VectorFamily] = {}
         self._set_families: dict[str, _SetFamily] = {}
         self._counter_families: dict[str, _CounterFamily] = {}
@@ -220,34 +398,94 @@ class BlockState:
         matrix = kernel.matrix(self)
         return dict(zip(self._pair_keys, matrix[self._triu].tolist()))
 
+    @property
+    def pages(self) -> list[PageFeatures]:
+        """Materialized pages, built lazily (scalar fallbacks only —
+        the plane path never touches this)."""
+        if self._pages is None:
+            self._pages = [self._features[doc_id] for doc_id in self.ids]
+        return self._pages
+
+    def urls(self) -> list[str]:
+        """Page URLs in row order, straight from planes when available."""
+        if self._planes is not None:
+            decoded = self._planes.urls()
+            return [decoded[row] for row in self._rows]
+        return [page.url for page in self.pages]
+
     # -- family accessors (built once, shared across kernels) ------------
+    #
+    # Kernel family names coincide with the plane family names
+    # encode_features stores ("concept", "tfidf", "top_tfidf",
+    # "concept_set", "organizations", "other_persons", "locations",
+    # "entity_context"), so a plane-backed block resolves every built-in
+    # family from CSR views and only unknown (custom) families fall back
+    # to extracting from materialized pages.
+
+    def _plane_family(self, name: str, kinds: tuple):
+        if self._planes is None:
+            return None
+        family = self._planes.family(name)
+        if family is None or family.kind not in kinds:
+            return None
+        return family
 
     def vector_family(self, name: str, extract: Callable) -> _VectorFamily:
         family = self._vector_families.get(name)
         if family is None:
-            family = _VectorFamily([extract(page) for page in self.pages])
+            plane = self._plane_family(name, ("vector",))
+            if plane is not None:
+                counts, cols, entries = plane.select(self._rows)
+                family = _VectorFamily.from_plane(
+                    counts, cols, entries, plane.n_columns,
+                    approx=self._approx, arena=self._arena)
+            else:
+                family = _VectorFamily(
+                    [extract(page) for page in self.pages],
+                    approx=self._approx, arena=self._arena)
             self._vector_families[name] = family
         return family
 
     def set_family(self, name: str, extract: Callable) -> _SetFamily:
         family = self._set_families.get(name)
         if family is None:
-            family = _SetFamily([extract(page) for page in self.pages])
+            plane = self._plane_family(name, ("set", "counter"))
+            if plane is not None:
+                counts, cols, _ = plane.select(self._rows)
+                family = _SetFamily.from_plane(counts, cols, plane.n_columns)
+            else:
+                family = _SetFamily([extract(page) for page in self.pages])
             self._set_families[name] = family
         return family
 
     def counter_family(self, name: str, extract: Callable) -> _CounterFamily:
         family = self._counter_families.get(name)
         if family is None:
-            family = _CounterFamily([extract(page) for page in self.pages])
+            plane = self._plane_family(name, ("counter",))
+            if plane is not None:
+                counts, cols, entries = plane.select(self._rows)
+                family = _CounterFamily.from_plane(counts, cols, entries,
+                                                   plane.n_columns)
+            else:
+                family = _CounterFamily(
+                    [extract(page) for page in self.pages])
             self._counter_families[name] = family
         return family
 
     def pair_dot(self, name: str, extract: Callable) -> np.ndarray:
-        """Exact pairwise dot matrix of one vector family (cached)."""
+        """Pairwise dot matrix of one vector family (cached).
+
+        Exact sequential fold by default; the ``numpy32`` mode hands the
+        float32 plane to BLAS and widens the result to float64 — the one
+        deliberate approximation that backend makes.
+        """
         dots = self._dots.get(name)
         if dots is None:
-            dots = _pair_dot_fold(self.vector_family(name, extract).values)
+            values = self.vector_family(name, extract).values
+            if self._approx:
+                dots = (values @ values.T).astype(np.float64)
+            else:
+                dots = _pair_dot_fold(values)
             self._dots[name] = dots
         return dots
 
@@ -488,8 +726,7 @@ def _pairwise_path_distances(paths: list[str]) -> np.ndarray:
 
 
 def _url_matrix(state: BlockState) -> np.ndarray:
-    parsed = [parse_url(page.url) if page.url else None
-              for page in state.pages]
+    parsed = [parse_url(url) if url else None for url in state.urls()]
     domains = [entry.domain if entry is not None else "" for entry in parsed]
     paths = [entry.path if entry is not None else "" for entry in parsed]
 

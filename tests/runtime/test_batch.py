@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.model import (
     apply_fitted_decision,
     apply_fitted_decisions,
@@ -30,12 +32,17 @@ def _naive_graph_weights(block, features, functions):
 
 
 class TestBatchedGraphs:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
     def test_bit_identical_to_naive_for_all_functions(self, small_block,
-                                                      block_features):
+                                                      block_features,
+                                                      backend):
+        # Pinned to the exact backends: the ambient default may be the
+        # opt-in approximate ``numpy32`` (the CI matrix runs it), which
+        # is exempt from the bit-identity contract.
         functions = default_functions()
         naive = _naive_graph_weights(small_block, block_features, functions)
         batched = batched_similarity_graphs(small_block, block_features,
-                                            functions)
+                                            functions, backend=backend)
         for function in functions:
             assert batched[function.name].weights == naive[function.name], \
                 function.name

@@ -125,8 +125,13 @@ class TestPersistentPool:
             second = set(executor.run(_worker_pid, [None] * 8))
             third = set(executor.run(_worker_pid, [None] * 8))
             assert executor.fork_waves == 1
-            # The same worker processes served every wave of tasks.
-            assert first == second == third
+            # The same worker processes served every wave of tasks: a
+            # re-fork would surface fresh pids each run, so the union
+            # across waves must stay within the single pool's size.
+            # (Per-wave sets can differ — under load one worker may
+            # drain a whole wave of these fast tasks by itself.)
+            assert len(first | second | third) <= 2
+            assert first and second and third
 
     def test_close_is_idempotent_and_reopens_on_demand(self):
         executor = ProcessPoolBlockExecutor(workers=2, oversubscribe=True)
@@ -258,8 +263,12 @@ class TestCoreReport:
                             lambda: 2)
         monkeypatch.setattr("repro.runtime.executor.host_cores", lambda: 8)
         report = core_report()
-        assert report == {"available_cores": 2, "host_cores": 8,
-                          "cpuset_limited": True}
+        assert report["available_cores"] == 2
+        assert report["host_cores"] == 8
+        assert report["cpuset_limited"] is True
+        # The shard knobs ride along in the same report.
+        assert isinstance(report["shard_planes"], bool)
+        assert report["shard_cache_bytes"] >= 0
         # The effective worker cap follows the affinity, not the host.
         assert ProcessPoolBlockExecutor(workers=8).effective_workers == 2
 

@@ -24,6 +24,28 @@ def _echo(payload):
     return ("echo", payload, os.getpid())
 
 
+def _drain_worker_cache():
+    """Detach every cached segment so tests leave no open mappings."""
+    while shards_module._ATTACHED:
+        shard_id = next(iter(shards_module._ATTACHED))
+        shards_module._pop_detach(shard_id)
+    shards_module._reap_zombies()
+
+
+class _PlaneProbe:
+    """Minimal payload exposing one plane array via ``_bind_planes``."""
+
+    def __init__(self, spec, array=None):
+        self.spec = spec
+        self.array = array
+
+    def _bind_planes(self, view, base):
+        from repro.runtime import planes
+
+        return _PlaneProbe(self.spec,
+                           planes.PlaneBuffer(view, base).array(self.spec))
+
+
 @pytest.fixture
 def echo_kind():
     TASK_KINDS["echo"] = _echo
@@ -54,7 +76,7 @@ class TestShardStore:
             loaded = load_shard(handle)
             assert loaded == payload
             assert loaded is not payload
-            shards_module._ATTACHED.pop(handle.shard_id, None)
+            _drain_worker_cache()
 
     def test_file_fallback_roundtrips(self):
         payload = {"via": "file", "data": list(range(50))}
@@ -64,7 +86,7 @@ class TestShardStore:
             assert os.path.exists(handle.location)
             shards_module._LOCAL.pop(handle.shard_id)
             assert load_shard(handle) == payload
-            shards_module._ATTACHED.pop(handle.shard_id, None)
+            _drain_worker_cache()
         assert not os.path.exists(handle.location)
 
     def test_close_unlinks_segments_and_registry(self):
@@ -87,18 +109,83 @@ class TestShardStore:
         store.close()
         store.close()
 
-    def test_worker_cache_is_bounded(self, monkeypatch):
-        monkeypatch.setattr(shards_module, "WORKER_SHARD_CACHE", 2)
+    def test_worker_cache_evicts_by_byte_budget(self, monkeypatch):
+        """Attached segments are evicted oldest-first past the budget."""
+        payload = {"blob": "x" * 4096}
         with ShardStore() as store:
-            handles = [store.publish({"index": index}) for index in range(4)]
+            handles = [store.publish(dict(payload, index=index))
+                       for index in range(4)]
+            budget = handles[0].nbytes * 2
+            monkeypatch.setenv("REPRO_SHARD_CACHE_BYTES", str(budget))
             for handle in handles:
                 shards_module._LOCAL.pop(handle.shard_id)
-            for handle in handles:
-                assert load_shard(handle) == {"index": handles.index(handle)}
-            assert len(shards_module._ATTACHED) <= 2
-            # Evicted shards reload from their segment on demand.
-            assert load_shard(handles[0]) == {"index": 0}
-            shards_module._ATTACHED.clear()
+            for index, handle in enumerate(handles):
+                assert load_shard(handle)["index"] == index
+            assert shards_module.attached_cache_bytes() <= budget
+            assert len(shards_module._ATTACHED) == 2
+            # Oldest evicted, newest kept.
+            assert handles[0].shard_id not in shards_module._ATTACHED
+            assert handles[3].shard_id in shards_module._ATTACHED
+            # Evicted shards re-attach from their segment on demand.
+            assert load_shard(handles[0])["index"] == 0
+            _drain_worker_cache()
+
+    def test_newest_shard_survives_a_zero_budget(self, monkeypatch):
+        """The shard being loaded is never evicted out from under its
+        caller, even when the budget cannot hold it."""
+        monkeypatch.setenv("REPRO_SHARD_CACHE_BYTES", "0")
+        with ShardStore() as store:
+            handle = store.publish({"kept": True})
+            shards_module._LOCAL.pop(handle.shard_id)
+            assert load_shard(handle) == {"kept": True}
+            assert list(shards_module._ATTACHED) == [handle.shard_id]
+            _drain_worker_cache()
+
+    def test_eviction_with_live_views_defers_to_zombie_list(self,
+                                                            monkeypatch):
+        """A segment whose planes are still referenced must not unmap."""
+        np = pytest.importorskip("numpy")
+        from repro.runtime import planes
+
+        writer = planes.PlaneWriter()
+        spec = writer.add(np.arange(64, dtype=np.float64))
+        monkeypatch.setenv("REPRO_SHARD_CACHE_BYTES", "0")
+        with ShardStore() as store:
+            handle = store.publish(_PlaneProbe(spec), planes=writer)
+            shards_module._LOCAL.pop(handle.shard_id)
+            probe = load_shard(handle)
+            array = probe.array  # live np.frombuffer view into the segment
+            assert array.tolist() == list(range(64))
+            # Force eviction of the only cached shard while the view is
+            # alive: it must park on the zombie list, not unmap.
+            shards_module._pop_detach(handle.shard_id)
+            assert shards_module._ZOMBIES
+            assert array.tolist() == list(range(64))  # still readable
+            del probe, array
+            shards_module._reap_zombies()
+            assert not shards_module._ZOMBIES
+
+    def test_handle_records_pickled_and_plane_bytes(self):
+        np = pytest.importorskip("numpy")
+        from repro.runtime import planes
+
+        writer = planes.PlaneWriter()
+        writer.add(np.zeros(1000, dtype=np.float64))
+        with ShardStore() as store:
+            handle = store.publish({"tiny": True}, planes=writer)
+            assert handle.plane_bytes >= 8000
+            assert handle.pickled_bytes < 100
+            assert handle.nbytes >= handle.pickled_bytes + handle.plane_bytes
+
+    def test_local_payload_overrides_same_process_loads(self):
+        original = {"original": True}
+        skeleton = {"skeleton": True}
+        with ShardStore() as store:
+            handle = store.publish(skeleton, local_payload=original)
+            assert load_shard(handle) is original
+            shards_module._LOCAL.pop(handle.shard_id)
+            assert load_shard(handle) == skeleton
+            _drain_worker_cache()
 
 
 class TestShardedDispatch:
